@@ -1,0 +1,221 @@
+// Benchmarks regenerating the paper's tables and figures, one testing.B
+// per experiment. Each benchmark runs the corresponding experiment at a
+// bench-friendly scale and reports the headline measurements as custom
+// metrics; the full printed tables come from cmd/lsmbench (see
+// EXPERIMENTS.md). Run with:
+//
+//	go test -bench=. -benchmem
+package leveldbpp_test
+
+import (
+	"io"
+	"testing"
+
+	"leveldbpp/internal/core"
+	"leveldbpp/internal/experiments"
+	"leveldbpp/internal/workload"
+)
+
+// benchConfig keeps individual benchmarks in the seconds range while still
+// spanning flushes and multi-level compactions.
+func benchConfig(b *testing.B) experiments.Config {
+	return experiments.Config{Scale: 5000, Dir: b.TempDir(), Out: io.Discard, Seed: 7, Queries: 20}
+}
+
+func BenchmarkFig7DatasetZipf(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7DatasetZipf(benchConfig(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Slope, "zipf-slope")
+		b.ReportMetric(float64(r.ActiveUsers), "active-users")
+	}
+}
+
+func BenchmarkFig8aDatabaseSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.Fig8aDatabaseSize(benchConfig(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rs {
+			if r.Kind == core.IndexEmbedded {
+				b.ReportMetric(float64(r.PrimaryBytes)/(1<<20), "embedded-primary-MB")
+			}
+			if r.Kind == core.IndexLazy {
+				b.ReportMetric(float64(r.IndexBytes)/(1<<20), "lazy-index-MB")
+			}
+		}
+	}
+}
+
+func BenchmarkFig8bPut(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.Fig8bPutPerformance(benchConfig(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rs {
+			switch r.Kind {
+			case core.IndexEmbedded:
+				b.ReportMetric(r.MeanPutMicros, "embedded-put-us")
+			case core.IndexEager:
+				b.ReportMetric(r.MeanPutMicros, "eager-put-us")
+			}
+		}
+	}
+}
+
+func BenchmarkFig8cGet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.Fig8cGetPerformance(benchConfig(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rs {
+			if r.Kind == core.IndexEmbedded {
+				b.ReportMetric(r.GetBlockReads, "blocks-per-get")
+			}
+		}
+	}
+}
+
+func BenchmarkFig9PutOverTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.Fig9PutOverTime(benchConfig(b), 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rs {
+			if r.Kind == core.IndexEager && len(r.Points) > 0 {
+				b.ReportMetric(float64(r.Points[len(r.Points)-1].CumIndexCompIO), "eager-comp-io")
+			}
+		}
+	}
+}
+
+func BenchmarkFig10UserIDLookup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.Fig10UserIDQueries(benchConfig(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rs {
+			if r.Kind == core.IndexLazy && r.Op == workload.OpLookup && r.TopK == 10 {
+				b.ReportMetric(r.Box.Median, "lazy-top10-median-us")
+			}
+		}
+	}
+}
+
+func BenchmarkFig11CreationTimeLookup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.Fig11CreationTimeQueries(benchConfig(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rs {
+			if r.Kind == core.IndexEmbedded && r.Op == workload.OpRangeLookup && r.TopK == 0 && r.Selectivity == 1 {
+				b.ReportMetric(r.IOPerQuery, "embedded-range-io")
+			}
+		}
+	}
+}
+
+func BenchmarkFig12MixedWriteHeavy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig12WriteHeavy(benchConfig(b)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig14MixedReadHeavy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig12ReadHeavy(benchConfig(b)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig15MixedUpdateHeavy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig12UpdateHeavy(benchConfig(b)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3Embedded(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, measured, err := experiments.Table3Embedded(benchConfig(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(measured, "lookup-block-reads")
+	}
+}
+
+func BenchmarkTable5StandAlone(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, measured, err := experiments.Table5StandAlone(benchConfig(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(measured[core.IndexEager], "eager-io-per-put")
+		b.ReportMetric(measured[core.IndexLazy], "lazy-io-per-put")
+	}
+}
+
+func BenchmarkAppendixC1BloomBits(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.AppendixC1BloomBits(benchConfig(b), []int{5, 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rs[len(rs)-1].IOPerLookup, "io-at-20bpk")
+	}
+}
+
+func BenchmarkAppendixC2Compression(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AppendixC2Compression(benchConfig(b)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCacheEffects(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.CacheEffects(benchConfig(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rs[1].HitRate*100, "hit-rate-%")
+	}
+}
+
+func BenchmarkConcurrentReaders(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.ConcurrentReaders(benchConfig(b), []int{1, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rs[len(rs)-1].LookupsPerSec, "lookups-per-sec-4r")
+	}
+}
+
+func BenchmarkEmbeddedAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.EmbeddedAblations(benchConfig(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rs {
+			if r.Name == "no-getlite" {
+				b.ReportMetric(r.IOPerLookup, "no-getlite-io")
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Command lsmserver serves a LevelDB++ database over HTTP/JSON.
+//
+// Usage:
+//
+//	lsmserver -db /var/lib/tweets -index lazy -attrs UserID,CreationTime -addr :8080
+//
+// Endpoints (see internal/server):
+//
+//	PUT/GET/DELETE /doc/{key}
+//	GET  /lookup?attr=&value=&k=
+//	GET  /rangelookup?attr=&lo=&hi=&k=
+//	GET  /scan?lo=&hi=&limit=
+//	POST /batch
+//	GET  /stats   POST /flush   GET /check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"leveldbpp/internal/core"
+	"leveldbpp/internal/server"
+)
+
+func main() {
+	var (
+		dir   = flag.String("db", "", "database directory (required)")
+		index = flag.String("index", "lazy", "index kind: none|embedded|eager|lazy|composite")
+		attrs = flag.String("attrs", "UserID,CreationTime", "comma-separated indexed attributes")
+		addr  = flag.String("addr", ":8080", "listen address")
+		cache = flag.Int64("cache-mb", 0, "block cache size in MiB (0 = off, the paper's config)")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "lsmserver: -db is required")
+		os.Exit(1)
+	}
+	kind, err := parseKind(*index)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lsmserver:", err)
+		os.Exit(1)
+	}
+	db, err := core.Open(*dir, core.Options{
+		Index:           kind,
+		Attrs:           strings.Split(*attrs, ","),
+		BlockCacheBytes: *cache << 20,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lsmserver:", err)
+		os.Exit(1)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: server.New(db)}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Println("shutting down")
+		srv.Close()
+	}()
+
+	log.Printf("lsmserver: %s index on %s, serving %s", kind, *attrs, *addr)
+	err = srv.ListenAndServe()
+	if closeErr := db.Close(); closeErr != nil {
+		log.Println("close:", closeErr)
+	}
+	if err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+}
+
+func parseKind(s string) (core.IndexKind, error) {
+	switch strings.ToLower(s) {
+	case "none":
+		return core.IndexNone, nil
+	case "embedded":
+		return core.IndexEmbedded, nil
+	case "eager":
+		return core.IndexEager, nil
+	case "lazy":
+		return core.IndexLazy, nil
+	case "composite":
+		return core.IndexComposite, nil
+	default:
+		return 0, fmt.Errorf("unknown index kind %q", s)
+	}
+}

@@ -1,0 +1,99 @@
+// Command workloadgen emits synthetic Twitter-style datasets and
+// operation streams as JSON lines, reproducing the paper's open-sourced
+// workload generator.
+//
+// Usage:
+//
+//	workloadgen -mode dataset -tweets 100000 -seed 1 > tweets.jsonl
+//	workloadgen -mode mixed -ratios write-heavy -ops 50000 > ops.jsonl
+//
+// Dataset lines: {"id":...,"UserID":...,"CreationTime":...,"Text":...}
+// Op lines:      {"op":"PUT","key":...,"value":{...}} etc.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"leveldbpp/internal/workload"
+)
+
+func main() {
+	var (
+		mode   = flag.String("mode", "dataset", "dataset | mixed")
+		tweets = flag.Int("tweets", 10000, "dataset size")
+		users  = flag.Int("users", 0, "user population (0 = tweets/30)")
+		ops    = flag.Int("ops", 10000, "mixed-mode operation count")
+		ratios = flag.String("ratios", "write-heavy", "write-heavy | read-heavy | update-heavy")
+		topK   = flag.Int("topk", 10, "LOOKUP top-K in mixed mode")
+		seed   = flag.Int64("seed", 2018, "RNG seed")
+	)
+	flag.Parse()
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	enc := json.NewEncoder(w)
+
+	switch *mode {
+	case "dataset":
+		g := workload.NewGenerator(workload.Config{Tweets: *tweets, Users: *users, Seed: *seed})
+		for {
+			t, ok := g.Next()
+			if !ok {
+				return
+			}
+			if err := enc.Encode(map[string]string{
+				"id":           t.ID,
+				"UserID":       t.UserID,
+				"CreationTime": workload.EncodeTime(t.Creation),
+				"Text":         t.Text,
+			}); err != nil {
+				fatal(err)
+			}
+		}
+	case "mixed":
+		var mix workload.MixRatios
+		switch *ratios {
+		case "write-heavy":
+			mix = workload.WriteHeavy
+		case "read-heavy":
+			mix = workload.ReadHeavy
+		case "update-heavy":
+			mix = workload.UpdateHeavy
+		default:
+			fatal(fmt.Errorf("unknown ratios %q", *ratios))
+		}
+		m := workload.NewMixed(workload.Config{Seed: *seed, Users: *users}, mix, *ops, *topK)
+		for {
+			op, ok := m.Next()
+			if !ok {
+				return
+			}
+			rec := map[string]interface{}{"op": op.Kind.String()}
+			switch op.Kind {
+			case workload.OpPut, workload.OpUpdate:
+				rec["key"] = op.Key
+				rec["value"] = json.RawMessage(op.Value)
+			case workload.OpGet:
+				rec["key"] = op.Key
+			case workload.OpLookup:
+				rec["attr"], rec["value"], rec["k"] = op.Attr, op.Lo, op.K
+			case workload.OpRangeLookup:
+				rec["attr"], rec["lo"], rec["hi"], rec["k"] = op.Attr, op.Lo, op.Hi, op.K
+			}
+			if err := enc.Encode(rec); err != nil {
+				fatal(err)
+			}
+		}
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "workloadgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,87 @@
+// Cluster example — the paper's Appendix D tradeoff, runnable: local
+// (per-shard, Riak-style) versus global (attribute-partitioned,
+// DynamoDB-style) secondary indexes over a hash-partitioned LevelDB++
+// cluster.
+//
+// Point LOOKUPs in global mode touch one index shard; in local mode they
+// scatter-gather across every data shard. Writes invert the tradeoff:
+// global mode fans each PUT out to an index shard per attribute.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"leveldbpp/internal/core"
+	"leveldbpp/internal/sharded"
+	"leveldbpp/internal/workload"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "leveldbpp-cluster-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	const nTweets = 10000
+	tweets := workload.NewGenerator(workload.Config{Tweets: nTweets, Seed: 4}).All()
+
+	for _, mode := range []struct {
+		name string
+		m    sharded.Mode
+	}{{"local", sharded.LocalIndexes}, {"global", sharded.GlobalIndexes}} {
+		c, err := sharded.Open(filepath.Join(dir, mode.name), sharded.Options{
+			Shards: 4,
+			Mode:   mode.m,
+			Store: core.Options{
+				Index:          core.IndexLazy,
+				Attrs:          []string{workload.AttrUser},
+				MemTableBytes:  128 << 10,
+				BaseLevelBytes: 512 << 10,
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		d0, g0 := c.Stats()
+		for _, tw := range tweets {
+			if err := c.Put(tw.ID, tw.Doc()); err != nil {
+				log.Fatal(err)
+			}
+		}
+		d1, g1 := c.Stats()
+		writeIO := (d1 - d0) + (g1 - g0)
+
+		q := workload.NewStaticQueries(tweets, 5)
+		var sample []sharded.Entry
+		for i := 0; i < 100; i++ {
+			op := q.Lookup(workload.AttrUser, 10)
+			entries, err := c.Lookup(op.Attr, op.Lo, op.K)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if len(entries) > 0 {
+				sample = entries
+			}
+		}
+		d2, g2 := c.Stats()
+		readIO := (d2 - d1) + (g2 - g1)
+
+		fmt.Printf("%-6s indexes: ingest I/O=%6d blocks, 100 top-10 lookups I/O=%5d blocks\n",
+			mode.name, writeIO, readIO)
+		if len(sample) > 0 {
+			fmt.Printf("        sample result: %s (cluster seq %s)\n", sample[0].Key, sample[0].GSeq)
+		}
+		c.Close()
+	}
+
+	fmt.Println("\nAppendix D tradeoff, as measured: global indexes always pay fan-out")
+	fmt.Println("writes (one projected index entry per attribute). On reads they touch a")
+	fmt.Println("single index shard — a win for low-skew values — but a Zipf-hot user's")
+	fmt.Println("full-projection prefix scan can exceed local mode's scatter-gather,")
+	fmt.Println("whose per-shard Lazy indexes stop at the first level holding top-K.")
+}

@@ -1,0 +1,70 @@
+// Quickstart: open a LevelDB++ store with a Lazy secondary index, write a
+// few JSON documents, and query them by secondary attribute.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"leveldbpp/internal/core"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "leveldbpp-quickstart-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Open a database with a Lazy stand-alone index on "UserID".
+	db, err := core.Open(dir, core.Options{
+		Index: core.IndexLazy,
+		Attrs: []string{"UserID"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// PUT: documents are JSON objects; indexed attributes must be
+	// top-level string fields.
+	puts := []struct{ key, doc string }{
+		{"t1", `{"UserID":"alice","Text":"first tweet"}`},
+		{"t2", `{"UserID":"alice","Text":"second tweet"}`},
+		{"t3", `{"UserID":"bob","Text":"hello"}`},
+		{"t4", `{"UserID":"alice","Text":"third tweet"}`},
+	}
+	for _, p := range puts {
+		if err := db.Put(p.key, []byte(p.doc)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// GET by primary key.
+	v, ok, err := db.Get("t3")
+	if err != nil || !ok {
+		log.Fatalf("get t3: %v %v", ok, err)
+	}
+	fmt.Printf("GET t3        → %s\n", v)
+
+	// LOOKUP: the 2 most recent tweets by alice, newest first.
+	entries, err := db.Lookup("UserID", "alice", 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("LOOKUP alice (top-2):")
+	for _, e := range entries {
+		fmt.Printf("  %s → %s\n", e.Key, e.Value)
+	}
+
+	// DELETE and observe the index follow.
+	if err := db.Delete("t4"); err != nil {
+		log.Fatal(err)
+	}
+	entries, err = db.Lookup("UserID", "alice", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after DEL t4, alice has %d tweets\n", len(entries))
+}

@@ -1,0 +1,3 @@
+module leveldbpp
+
+go 1.22

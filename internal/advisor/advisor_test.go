@@ -1,0 +1,62 @@
+package advisor
+
+import (
+	"testing"
+
+	"leveldbpp/internal/core"
+)
+
+func TestTimeCorrelatedPicksEmbedded(t *testing.T) {
+	r := Recommend(Profile{TimeCorrelated: true, SecondaryQueryFraction: 0.5})
+	if r.Index != core.IndexEmbedded {
+		t.Fatalf("got %v", r.Index)
+	}
+}
+
+func TestSpaceConstrainedPicksEmbedded(t *testing.T) {
+	r := Recommend(Profile{SpaceConstrained: true, TypicalTopK: 10})
+	if r.Index != core.IndexEmbedded {
+		t.Fatalf("got %v", r.Index)
+	}
+}
+
+func TestWriteHeavyFewLookupsPicksEmbedded(t *testing.T) {
+	// The paper's sensor-network example: >50% writes, <5% secondary reads.
+	r := Recommend(Profile{WriteFraction: 0.8, SecondaryQueryFraction: 0.02})
+	if r.Index != core.IndexEmbedded {
+		t.Fatalf("got %v", r.Index)
+	}
+}
+
+func TestSmallTopKPicksLazy(t *testing.T) {
+	// The paper's social-feed example: read-heavy, small top-K.
+	r := Recommend(Profile{WriteFraction: 0.2, SecondaryQueryFraction: 0.3, TypicalTopK: 10})
+	if r.Index != core.IndexLazy {
+		t.Fatalf("got %v", r.Index)
+	}
+	if r.Rationale == "" {
+		t.Fatal("missing rationale")
+	}
+}
+
+func TestUnboundedQueriesPickComposite(t *testing.T) {
+	// The paper's analytics example: group-by style return-all queries.
+	r := Recommend(Profile{WriteFraction: 0.3, SecondaryQueryFraction: 0.4, TypicalTopK: 0})
+	if r.Index != core.IndexComposite {
+		t.Fatalf("got %v", r.Index)
+	}
+}
+
+func TestEagerNeverRecommended(t *testing.T) {
+	// §5.2.3: "Eager Index ... is not suitable for any workloads."
+	profiles := []Profile{
+		{}, {WriteFraction: 1}, {SecondaryQueryFraction: 1},
+		{TypicalTopK: 1}, {TimeCorrelated: true}, {SpaceConstrained: true},
+		{WriteFraction: 0.5, SecondaryQueryFraction: 0.5, TypicalTopK: 100},
+	}
+	for _, p := range profiles {
+		if r := Recommend(p); r.Index == core.IndexEager {
+			t.Fatalf("Eager recommended for %+v", p)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package bloom
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%09d", i)) }
+
+func TestEmptyFilter(t *testing.T) {
+	f := Build(nil, 10)
+	if f.MayContain([]byte("anything")) {
+		t.Fatal("empty filter must not match")
+	}
+	var zero Filter
+	if zero.MayContain([]byte("x")) {
+		t.Fatal("zero-value filter must not match")
+	}
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 100, 1000, 10000} {
+		keys := make([][]byte, n)
+		for i := range keys {
+			keys[i] = key(i)
+		}
+		f := Build(keys, 10)
+		for i, k := range keys {
+			if !f.MayContain(k) {
+				t.Fatalf("n=%d: false negative for key %d", n, i)
+			}
+		}
+	}
+}
+
+func TestFalsePositiveRateNearTheory(t *testing.T) {
+	const n = 10000
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = key(i)
+	}
+	for _, bpk := range []int{8, 10, 14, 20} {
+		f := Build(keys, bpk)
+		fp := 0
+		const probes = 20000
+		for i := 0; i < probes; i++ {
+			if f.MayContain(key(n + i)) {
+				fp++
+			}
+		}
+		got := float64(fp) / probes
+		want := FalsePositiveRate(bpk)
+		// Allow generous slack: 3x theoretical plus small absolute floor.
+		if got > want*3+0.002 {
+			t.Errorf("bitsPerKey=%d: measured FP rate %.5f far above theory %.5f", bpk, got, want)
+		}
+	}
+}
+
+func TestHigherBitsLowerFP(t *testing.T) {
+	const n = 5000
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = key(i)
+	}
+	rate := func(bpk int) float64 {
+		f := Build(keys, bpk)
+		fp := 0
+		for i := 0; i < 10000; i++ {
+			if f.MayContain(key(n + i)) {
+				fp++
+			}
+		}
+		return float64(fp) / 10000
+	}
+	if r8, r20 := rate(8), rate(20); r20 > r8 {
+		t.Errorf("FP rate should drop with more bits: 8bpk=%.5f 20bpk=%.5f", r8, r20)
+	}
+}
+
+func TestNumProbes(t *testing.T) {
+	cases := []struct{ bpk, want int }{
+		{1, 1}, {2, 1}, {10, 6}, {20, 13}, {100, 30}, {0, 1},
+	}
+	for _, c := range cases {
+		if got := NumProbes(c.bpk); got != c.want {
+			t.Errorf("NumProbes(%d) = %d, want %d", c.bpk, got, c.want)
+		}
+	}
+}
+
+func TestFalsePositiveRateFormula(t *testing.T) {
+	// 2^(-b ln 2): b=10 → ~0.00819
+	if got := FalsePositiveRate(10); math.Abs(got-0.00819) > 0.0005 {
+		t.Errorf("FalsePositiveRate(10) = %f", got)
+	}
+	if FalsePositiveRate(20) >= FalsePositiveRate(10) {
+		t.Error("FP rate must decrease with bits per key")
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	keys := [][]byte{[]byte("a"), []byte("a"), []byte("a")}
+	f := Build(keys, 10)
+	if !f.MayContain([]byte("a")) {
+		t.Fatal("duplicate keys broke filter")
+	}
+}
+
+func TestBinaryKeys(t *testing.T) {
+	keys := [][]byte{{0, 0, 0}, {0xff, 0xfe}, {}, {0x00}}
+	f := Build(keys, 10)
+	for i, k := range keys {
+		if !f.MayContain(k) {
+			t.Fatalf("binary key %d missing", i)
+		}
+	}
+}
+
+func TestQuickNoFalseNegative(t *testing.T) {
+	prop := func(keys [][]byte, probe []byte) bool {
+		f := Build(keys, 10)
+		for _, k := range keys {
+			if !f.MayContain(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashDistinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		h := Hash(key(i))
+		if seen[h] {
+			t.Fatalf("hash collision at %d (extremely unlikely; hash is broken)", i)
+		}
+		seen[h] = true
+	}
+}
+
+func BenchmarkBuild10bpk(b *testing.B) {
+	keys := make([][]byte, 1000)
+	for i := range keys {
+		keys[i] = key(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(keys, 10)
+	}
+}
+
+func BenchmarkMayContain(b *testing.B) {
+	keys := make([][]byte, 1000)
+	for i := range keys {
+		keys[i] = key(i)
+	}
+	f := Build(keys, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.MayContain(keys[i%len(keys)])
+	}
+}

@@ -1,0 +1,185 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 || tr.Postings() != 0 {
+		t.Fatal("empty tree has entries")
+	}
+	if got := tr.Get("x"); got != nil {
+		t.Fatalf("Get on empty = %v", got)
+	}
+	called := false
+	tr.Ascend("", func(string, []Posting) bool { called = true; return true })
+	if called {
+		t.Fatal("AscendRange on empty tree called fn")
+	}
+}
+
+func TestAddGet(t *testing.T) {
+	tr := New()
+	for i := 0; i < 2000; i++ {
+		tr.Add(fmt.Sprintf("u%05d", i%100), Posting{Key: []byte(fmt.Sprintf("t%d", i)), Seq: uint64(i)})
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", tr.Len())
+	}
+	if tr.Postings() != 2000 {
+		t.Fatalf("Postings = %d", tr.Postings())
+	}
+	ps := tr.Get("u00042")
+	if len(ps) != 20 {
+		t.Fatalf("postings for u00042 = %d, want 20", len(ps))
+	}
+	// Postings must be in increasing sequence order.
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Seq <= ps[i-1].Seq {
+			t.Fatal("postings out of sequence order")
+		}
+	}
+}
+
+func TestManyDistinctKeysStaySorted(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(42))
+	keys := map[string]bool{}
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("k%08d", rng.Intn(1<<30))
+		keys[k] = true
+		tr.Add(k, Posting{Seq: uint64(i)})
+	}
+	if tr.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(keys))
+	}
+	var got []string
+	tr.Ascend("", func(k string, _ []Posting) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != len(keys) {
+		t.Fatalf("iterated %d keys, want %d", len(got), len(keys))
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Fatal("iteration not sorted")
+	}
+}
+
+func TestAscendRangeBounds(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i += 2 {
+		tr.Add(fmt.Sprintf("k%02d", i), Posting{Seq: uint64(i)})
+	}
+	collect := func(lo, hi string) []string {
+		var out []string
+		tr.AscendRange(lo, hi, func(k string, _ []Posting) bool {
+			out = append(out, k)
+			return true
+		})
+		return out
+	}
+	got := collect("k10", "k20")
+	want := []string{"k10", "k12", "k14", "k16", "k18", "k20"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("range [k10,k20] = %v", got)
+	}
+	if got := collect("k11", "k13"); fmt.Sprint(got) != "[k12]" {
+		t.Fatalf("range [k11,k13] = %v", got)
+	}
+	if got := collect("k99", "k99"); len(got) != 0 {
+		t.Fatalf("range past end = %v", got)
+	}
+	var open []string
+	tr.Ascend("k94", func(k string, _ []Posting) bool { open = append(open, k); return true })
+	if fmt.Sprint(open) != "[k94 k96 k98]" {
+		t.Fatalf("Ascend open-ended = %v", open)
+	}
+	if got := collect("k97", "k01"); len(got) != 0 {
+		t.Fatalf("inverted range = %v", got)
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 50; i++ {
+		tr.Add(fmt.Sprintf("k%02d", i), Posting{})
+	}
+	n := 0
+	tr.Ascend("", func(string, []Posting) bool {
+		n++
+		return n < 7
+	})
+	if n != 7 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestQuickMatchesReferenceMap(t *testing.T) {
+	prop := func(ops []uint16) bool {
+		tr := New()
+		ref := map[string][]uint64{}
+		for seq, op := range ops {
+			k := fmt.Sprintf("k%03d", op%500)
+			tr.Add(k, Posting{Seq: uint64(seq)})
+			ref[k] = append(ref[k], uint64(seq))
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k, seqs := range ref {
+			got := tr.Get(k)
+			if len(got) != len(seqs) {
+				return false
+			}
+			for i := range seqs {
+				if got[i].Seq != seqs[i] {
+					return false
+				}
+			}
+		}
+		// Full ascent matches the sorted reference keys.
+		var want []string
+		for k := range ref {
+			want = append(want, k)
+		}
+		sort.Strings(want)
+		i := 0
+		ok := true
+		tr.Ascend("", func(k string, _ []Posting) bool {
+			if i >= len(want) || k != want[i] {
+				ok = false
+				return false
+			}
+			i++
+			return true
+		})
+		return ok && i == len(want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	tr := New()
+	for i := 0; i < b.N; i++ {
+		tr.Add(fmt.Sprintf("u%07d", i%100000), Posting{Seq: uint64(i)})
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New()
+	for i := 0; i < 100000; i++ {
+		tr.Add(fmt.Sprintf("u%07d", i), Posting{Seq: uint64(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(fmt.Sprintf("u%07d", i%100000))
+	}
+}

@@ -1,0 +1,143 @@
+package cache
+
+import (
+	"sync"
+	"testing"
+)
+
+func blk(n int) []byte { return make([]byte, n) }
+
+func TestGetPut(t *testing.T) {
+	c := New(1024)
+	k := Key{Table: 1, Block: 0}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k, []byte("hello"))
+	v, ok := c.Get(k)
+	if !ok || string(v) != "hello" {
+		t.Fatalf("Get = %q %v", v, ok)
+	}
+	hits, misses, used := c.Stats()
+	if hits != 1 || misses != 1 || used != 5 {
+		t.Fatalf("stats = %d %d %d", hits, misses, used)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(300)
+	for i := 0; i < 4; i++ {
+		c.Put(Key{Table: 1, Block: i}, blk(100))
+	}
+	// Capacity 300 holds 3 blocks; block 0 must be evicted.
+	if _, ok := c.Get(Key{Table: 1, Block: 0}); ok {
+		t.Fatal("oldest block not evicted")
+	}
+	for i := 1; i < 4; i++ {
+		if _, ok := c.Get(Key{Table: 1, Block: i}); !ok {
+			t.Fatalf("block %d wrongly evicted", i)
+		}
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestAccessPromotes(t *testing.T) {
+	c := New(300)
+	c.Put(Key{1, 0}, blk(100))
+	c.Put(Key{1, 1}, blk(100))
+	c.Put(Key{1, 2}, blk(100))
+	c.Get(Key{1, 0}) // promote the oldest
+	c.Put(Key{1, 3}, blk(100))
+	if _, ok := c.Get(Key{1, 0}); !ok {
+		t.Fatal("promoted block evicted")
+	}
+	if _, ok := c.Get(Key{1, 1}); ok {
+		t.Fatal("LRU block survived")
+	}
+}
+
+func TestOversizedBlockNotCached(t *testing.T) {
+	c := New(100)
+	c.Put(Key{1, 0}, blk(200))
+	if _, ok := c.Get(Key{1, 0}); ok {
+		t.Fatal("oversized block cached")
+	}
+	if c.Len() != 0 {
+		t.Fatal("cache not empty")
+	}
+}
+
+func TestPutRefreshAdjustsUsage(t *testing.T) {
+	c := New(1000)
+	c.Put(Key{1, 0}, blk(100))
+	c.Put(Key{1, 0}, blk(300))
+	if _, _, used := c.Stats(); used != 300 {
+		t.Fatalf("used = %d, want 300", used)
+	}
+}
+
+func TestEvictTable(t *testing.T) {
+	c := New(10000)
+	for tbl := uint64(1); tbl <= 3; tbl++ {
+		for b := 0; b < 5; b++ {
+			c.Put(Key{Table: tbl, Block: b}, blk(10))
+		}
+	}
+	c.EvictTable(2)
+	if c.Len() != 10 {
+		t.Fatalf("Len after evict = %d", c.Len())
+	}
+	if _, ok := c.Get(Key{Table: 2, Block: 3}); ok {
+		t.Fatal("evicted table still cached")
+	}
+	if _, ok := c.Get(Key{Table: 1, Block: 3}); !ok {
+		t.Fatal("unrelated table evicted")
+	}
+	if _, _, used := c.Stats(); used != 100 {
+		t.Fatalf("used = %d", used)
+	}
+}
+
+func TestZeroCapacityStoresNothing(t *testing.T) {
+	c := New(0)
+	c.Put(Key{1, 0}, []byte("x"))
+	if _, ok := c.Get(Key{1, 0}); ok {
+		t.Fatal("zero-capacity cache stored a block")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(1 << 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := Key{Table: uint64(g % 4), Block: i % 50}
+				if i%3 == 0 {
+					c.Put(k, blk(64))
+				} else {
+					c.Get(k)
+				}
+				if i%500 == 0 {
+					c.EvictTable(uint64(g % 4))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	c := New(1 << 20)
+	for i := 0; i < 100; i++ {
+		c.Put(Key{1, i}, blk(4096))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get(Key{1, i % 100})
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"leveldbpp/internal/lsm"
+)
+
+// Batch collects Put/Delete operations that commit atomically on the
+// primary table (one WAL frame). Secondary index maintenance runs per
+// operation after the primary commit, in batch order — the same
+// primary-first consistency the paper's single-op writes have.
+type Batch struct {
+	ops []batchOp
+}
+
+type batchOp struct {
+	del   bool
+	key   string
+	value []byte
+}
+
+// Put queues key → value.
+func (b *Batch) Put(key string, value []byte) {
+	b.ops = append(b.ops, batchOp{key: key, value: append([]byte(nil), value...)})
+}
+
+// Delete queues a delete of key.
+func (b *Batch) Delete(key string) {
+	b.ops = append(b.ops, batchOp{del: true, key: key})
+}
+
+// Len returns the number of queued operations.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Reset clears the batch for reuse.
+func (b *Batch) Reset() { b.ops = b.ops[:0] }
+
+// Apply commits the batch.
+func (db *DB) Apply(b *Batch) error {
+	if b.Len() == 0 {
+		return nil
+	}
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+
+	// Deletes need the old document to mark index entries; resolve each
+	// against earlier batch ops first, then the store.
+	oldDocs := make([][]byte, len(b.ops))
+	if db.indexes != nil {
+		written := map[string][]byte{}
+		for i, op := range b.ops {
+			if op.del {
+				if doc, ok := written[op.key]; ok {
+					oldDocs[i] = doc
+				} else {
+					v, found, err := db.primary.Get([]byte(op.key))
+					if err != nil {
+						return err
+					}
+					if found {
+						oldDocs[i] = v
+					}
+				}
+				delete(written, op.key)
+			} else {
+				written[op.key] = op.value
+			}
+		}
+	}
+
+	var pb lsm.Batch
+	for _, op := range b.ops {
+		if op.del {
+			pb.Delete([]byte(op.key))
+		} else {
+			pb.Put([]byte(op.key), op.value)
+		}
+	}
+	firstSeq, err := db.primary.ApplyWithSeq(&pb)
+	if err != nil {
+		return err
+	}
+
+	if db.indexes == nil {
+		return nil
+	}
+	for i, op := range b.ops {
+		seq := firstSeq + uint64(i)
+		var err error
+		switch {
+		case op.del && oldDocs[i] == nil:
+			// Nothing was indexed for this key.
+		case op.del:
+			switch db.opts.Index {
+			case IndexEager:
+				err = db.eagerDelete(op.key, oldDocs[i], seq)
+			case IndexLazy:
+				err = db.lazyDelete(op.key, oldDocs[i], seq)
+			case IndexComposite:
+				err = db.compositeDelete(op.key, oldDocs[i])
+			}
+		default:
+			switch db.opts.Index {
+			case IndexEager:
+				err = db.eagerPut(op.key, op.value, seq)
+			case IndexLazy:
+				err = db.lazyPut(op.key, op.value, seq)
+			case IndexComposite:
+				err = db.compositePut(op.key, op.value, seq)
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scan iterates the primary table over [lo, hi] (inclusive; empty hi
+// means unbounded) in key order, visiting only the newest live version of
+// each key — LevelDB's range query API, which the paper's Eager
+// RANGELOOKUP builds on. fn returning false stops the scan.
+func (db *DB) Scan(lo, hi string, fn func(key string, value []byte) bool) error {
+	var hiExcl []byte
+	if hi != "" {
+		hiExcl = upperBoundExclusive(hi)
+	}
+	return db.primary.Scan([]byte(lo), hiExcl, func(k, v []byte, _ uint64) bool {
+		return fn(string(k), v)
+	})
+}

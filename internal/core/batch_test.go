@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCoreBatchAllKinds(t *testing.T) {
+	for _, kind := range allKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			db := openKind(t, kind)
+			var b Batch
+			b.Put("t1", tweetDoc("u1", 1, "a"))
+			b.Put("t2", tweetDoc("u1", 2, "b"))
+			b.Put("t3", tweetDoc("u2", 3, "c"))
+			b.Delete("t1")
+			if err := db.Apply(&b); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok, _ := db.Get("t1"); ok {
+				t.Fatal("intra-batch delete lost")
+			}
+			got, err := db.Lookup("UserID", "u1", 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameKeys(keysOf(got), []string{"t2"}) {
+				t.Fatalf("Lookup after batch = %v", keysOf(got))
+			}
+		})
+	}
+}
+
+func TestCoreBatchDeleteExistingKey(t *testing.T) {
+	for _, kind := range allKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			db := openKind(t, kind)
+			db.Put("t1", tweetDoc("u1", 1, "old"))
+			var b Batch
+			b.Delete("t1")
+			b.Put("t2", tweetDoc("u1", 2, "new"))
+			if err := db.Apply(&b); err != nil {
+				t.Fatal(err)
+			}
+			got, _ := db.Lookup("UserID", "u1", 0)
+			if !sameKeys(keysOf(got), []string{"t2"}) {
+				t.Fatalf("after batch delete: %v", keysOf(got))
+			}
+		})
+	}
+}
+
+func TestCoreBatchLargeMatchesIndividualPuts(t *testing.T) {
+	for _, kind := range []IndexKind{IndexEmbedded, IndexLazy} {
+		t.Run(kind.String(), func(t *testing.T) {
+			batched := openKind(t, kind)
+			individual := openKind(t, kind)
+			var b Batch
+			for i := 0; i < 1000; i++ {
+				key := fmt.Sprintf("t%04d", i)
+				doc := tweetDoc(fmt.Sprintf("u%02d", i%20), i, "batch vs individual")
+				b.Put(key, doc)
+				if err := individual.Put(key, doc); err != nil {
+					t.Fatal(err)
+				}
+				if b.Len() == 100 {
+					if err := batched.Apply(&b); err != nil {
+						t.Fatal(err)
+					}
+					b.Reset()
+				}
+			}
+			if err := batched.Apply(&b); err != nil {
+				t.Fatal(err)
+			}
+			for u := 0; u < 20; u++ {
+				user := fmt.Sprintf("u%02d", u)
+				a, err := batched.Lookup("UserID", user, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bI, err := individual.Lookup("UserID", user, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameKeys(keysOf(a), keysOf(bI)) {
+					t.Fatalf("user %s: batched %v != individual %v", user, keysOf(a), keysOf(bI))
+				}
+			}
+		})
+	}
+}
+
+func TestCoreScan(t *testing.T) {
+	db := openKind(t, IndexEmbedded)
+	for i := 0; i < 50; i++ {
+		db.Put(fmt.Sprintf("t%03d", i), tweetDoc("u1", i, "x"))
+	}
+	db.Delete("t010")
+	db.Put("t011", tweetDoc("u2", 11, "updated"))
+
+	var keys []string
+	err := db.Scan("t005", "t015", func(k string, v []byte) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"t005", "t006", "t007", "t008", "t009", "t011", "t012", "t013", "t014", "t015"}
+	if !sameKeys(keys, want) {
+		t.Fatalf("Scan = %v", keys)
+	}
+	// Early stop.
+	n := 0
+	db.Scan("", "", func(string, []byte) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop at %d", n)
+	}
+}
+
+func TestCoreCheckpointAllKinds(t *testing.T) {
+	for _, kind := range allKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			db := openKind(t, kind)
+			for i := 0; i < 300; i++ {
+				db.Put(fmt.Sprintf("t%04d", i), tweetDoc(fmt.Sprintf("u%d", i%5), i, "checkpointed"))
+			}
+			ckpt := t.TempDir() + "/snap"
+			if err := db.Checkpoint(ckpt); err != nil {
+				t.Fatal(err)
+			}
+			db.Put("t9999", tweetDoc("u1", 9999, "after"))
+
+			snap, err := Open(ckpt, smallOptions(kind))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer snap.Close()
+			got, err := snap.Lookup("UserID", "u1", 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameKeys(keysOf(got), []string{"t0296", "t0291"}) {
+				t.Fatalf("snapshot lookup = %v", keysOf(got))
+			}
+			if _, ok, _ := snap.Get("t9999"); ok {
+				t.Fatal("post-checkpoint write leaked")
+			}
+		})
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"leveldbpp/internal/postings"
+)
+
+// The Composite index (paper §4.2) stores, per indexed attribute, a
+// stand-alone LSM table whose keys are the concatenation
+// (secondary key ∥ 0x00 ∥ primary key) and whose values are empty.
+// LOOKUP is a prefix range scan; because composite keys are ordered by
+// key, not by time, and compaction moves arbitrary key ranges down, the
+// scan must traverse every level before the top-K can be decided —
+// the paper's explanation for why Composite loses to Lazy at small K but
+// wins when K is unbounded (no posting-list CPU cost).
+
+func compositeKey(attrValue, primaryKey string) []byte {
+	k := make([]byte, 0, len(attrValue)+1+len(primaryKey))
+	k = append(k, attrValue...)
+	k = append(k, compositeSep)
+	k = append(k, primaryKey...)
+	return k
+}
+
+func splitCompositeKey(k []byte) (attrValue, primaryKey string, ok bool) {
+	for i, b := range k {
+		if b == compositeSep {
+			return string(k[:i]), string(k[i+1:]), true
+		}
+	}
+	return "", "", false
+}
+
+func (db *DB) compositePut(key string, value []byte, seq uint64) error {
+	for _, av := range extractAttrs(value, db.opts.Attrs) {
+		idx := db.indexes[av.Attr]
+		if err := idx.Put(compositeKey(av.Value, key), nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compositeDelete writes a tombstone for the old record's composite keys
+// (paper: "a DEL operation inserts the composite key with a deletion
+// marker in index table").
+func (db *DB) compositeDelete(key string, oldValue []byte) error {
+	for _, av := range extractAttrs(oldValue, db.opts.Attrs) {
+		idx := db.indexes[av.Attr]
+		if err := idx.Delete(compositeKey(av.Value, key)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compositeLookup is Algorithm 4: a prefix scan over the index table for
+// attrValue ∥ 0x00. The merged scan inherently visits all levels (unlike
+// Lazy there is no per-level early exit); candidates are then validated
+// newest-first against the data table.
+func (db *DB) compositeLookup(attr, value string, k int) ([]Entry, error) {
+	lo := compositeKey(value, "")
+	hiExcl := append([]byte(value), compositeSep+1)
+	return db.compositeCollect(attr, value, value, lo, hiExcl, k)
+}
+
+// compositeRangeLookup is Algorithm 7: the prefix scan widens to every
+// composite key whose secondary component lies in [lo, hi].
+func (db *DB) compositeRangeLookup(attr, lo, hi string, k int) ([]Entry, error) {
+	loK := compositeKey(lo, "")
+	hiExcl := append([]byte(hi), compositeSep+1)
+	return db.compositeCollect(attr, lo, hi, loK, hiExcl, k)
+}
+
+func (db *DB) compositeCollect(attr, lo, hi string, loK, hiExcl []byte, k int) ([]Entry, error) {
+	idx := db.indexes[attr]
+	heap := newTopK(k)
+	var candidates []postings.Entry
+	err := idx.Scan(loK, hiExcl, func(key, _ []byte, seq uint64) bool {
+		av, pk, ok := splitCompositeKey(key)
+		if !ok || av < lo || av > hi {
+			return true
+		}
+		candidates = append(candidates, postings.Entry{Key: pk, Seq: seq})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := db.validateCandidates(candidates, attr, lo, hi, k, heap); err != nil {
+		return nil, err
+	}
+	return heap.Results(), nil
+}

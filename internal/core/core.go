@@ -1,0 +1,595 @@
+// Package core implements LevelDB++: the five secondary indexing
+// techniques of "A Comparative Study of Secondary Indexing Techniques in
+// LSM-based NoSQL Databases" (SIGMOD 2018) on top of the internal/lsm
+// engine.
+//
+// A DB stores JSON documents keyed by primary key and supports the
+// paper's operation set (Table 1): GET, PUT, DEL on the primary key, plus
+// LOOKUP(A, a, K) and RANGELOOKUP(A, a, b, K) on indexed secondary
+// attributes, returning the K most recent matching records by insertion
+// time. The index kind is chosen at open time:
+//
+//   - IndexNone      — no secondary structures; lookups scan everything.
+//   - IndexEmbedded  — per-block bloom filters + zone maps inside the
+//     primary table's SSTables (paper §3).
+//   - IndexEager     — stand-alone LSM index table with read-modify-write
+//     posting lists (paper §4.1.1).
+//   - IndexLazy      — stand-alone LSM index table with append-only
+//     posting fragments merged during compaction (paper §4.1.2).
+//   - IndexComposite — stand-alone LSM index table keyed by
+//     (secondary key ∥ primary key) (paper §4.2).
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"leveldbpp/internal/lsm"
+	"leveldbpp/internal/metrics"
+	"leveldbpp/internal/postings"
+	"leveldbpp/internal/sstable"
+)
+
+// IndexKind selects the secondary indexing technique.
+type IndexKind int
+
+// The five techniques compared by the paper, plus the no-index baseline.
+const (
+	IndexNone IndexKind = iota
+	IndexEmbedded
+	IndexEager
+	IndexLazy
+	IndexComposite
+)
+
+// String returns the paper's name for the technique.
+func (k IndexKind) String() string {
+	switch k {
+	case IndexNone:
+		return "NoIndex"
+	case IndexEmbedded:
+		return "Embedded"
+	case IndexEager:
+		return "Eager"
+	case IndexLazy:
+		return "Lazy"
+	case IndexComposite:
+		return "Composite"
+	default:
+		return fmt.Sprintf("IndexKind(%d)", int(k))
+	}
+}
+
+// Options configures a LevelDB++ database.
+type Options struct {
+	// Index selects the secondary indexing technique.
+	Index IndexKind
+	// Attrs lists the secondary attributes to index. Attribute values
+	// must be top-level JSON string fields of the document; range
+	// semantics follow byte-wise string order, so numeric attributes
+	// should be zero-padded (see workload.EncodeTime).
+	Attrs []string
+
+	// Engine tuning (zero values take lsm defaults).
+	MemTableBytes       int64
+	BlockSize           int
+	BitsPerKey          int
+	SecondaryBitsPerKey int
+	DisableCompression  bool
+	L0CompactionTrigger int
+	BaseLevelBytes      int64
+	LevelMultiplier     int
+	MaxLevels           int
+	SyncWAL             bool
+	// BlockCacheBytes enables an LRU block cache on the primary and
+	// index tables (0 = off, the paper's configuration).
+	BlockCacheBytes int64
+
+	// DisableGetLite makes the Embedded index validate candidates with
+	// full GETs instead of the metadata-only GetLite probe (ablation;
+	// paper §3 credits GetLite with "significantly reduced disk I/O").
+	DisableGetLite bool
+	// DisableFileZoneMap makes the Embedded index skip the file-level
+	// zone map check and consult only per-block structures (ablation).
+	DisableFileZoneMap bool
+}
+
+// Entry is one LOOKUP/RANGELOOKUP result: the record's primary key, its
+// current document, and the sequence number that ranked it.
+type Entry struct {
+	Key   string
+	Value []byte
+	Seq   uint64
+}
+
+// DB is a LevelDB++ database: a primary LSM table plus, for stand-alone
+// kinds, one LSM index table per indexed attribute.
+type DB struct {
+	opts    Options
+	primary *lsm.DB
+	indexes map[string]*lsm.DB // stand-alone index tables by attribute
+
+	// writeMu serializes Put/Delete so that primary-table and index-table
+	// write orders agree — Composite entries rank candidates by
+	// index-table sequence number, which must follow primary insertion
+	// order (paper §4.2).
+	writeMu sync.Mutex
+}
+
+// ErrUnknownAttr is returned by lookups on attributes that were not
+// declared in Options.Attrs.
+var ErrUnknownAttr = errors.New("core: attribute is not indexed")
+
+// compositeSep separates secondary key from primary key in Composite
+// index entries; attribute values must not contain it.
+const compositeSep = byte(0)
+
+// extractAttrs pulls the indexed attributes out of a JSON document.
+// Attribute names may be dot paths into nested objects ("user.id"); the
+// resolved value must be a JSON string, anything else is skipped.
+func extractAttrs(value []byte, attrs []string) []sstable.AttrValue {
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(value, &doc); err != nil {
+		return nil
+	}
+	var out []sstable.AttrValue
+	for _, a := range attrs {
+		raw, ok := resolvePath(doc, a)
+		if !ok {
+			continue
+		}
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			continue
+		}
+		if strings.IndexByte(s, compositeSep) >= 0 {
+			continue // NUL would corrupt Composite key framing; unindexable
+		}
+		out = append(out, sstable.AttrValue{Attr: a, Value: s})
+	}
+	return out
+}
+
+// resolvePath walks a dot path through nested JSON objects. A field whose
+// literal name contains a dot takes precedence over path traversal.
+func resolvePath(doc map[string]json.RawMessage, path string) (json.RawMessage, bool) {
+	if raw, ok := doc[path]; ok {
+		return raw, true
+	}
+	head, rest, found := strings.Cut(path, ".")
+	if !found {
+		return nil, false
+	}
+	raw, ok := doc[head]
+	if !ok {
+		return nil, false
+	}
+	var sub map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &sub); err != nil {
+		return nil, false
+	}
+	return resolvePath(sub, rest)
+}
+
+// attrValue extracts one attribute's string value from a document.
+func attrValue(value []byte, attr string) (string, bool) {
+	for _, av := range extractAttrs(value, []string{attr}) {
+		return av.Value, true
+	}
+	return "", false
+}
+
+// Open creates or reopens a LevelDB++ database rooted at dir. The primary
+// table lives in dir/primary; stand-alone index tables in
+// dir/index-<attr>.
+func Open(dir string, opts Options) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: create dir: %w", err)
+	}
+	attrs := append([]string(nil), opts.Attrs...)
+
+	primaryOpts := &lsm.Options{
+		MemTableBytes:       opts.MemTableBytes,
+		BlockSize:           opts.BlockSize,
+		BitsPerKey:          opts.BitsPerKey,
+		SecondaryBitsPerKey: opts.SecondaryBitsPerKey,
+		DisableCompression:  opts.DisableCompression,
+		L0CompactionTrigger: opts.L0CompactionTrigger,
+		BaseLevelBytes:      opts.BaseLevelBytes,
+		LevelMultiplier:     opts.LevelMultiplier,
+		MaxLevels:           opts.MaxLevels,
+		SyncWAL:             opts.SyncWAL,
+		BlockCacheBytes:     opts.BlockCacheBytes,
+	}
+	if opts.Index == IndexEmbedded {
+		primaryOpts.SecondaryAttrs = attrs
+		primaryOpts.Extract = func(key, value []byte) []sstable.AttrValue {
+			return extractAttrs(value, attrs)
+		}
+	}
+	primary, err := lsm.Open(filepath.Join(dir, "primary"), primaryOpts)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{opts: opts, primary: primary}
+
+	switch opts.Index {
+	case IndexEager, IndexLazy, IndexComposite:
+		db.indexes = make(map[string]*lsm.DB, len(attrs))
+		for _, attr := range attrs {
+			idxOpts := &lsm.Options{
+				MemTableBytes:       opts.MemTableBytes,
+				BlockSize:           opts.BlockSize,
+				BitsPerKey:          opts.BitsPerKey,
+				DisableCompression:  opts.DisableCompression,
+				L0CompactionTrigger: opts.L0CompactionTrigger,
+				BaseLevelBytes:      opts.BaseLevelBytes,
+				LevelMultiplier:     opts.LevelMultiplier,
+				MaxLevels:           opts.MaxLevels,
+				SyncWAL:             opts.SyncWAL,
+				BlockCacheBytes:     opts.BlockCacheBytes,
+			}
+			if opts.Index == IndexLazy {
+				idxOpts.WriteMerge = lazyWriteMerge
+				idxOpts.Merge = lazyCompactionMerger{}
+			}
+			idx, err := lsm.Open(filepath.Join(dir, "index-"+attr), idxOpts)
+			if err != nil {
+				primary.Close()
+				for _, other := range db.indexes {
+					other.Close()
+				}
+				return nil, err
+			}
+			db.indexes[attr] = idx
+		}
+	}
+	return db, nil
+}
+
+// Kind returns the database's index kind.
+func (db *DB) Kind() IndexKind { return db.opts.Index }
+
+// Get retrieves the document stored under key (Table 1: GET).
+func (db *DB) Get(key string) ([]byte, bool, error) {
+	return db.primary.Get([]byte(key))
+}
+
+// Put writes (or overwrites) the document under key and maintains the
+// secondary indexes per the configured technique (Table 1: PUT).
+func (db *DB) Put(key string, value []byte) error {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	seq, err := db.primary.PutWithSeq([]byte(key), value)
+	if err != nil {
+		return err
+	}
+	switch db.opts.Index {
+	case IndexEager:
+		return db.eagerPut(key, value, seq)
+	case IndexLazy:
+		return db.lazyPut(key, value, seq)
+	case IndexComposite:
+		return db.compositePut(key, value, seq)
+	}
+	return nil
+}
+
+// Delete removes the document under key (Table 1: DEL). For stand-alone
+// indexes the old document is read first so its posting entries can be
+// marked deleted.
+func (db *DB) Delete(key string) error {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	var old []byte
+	if db.indexes != nil {
+		v, ok, err := db.primary.Get([]byte(key))
+		if err != nil {
+			return err
+		}
+		if !ok {
+			// Nothing indexed for this key; the primary tombstone is all
+			// that is needed.
+			return db.primary.Delete([]byte(key))
+		}
+		old = v
+	}
+	seq, err := db.primary.DeleteWithSeq([]byte(key))
+	if err != nil {
+		return err
+	}
+	switch db.opts.Index {
+	case IndexEager:
+		return db.eagerDelete(key, old, seq)
+	case IndexLazy:
+		return db.lazyDelete(key, old, seq)
+	case IndexComposite:
+		return db.compositeDelete(key, old)
+	}
+	return nil
+}
+
+// Lookup returns the k most recent records whose attr equals value
+// (Table 1: LOOKUP). k <= 0 means no limit.
+func (db *DB) Lookup(attr, value string, k int) ([]Entry, error) {
+	if !db.indexed(attr) {
+		return nil, ErrUnknownAttr
+	}
+	switch db.opts.Index {
+	case IndexEmbedded:
+		return db.embeddedLookup(attr, value, k)
+	case IndexEager:
+		return db.eagerLookup(attr, value, k)
+	case IndexLazy:
+		return db.lazyLookup(attr, value, k)
+	case IndexComposite:
+		return db.compositeLookup(attr, value, k)
+	default:
+		return db.scanLookup(attr, value, value, k)
+	}
+}
+
+// RangeLookup returns the k most recent records with lo <= val(attr) <= hi
+// (Table 1: RANGELOOKUP). k <= 0 means no limit.
+func (db *DB) RangeLookup(attr, lo, hi string, k int) ([]Entry, error) {
+	if !db.indexed(attr) {
+		return nil, ErrUnknownAttr
+	}
+	if hi < lo {
+		return nil, nil
+	}
+	switch db.opts.Index {
+	case IndexEmbedded:
+		return db.embeddedRangeLookup(attr, lo, hi, k)
+	case IndexEager:
+		return db.eagerRangeLookup(attr, lo, hi, k)
+	case IndexLazy:
+		return db.lazyRangeLookup(attr, lo, hi, k)
+	case IndexComposite:
+		return db.compositeRangeLookup(attr, lo, hi, k)
+	default:
+		return db.scanLookup(attr, lo, hi, k)
+	}
+}
+
+func (db *DB) indexed(attr string) bool {
+	for _, a := range db.opts.Attrs {
+		if a == attr {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush forces all MemTables (primary and index tables) to disk.
+func (db *DB) Flush() error {
+	if err := db.primary.Flush(); err != nil {
+		return err
+	}
+	for _, idx := range db.indexes {
+		if err := idx.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases all resources.
+func (db *DB) Close() error {
+	err := db.primary.Close()
+	for _, idx := range db.indexes {
+		if e := idx.Close(); e != nil && err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
+// Stats aggregates I/O statistics for the primary table and (summed) for
+// all index tables, matching the paper's per-table I/O attribution.
+type Stats struct {
+	Primary metrics.Snapshot
+	Index   metrics.Snapshot
+}
+
+// Stats returns a snapshot of I/O counters.
+func (db *DB) Stats() Stats {
+	s := Stats{Primary: db.primary.Stats().Snapshot()}
+	for _, idx := range db.indexes {
+		is := idx.Stats().Snapshot()
+		s.Index.BlockReads += is.BlockReads
+		s.Index.BlockReadBytes += is.BlockReadBytes
+		s.Index.BlockWrites += is.BlockWrites
+		s.Index.BlockWriteBytes += is.BlockWriteBytes
+		s.Index.CompactionReads += is.CompactionReads
+		s.Index.CompactionReadBytes += is.CompactionReadBytes
+		s.Index.CompactionWrites += is.CompactionWrites
+		s.Index.CompactionWriteBytes += is.CompactionWriteBytes
+	}
+	return s
+}
+
+// DiskUsage reports on-disk bytes of the primary table and of all index
+// tables (Figure 8a).
+func (db *DB) DiskUsage() (primary, index int64, err error) {
+	primary, err = db.primary.DiskUsage()
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, idx := range db.indexes {
+		n, err := idx.DiskUsage()
+		if err != nil {
+			return 0, 0, err
+		}
+		index += n
+	}
+	return primary, index, nil
+}
+
+// FilterMemoryUsage reports memory-resident filter and zone-map bytes
+// (Embedded index overhead accounting).
+func (db *DB) FilterMemoryUsage() int {
+	n := db.primary.FilterMemoryUsage()
+	for _, idx := range db.indexes {
+		n += idx.FilterMemoryUsage()
+	}
+	return n
+}
+
+// validate fetches the current record for primary key pk and reports
+// whether its attr still lies in [lo, hi] — the staleness check every
+// stand-alone lookup performs on each candidate (paper §4: "We make sure
+// val(A_i) = a ... as there could be invalid keys ... caused by updates").
+func (db *DB) validate(pk, attr, lo, hi string) ([]byte, bool, error) {
+	value, ok, err := db.primary.Get([]byte(pk))
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	v, ok := attrValue(value, attr)
+	if !ok || v < lo || v > hi {
+		return nil, false, nil
+	}
+	return value, true, nil
+}
+
+// lazyWriteMerge coalesces posting fragments inside the MemTable so each
+// level holds at most one fragment per secondary key.
+func lazyWriteMerge(existing, incoming []byte) []byte {
+	ex, err1 := postings.Decode(existing)
+	in, err2 := postings.Decode(incoming)
+	if err1 != nil || err2 != nil {
+		// Never drop data on decode problems; newest fragment wins.
+		return incoming
+	}
+	return postings.Encode(postings.Merge([]postings.List{in, ex}, false))
+}
+
+// lazyCompactionMerger merges fragments scattered across levels during
+// index-table compaction (paper §4.1.2: "During merge compaction, we
+// merge these fragmented lists").
+type lazyCompactionMerger struct{}
+
+func (lazyCompactionMerger) Merge(_ []byte, values [][]byte, bottom bool) ([]byte, bool) {
+	frags := make([]postings.List, 0, len(values))
+	for _, v := range values {
+		l, err := postings.Decode(v)
+		if err != nil {
+			continue
+		}
+		frags = append(frags, l)
+	}
+	merged := postings.Merge(frags, bottom)
+	if len(merged) == 0 {
+		return nil, false
+	}
+	return postings.Encode(merged), true
+}
+
+// Verify audits the primary table and every index table: full checksum
+// scan, ordering, and level-shape checks (see lsm.Verify). The returned
+// map is keyed by table name ("primary" or "index-<attr>").
+func (db *DB) Verify() (map[string]lsm.VerifyReport, error) {
+	out := map[string]lsm.VerifyReport{}
+	rep, err := db.primary.Verify()
+	if err != nil {
+		return nil, err
+	}
+	out["primary"] = rep
+	for attr, idx := range db.indexes {
+		rep, err := idx.Verify()
+		if err != nil {
+			return nil, err
+		}
+		out["index-"+attr] = rep
+	}
+	return out, nil
+}
+
+// DebugString renders the level shape of the primary table and each
+// index table.
+func (db *DB) DebugString() string {
+	s := "primary:\n" + indent(db.primary.DebugString())
+	for attr, idx := range db.indexes {
+		s += "index-" + attr + ":\n" + indent(idx.DebugString())
+	}
+	return s
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		out += "  " + line + "\n"
+	}
+	return out
+}
+
+// LastSeq returns the primary table's most recent sequence number.
+func (db *DB) LastSeq() uint64 { return db.primary.LastSeq() }
+
+// WriteAmplification reports measured write amplification. primary is
+// the primary table's physical WAMF. index maps each stand-alone index
+// attribute to the bytes written to its index table (flushes +
+// compactions) per byte of user data ingested into the primary table —
+// the quantity whose Eager-vs-Lazy ratio Table 5 models as
+// PL_S·22(L−1) vs 22(L−1).
+func (db *DB) WriteAmplification() (primary float64, index map[string]float64) {
+	index = map[string]float64{}
+	ps := db.primary.Stats().Snapshot()
+	primaryIngest := float64(ps.BlockWriteBytes) // lower bound when 0 ingest info
+	primary = db.primary.WriteAmplification()
+	// Recover the true ingest denominator from the primary's WAMF.
+	if primary > 0 {
+		primaryIngest = float64(ps.BlockWriteBytes+ps.CompactionWriteBytes) / primary
+	}
+	for attr, idx := range db.indexes {
+		is := idx.Stats().Snapshot()
+		if primaryIngest > 0 {
+			index[attr] = float64(is.BlockWriteBytes+is.CompactionWriteBytes) / primaryIngest
+		}
+	}
+	return primary, index
+}
+
+// Checkpoint writes a consistent, openable copy of the whole database
+// (primary table and all index tables) under destDir. Writers are
+// blocked for the duration, so the copies are mutually consistent.
+func (db *DB) Checkpoint(destDir string) error {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	if err := db.primary.Checkpoint(filepath.Join(destDir, "primary")); err != nil {
+		return err
+	}
+	for attr, idx := range db.indexes {
+		if err := idx.Checkpoint(filepath.Join(destDir, "index-"+attr)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CompactRange forces the user-key range [lo, hi] (empty strings =
+// unbounded) of the primary table down to its resting level, and fully
+// compacts every index table. Useful after bulk loads and deletes.
+func (db *DB) CompactRange(lo, hi string) error {
+	var loB, hiB []byte
+	if lo != "" {
+		loB = []byte(lo)
+	}
+	if hi != "" {
+		hiB = []byte(hi)
+	}
+	if err := db.primary.CompactRange(loB, hiB); err != nil {
+		return err
+	}
+	for _, idx := range db.indexes {
+		if err := idx.CompactRange(nil, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}

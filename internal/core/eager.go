@@ -1,0 +1,151 @@
+package core
+
+import (
+	"sort"
+
+	"leveldbpp/internal/lsm"
+	"leveldbpp/internal/postings"
+)
+
+// The Eager index (paper §4.1.1) maintains, per indexed attribute, a
+// stand-alone LSM table mapping attribute value → posting list. Every PUT
+// performs a read-modify-write of the affected list ("in-place" update in
+// the logical sense — physically it writes a new list that invalidates the
+// older ones), so LOOKUP needs only the single newest list, but writes
+// suffer the paper's headline write amplification (WAMF ≈ PL_S·22·(L−1)).
+
+func (db *DB) eagerPut(key string, value []byte, seq uint64) error {
+	for _, av := range extractAttrs(value, db.opts.Attrs) {
+		idx := db.indexes[av.Attr]
+		if err := db.eagerUpdate(idx, av.Value, key, seq, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// eagerDelete marks key deleted in the posting lists of the old record's
+// attribute values (read-update-write, paper §4.1.1).
+func (db *DB) eagerDelete(key string, oldValue []byte, seq uint64) error {
+	for _, av := range extractAttrs(oldValue, db.opts.Attrs) {
+		idx := db.indexes[av.Attr]
+		if err := db.eagerUpdate(idx, av.Value, key, seq, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (db *DB) eagerUpdate(idx *lsm.DB, attrValue, key string, seq uint64, del bool) error {
+	cur, found, err := idx.Get([]byte(attrValue))
+	if err != nil {
+		return err
+	}
+	var list postings.List
+	if found {
+		list, err = postings.Decode(cur)
+		if err != nil {
+			return err
+		}
+	}
+	list = postings.Add(list, key, seq, del)
+	return idx.Put([]byte(attrValue), postings.Encode(list))
+}
+
+// eagerLookup is Algorithm 2: one GET on the index table retrieves the
+// complete, newest-first posting list; candidates are validated with GETs
+// on the data table until K valid results are found.
+func (db *DB) eagerLookup(attr, value string, k int) ([]Entry, error) {
+	idx := db.indexes[attr]
+	data, found, err := idx.Get([]byte(value))
+	if err != nil || !found {
+		return nil, err
+	}
+	list, err := postings.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	var out []Entry
+	for _, e := range postings.Live(list) { // newest first already
+		doc, valid, err := db.validate(e.Key, attr, value, value)
+		if err != nil {
+			return nil, err
+		}
+		if !valid {
+			continue
+		}
+		out = append(out, Entry{Key: e.Key, Value: doc, Seq: e.Seq})
+		if k > 0 && len(out) >= k {
+			break
+		}
+	}
+	return out, nil
+}
+
+// eagerRangeLookup (paper §4.1.1 RANGELOOKUP) range-scans the index table
+// over [lo, hi]; each matching attribute value contributes its newest
+// posting list; a global min-heap on sequence numbers selects the top-K
+// across values.
+func (db *DB) eagerRangeLookup(attr, lo, hi string, k int) ([]Entry, error) {
+	idx := db.indexes[attr]
+	heap := newTopK(k)
+
+	// Gather candidates cheaply first (index I/O), then validate in
+	// recency order (data-table I/O) until K valid results stand.
+	var candidates []postings.Entry
+	err := idx.Scan([]byte(lo), upperBoundExclusive(hi), func(key, value []byte, _ uint64) bool {
+		list, err := postings.Decode(value)
+		if err != nil {
+			return true // skip undecodable lists rather than abort
+		}
+		candidates = append(candidates, postings.Live(list)...)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := db.validateCandidates(candidates, attr, lo, hi, k, heap); err != nil {
+		return nil, err
+	}
+	return heap.Results(), nil
+}
+
+// validateCandidates sorts candidates newest-first and validates them
+// against the data table until k valid entries are collected (k <= 0
+// validates everything).
+func (db *DB) validateCandidates(cands []postings.Entry, attr, lo, hi string, k int, heap *topK) error {
+	sortPostingsBySeqDesc(cands)
+	seen := map[string]bool{}
+	for _, c := range cands {
+		if seen[c.Key] {
+			continue // an older posting for a key already decided
+		}
+		seen[c.Key] = true
+		if !heap.Worth(c.Seq) {
+			continue
+		}
+		doc, valid, err := db.validate(c.Key, attr, lo, hi)
+		if err != nil {
+			return err
+		}
+		if valid {
+			heap.Add(Entry{Key: c.Key, Value: doc, Seq: c.Seq})
+			if heap.Full() {
+				// Remaining candidates are all older; the heap cannot
+				// change further.
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+func sortPostingsBySeqDesc(cands []postings.Entry) {
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Seq > cands[j].Seq })
+}
+
+// upperBoundExclusive converts an inclusive string upper bound into the
+// exclusive byte bound used by lsm.Scan.
+func upperBoundExclusive(hi string) []byte {
+	return append([]byte(hi), 0x00)
+}

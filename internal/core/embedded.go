@@ -1,0 +1,272 @@
+package core
+
+import (
+	"bytes"
+
+	"leveldbpp/internal/btree"
+	"leveldbpp/internal/ikey"
+	"leveldbpp/internal/lsm"
+)
+
+// The Embedded index (paper §3) keeps no separate table: every SSTable of
+// the primary table carries per-block bloom filters and zone maps for each
+// indexed attribute, plus a file-level zone map, all memory resident; the
+// MemTable side is a B-tree from attribute value to postings.
+//
+// LOOKUP and RANGELOOKUP scan the store stratum by stratum — MemTable,
+// each level-0 file, then each deeper level — reading only the data
+// blocks whose filters pass, keeping a top-K min-heap by sequence number
+// (Algorithms 5 and 8). Candidate validity ("is this still the newest
+// version of the record?") is checked with GetLite: a metadata-only probe
+// of the strata above the candidate, touching disk only to confirm bloom
+// positives.
+
+// stratum is one time-ordered component of the store: the MemTable
+// (tables nil) or a set of SSTables (one table for an L0 stratum, a whole
+// level otherwise).
+type stratum struct {
+	isMem  bool
+	tables []*lsm.FileMeta
+}
+
+func (s stratum) maxSeq() uint64 {
+	var m uint64
+	for _, fm := range s.tables {
+		if ms := fm.Table().MaxSeq(); ms > m {
+			m = ms
+		}
+	}
+	return m
+}
+
+// strataOf decomposes a view into newest-first strata.
+func strataOf(v *lsm.View) []stratum {
+	out := []stratum{{isMem: true}}
+	for _, fm := range v.L0() {
+		out = append(out, stratum{tables: []*lsm.FileMeta{fm}})
+	}
+	for l := 1; l <= v.MaxLevel(); l++ {
+		if files := v.Level(l); len(files) > 0 {
+			out = append(out, stratum{tables: files})
+		}
+	}
+	return out
+}
+
+func (db *DB) embeddedLookup(attr, value string, k int) ([]Entry, error) {
+	return db.embeddedScan(attr, value, value, k, true)
+}
+
+func (db *DB) embeddedRangeLookup(attr, lo, hi string, k int) ([]Entry, error) {
+	return db.embeddedScan(attr, lo, hi, k, true)
+}
+
+// scanLookup is the NoIndex baseline: the identical traversal with every
+// data block a candidate and no MemTable B-tree.
+func (db *DB) scanLookup(attr, lo, hi string, k int) ([]Entry, error) {
+	return db.embeddedScan(attr, lo, hi, k, false)
+}
+
+func (db *DB) embeddedScan(attr, lo, hi string, k int, useFilters bool) ([]Entry, error) {
+	var results []Entry
+	err := db.primary.View(func(v *lsm.View) error {
+		strata := strataOf(v)
+		heap := newTopK(k)
+		// seen guards against double-reporting a primary key on the
+		// full-GET validation path (ablation); the GetLite path cannot
+		// report duplicates because older versions are invalidated by the
+		// stratum holding the newer one.
+		var seen map[string]bool
+		if db.opts.DisableGetLite {
+			seen = map[string]bool{}
+		}
+
+		for si, s := range strata {
+			if s.isMem {
+				if err := db.embeddedScanMem(v, attr, lo, hi, heap, useFilters); err != nil {
+					return err
+				}
+			} else {
+				for _, fm := range s.tables {
+					if heap.Full() && fm.Table().MaxSeq() <= heap.MinSeq() {
+						continue // nothing here can improve the heap
+					}
+					if err := db.embeddedScanTable(v, strata, si, fm, attr, lo, hi, heap, useFilters, seen); err != nil {
+						return err
+					}
+				}
+			}
+			// Paper: scan to the end of a level before deciding; stop once
+			// no remaining stratum can hold a newer match.
+			if heap.Full() {
+				remainingMax := uint64(0)
+				for _, r := range strata[si+1:] {
+					if m := r.maxSeq(); m > remainingMax {
+						remainingMax = m
+					}
+				}
+				if remainingMax <= heap.MinSeq() {
+					break
+				}
+			}
+		}
+		results = heap.Results()
+		return nil
+	})
+	return results, err
+}
+
+// embeddedScanMem collects MemTable matches: through the secondary B-tree
+// when the Embedded index is active, by direct scan for NoIndex. MemTable
+// candidates are validated against the MemTable itself — any newer
+// version of the key must live there too.
+func (db *DB) embeddedScanMem(v *lsm.View, attr, lo, hi string, heap *topK, useFilters bool) error {
+	if useFilters {
+		tree := v.MemSecTree(attr)
+		if tree == nil {
+			return nil
+		}
+		tree.AscendRange(lo, hi, func(_ string, ps []btree.Posting) bool {
+			for _, p := range ps {
+				if !heap.Worth(p.Seq) {
+					continue
+				}
+				val, seq, deleted, ok := v.MemGet(p.Key)
+				if !ok || deleted || seq != p.Seq {
+					continue // superseded within the MemTable
+				}
+				heap.Add(Entry{Key: string(p.Key), Value: append([]byte(nil), val...), Seq: seq})
+			}
+			return true
+		})
+		return nil
+	}
+	it := v.MemIter()
+	var prevUser []byte
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		ik := it.Key()
+		uk := ikey.UserKey(ik)
+		newest := prevUser == nil || !bytes.Equal(prevUser, uk)
+		prevUser = append(prevUser[:0], uk...)
+		if !newest || ikey.KindOf(ik) == ikey.KindDelete {
+			continue
+		}
+		av, ok := attrValue(it.Value(), attr)
+		if !ok || av < lo || av > hi {
+			continue
+		}
+		heap.Add(Entry{Key: string(uk), Value: append([]byte(nil), it.Value()...), Seq: ikey.Seq(ik)})
+	}
+	return nil
+}
+
+// embeddedScanTable reads the candidate blocks of one table and offers
+// matches to the heap after a validity check against the strata above.
+func (db *DB) embeddedScanTable(v *lsm.View, strata []stratum, si int, fm *lsm.FileMeta,
+	attr, lo, hi string, heap *topK, useFilters bool, seen map[string]bool) error {
+
+	tbl := fm.Table()
+	var candidates []int
+	if !useFilters {
+		candidates = make([]int, tbl.NumBlocks())
+		for i := range candidates {
+			candidates[i] = i
+		}
+	} else {
+		if !db.opts.DisableFileZoneMap {
+			if _, _, ok := tbl.FileZone(attr); !ok {
+				return nil
+			}
+		}
+		if lo == hi {
+			candidates = tbl.SecondaryCandidates(attr, lo)
+		} else {
+			candidates = tbl.SecondaryRangeCandidates(attr, lo, hi)
+		}
+	}
+
+	for _, bi := range candidates {
+		it, err := tbl.BlockIterator(bi, false)
+		if err != nil {
+			return err
+		}
+		for it.Next() {
+			ik := it.Key()
+			if ikey.KindOf(ik) == ikey.KindDelete {
+				continue
+			}
+			av, ok := attrValue(it.Value(), attr)
+			if !ok || av < lo || av > hi {
+				continue
+			}
+			seq := ikey.Seq(ik)
+			if !heap.Worth(seq) {
+				continue
+			}
+			pk := string(ikey.UserKey(ik))
+			valid, err := db.candidateValid(v, strata, si, pk, seq, attr, lo, hi, seen)
+			if err != nil {
+				return err
+			}
+			if valid {
+				heap.Add(Entry{Key: pk, Value: append([]byte(nil), it.Value()...), Seq: seq})
+			}
+		}
+		if err := it.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// candidateValid implements GetLite (paper Algorithm 5): the candidate is
+// valid iff no newer version of pk exists in the strata above it. Each
+// table in the tree holds at most one version per user key (flush-time
+// dedup), so within-stratum shadowing cannot occur. With DisableGetLite
+// the check degrades to the paper's alternative — a full GET from the top
+// with value comparison — which costs real block reads.
+func (db *DB) candidateValid(v *lsm.View, strata []stratum, si int, pk string, seq uint64,
+	attr, lo, hi string, seen map[string]bool) (bool, error) {
+
+	if db.opts.DisableGetLite {
+		if seen[pk] {
+			return false, nil
+		}
+		value, ok, err := v.Get([]byte(pk))
+		if err != nil || !ok {
+			return false, err
+		}
+		av, ok := attrValue(value, attr)
+		valid := ok && av >= lo && av <= hi
+		if valid {
+			seen[pk] = true
+		}
+		return valid, nil
+	}
+
+	pkb := []byte(pk)
+	for _, s := range strata[:si] {
+		if s.isMem {
+			if _, _, _, ok := v.MemGet(pkb); ok {
+				return false, nil // any MemTable version is newer
+			}
+			continue
+		}
+		for _, fm := range s.tables {
+			tbl := fm.Table()
+			if !tbl.MayContainPrimary(pkb) {
+				continue // pure in-memory rejection: the common case
+			}
+			// Bloom positive: confirm with a real read so a false
+			// positive cannot wrongly invalidate the candidate.
+			_, _, found, err := tbl.Get(pkb)
+			if err != nil {
+				return false, err
+			}
+			if found {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}

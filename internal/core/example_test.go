@@ -1,0 +1,90 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"leveldbpp/internal/core"
+)
+
+// Example shows the paper's full operation set (Table 1) against a Lazy
+// stand-alone index.
+func Example() {
+	dir, _ := os.MkdirTemp("", "leveldbpp-example-")
+	defer os.RemoveAll(dir)
+
+	db, err := core.Open(dir, core.Options{
+		Index: core.IndexLazy,
+		Attrs: []string{"UserID"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	db.Put("t1", []byte(`{"UserID":"alice","Text":"first"}`))
+	db.Put("t2", []byte(`{"UserID":"bob","Text":"hello"}`))
+	db.Put("t3", []byte(`{"UserID":"alice","Text":"second"}`))
+
+	// LOOKUP(A, a, K): the K most recent records with UserID == alice.
+	entries, _ := db.Lookup("UserID", "alice", 10)
+	for _, e := range entries {
+		fmt.Println(e.Key)
+	}
+	// Output:
+	// t3
+	// t1
+}
+
+// ExampleDB_RangeLookup demonstrates RANGELOOKUP over a byte-ordered
+// attribute.
+func ExampleDB_RangeLookup() {
+	dir, _ := os.MkdirTemp("", "leveldbpp-example-")
+	defer os.RemoveAll(dir)
+
+	db, err := core.Open(dir, core.Options{
+		Index: core.IndexEmbedded,
+		Attrs: []string{"Score"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	db.Put("p1", []byte(`{"Score":"040"}`))
+	db.Put("p2", []byte(`{"Score":"075"}`))
+	db.Put("p3", []byte(`{"Score":"090"}`))
+
+	entries, _ := db.RangeLookup("Score", "050", "099", 0)
+	for _, e := range entries {
+		fmt.Println(e.Key)
+	}
+	// Output:
+	// p3
+	// p2
+}
+
+// ExampleBatch shows an atomic multi-operation commit.
+func ExampleBatch() {
+	dir, _ := os.MkdirTemp("", "leveldbpp-example-")
+	defer os.RemoveAll(dir)
+
+	db, err := core.Open(dir, core.Options{Index: core.IndexComposite, Attrs: []string{"UserID"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	var b core.Batch
+	b.Put("t1", []byte(`{"UserID":"alice"}`))
+	b.Put("t2", []byte(`{"UserID":"alice"}`))
+	b.Delete("t1")
+	if err := db.Apply(&b); err != nil {
+		log.Fatal(err)
+	}
+
+	entries, _ := db.Lookup("UserID", "alice", 0)
+	fmt.Println(len(entries), entries[0].Key)
+	// Output: 1 t2
+}

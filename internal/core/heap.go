@@ -1,0 +1,77 @@
+package core
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// topK is the min-heap of Algorithm 1: it retains the K entries with the
+// highest sequence numbers (most recent insertions). K <= 0 means
+// unbounded (the paper's "no limit on top-k").
+type topK struct {
+	k int
+	h entryHeap
+}
+
+type entryHeap []Entry
+
+func (h entryHeap) Len() int            { return len(h) }
+func (h entryHeap) Less(i, j int) bool  { return h[i].Seq < h[j].Seq } // min-heap by seq
+func (h entryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *entryHeap) Push(x interface{}) { *h = append(*h, x.(Entry)) }
+func (h *entryHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+func newTopK(k int) *topK { return &topK{k: k} }
+
+// Full reports whether K entries have been collected (never true when
+// unbounded).
+func (t *topK) Full() bool { return t.k > 0 && len(t.h) >= t.k }
+
+// MinSeq returns the smallest retained sequence number (0 when empty).
+// A candidate with Seq <= MinSeq cannot improve a full heap.
+func (t *topK) MinSeq() uint64 {
+	if len(t.h) == 0 {
+		return 0
+	}
+	return t.h[0].Seq
+}
+
+// Worth reports whether a candidate with the given sequence number could
+// enter the heap — the cheap pre-check performed before paying for a
+// validity probe (Algorithm 1 lines 1-2).
+func (t *topK) Worth(seq uint64) bool {
+	return !t.Full() || seq > t.MinSeq()
+}
+
+// Add offers an entry; it is kept if the heap has room or the entry is
+// newer than the current minimum.
+func (t *topK) Add(e Entry) {
+	if t.k <= 0 {
+		heap.Push(&t.h, e)
+		return
+	}
+	if len(t.h) < t.k {
+		heap.Push(&t.h, e)
+		return
+	}
+	if e.Seq > t.h[0].Seq {
+		t.h[0] = e
+		heap.Fix(&t.h, 0)
+	}
+}
+
+// Len returns the number of retained entries.
+func (t *topK) Len() int { return len(t.h) }
+
+// Results returns the retained entries ordered newest first.
+func (t *topK) Results() []Entry {
+	out := make([]Entry, len(t.h))
+	copy(out, t.h)
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq > out[j].Seq })
+	return out
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"bytes"
+
+	"leveldbpp/internal/ikey"
+	"leveldbpp/internal/lsm"
+	"leveldbpp/internal/postings"
+)
+
+// The Lazy index (paper §4.1.2) also keeps a stand-alone posting-list
+// table per attribute, but a PUT just appends a one-entry fragment —
+// PUT(a_i, [k]) — with no read. Fragments for the same attribute value
+// accumulate one per stratum and merge during index-table compaction (and,
+// in the MemTable, at write time via the engine's WriteMerge hook, which
+// is memory-only). LOOKUP therefore walks strata newest-first, merging the
+// fragments it finds, and may stop at the first stratum boundary where the
+// top-K heap is full — fragments deeper down are strictly older for the
+// same secondary key.
+
+func (db *DB) lazyPut(key string, value []byte, seq uint64) error {
+	for _, av := range extractAttrs(value, db.opts.Attrs) {
+		idx := db.indexes[av.Attr]
+		if err := idx.Put([]byte(av.Value), postings.Single(key, seq, false)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// lazyDelete appends deletion-marker fragments (paper: "DEL operation
+// similarly issues a PUT(a_i del, [k]) ... used during merge in compaction
+// to remove the deleted entry").
+func (db *DB) lazyDelete(key string, oldValue []byte, seq uint64) error {
+	for _, av := range extractAttrs(oldValue, db.opts.Attrs) {
+		idx := db.indexes[av.Attr]
+		if err := idx.Put([]byte(av.Value), postings.Single(key, seq, true)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// lazyFragments visits every fragment stored for secondary key value,
+// newest stratum first: the MemTable fragment, then one per L0 file, then
+// one per deeper level. fn returns false to stop early.
+func lazyFragments(v *lsm.View, value []byte, fn func(list postings.List) (bool, error)) error {
+	step := func(data []byte) (bool, error) {
+		list, err := postings.Decode(data)
+		if err != nil {
+			return false, err
+		}
+		return fn(list)
+	}
+	if data, _, deleted, ok := v.MemGet(value); ok && !deleted {
+		if cont, err := step(data); err != nil || !cont {
+			return err
+		}
+	} else if ok && deleted {
+		return nil // whole secondary key tombstoned
+	}
+	for _, fm := range v.L0() {
+		ik, data, found, err := fm.Table().Get(value)
+		if err != nil {
+			return err
+		}
+		if !found {
+			continue
+		}
+		if ikey.KindOf(ik) == ikey.KindDelete {
+			return nil
+		}
+		if cont, err := step(data); err != nil || !cont {
+			return err
+		}
+	}
+	for l := 1; l <= v.MaxLevel(); l++ {
+		fm := v.FindLevelFile(l, value)
+		if fm == nil {
+			continue
+		}
+		ik, data, found, err := fm.Table().Get(value)
+		if err != nil {
+			return err
+		}
+		if !found {
+			continue
+		}
+		if ikey.KindOf(ik) == ikey.KindDelete {
+			return nil
+		}
+		if cont, err := step(data); err != nil || !cont {
+			return err
+		}
+	}
+	return nil
+}
+
+// lazyLookup is Algorithm 3: walk the index table level by level; each
+// level holds at most one fragment; validate candidates against the data
+// table; stop at a level boundary once K valid results are held (deeper
+// fragments are older).
+func (db *DB) lazyLookup(attr, value string, k int) ([]Entry, error) {
+	idx := db.indexes[attr]
+	heap := newTopK(k)
+	seen := map[string]bool{}
+	err := idx.View(func(v *lsm.View) error {
+		return lazyFragments(v, []byte(value), func(list postings.List) (bool, error) {
+			for _, e := range list {
+				if seen[e.Key] {
+					continue // newer fragment already decided this key
+				}
+				seen[e.Key] = true
+				if e.Del || !heap.Worth(e.Seq) {
+					continue
+				}
+				doc, valid, err := db.validate(e.Key, attr, value, value)
+				if err != nil {
+					return false, err
+				}
+				if valid {
+					heap.Add(Entry{Key: e.Key, Value: doc, Seq: e.Seq})
+				}
+			}
+			// Stop descending once the heap is full: every entry in a
+			// deeper fragment of this secondary key is older than every
+			// entry already consumed.
+			return !heap.Full(), nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return heap.Results(), nil
+}
+
+// lazyRangeLookup is Algorithm 6: for a range of secondary keys, fragments
+// for *different* keys are not time-ordered across levels, so every level
+// must be visited (paper §4.1.2); all fragments merge into one candidate
+// pool which is validated newest-first.
+func (db *DB) lazyRangeLookup(attr, lo, hi string, k int) ([]Entry, error) {
+	idx := db.indexes[attr]
+	heap := newTopK(k)
+	perKey := map[string][]postings.List{} // secondary key → fragments, newest first
+
+	err := idx.View(func(v *lsm.View) error {
+		loB, hiExcl := []byte(lo), upperBoundExclusive(hi)
+
+		// MemTable stratum.
+		it := v.MemIter()
+		var prevUser []byte
+		for it.SeekGE(ikey.SeekKey(loB)); it.Valid(); it.Next() {
+			ik := it.Key()
+			uk := ikey.UserKey(ik)
+			if bytes.Compare(uk, hiExcl) >= 0 {
+				break
+			}
+			newest := prevUser == nil || !bytes.Equal(prevUser, uk)
+			prevUser = append(prevUser[:0], uk...)
+			if !newest || ikey.KindOf(ik) == ikey.KindDelete {
+				continue
+			}
+			list, err := postings.Decode(it.Value())
+			if err != nil {
+				return err
+			}
+			perKey[string(uk)] = append(perKey[string(uk)], list)
+		}
+
+		// Table strata: each L0 file, then each deeper level.
+		scanTable := func(fm *lsm.FileMeta) error {
+			ti := fm.Table().NewIterator(false)
+			var prev []byte
+			for ok := ti.SeekGE(ikey.SeekKey(loB)); ok; ok = ti.Next() {
+				ik := ti.Key()
+				uk := ikey.UserKey(ik)
+				if bytes.Compare(uk, hiExcl) >= 0 {
+					break
+				}
+				newest := prev == nil || !bytes.Equal(prev, uk)
+				prev = append(prev[:0], uk...)
+				if !newest || ikey.KindOf(ik) == ikey.KindDelete {
+					continue
+				}
+				list, err := postings.Decode(ti.Value())
+				if err != nil {
+					return err
+				}
+				perKey[string(uk)] = append(perKey[string(uk)], list)
+			}
+			return ti.Err()
+		}
+		for _, fm := range v.L0() {
+			if err := scanTable(fm); err != nil {
+				return err
+			}
+		}
+		for l := 1; l <= v.MaxLevel(); l++ {
+			for _, fm := range v.OverlappingFiles(l, loB, []byte(hi)) {
+				if err := scanTable(fm); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Merge each key's fragments (newest fragment first within a key is
+	// irrelevant to Merge, which keeps max-seq per primary key), then pool.
+	var candidates []postings.Entry
+	for _, frags := range perKey {
+		candidates = append(candidates, postings.Merge(frags, true)...)
+	}
+	if err := db.validateCandidates(candidates, attr, lo, hi, k, heap); err != nil {
+		return nil, err
+	}
+	return heap.Results(), nil
+}

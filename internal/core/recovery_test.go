@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestCrashRecoveryMidWorkloadAllKinds interrupts a randomized workload
+// (by closing and reopening, which exercises the WAL replay path exactly
+// as a crash after the last fsync would) and verifies lookups still match
+// the reference model afterwards.
+func TestCrashRecoveryMidWorkloadAllKinds(t *testing.T) {
+	for _, kind := range allKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			opts := smallOptions(kind)
+			db, err := Open(dir, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := newModel()
+			rng := rand.New(rand.NewSource(13))
+			op := 0
+			step := func(n int) {
+				for i := 0; i < n; i++ {
+					op++
+					key := fmt.Sprintf("t%05d", op)
+					user := fmt.Sprintf("u%02d", rng.Intn(15))
+					switch {
+					case op%17 == 0 && op > 20:
+						victim := fmt.Sprintf("t%05d", rng.Intn(op-1)+1)
+						if err := db.Delete(victim); err != nil {
+							t.Fatal(err)
+						}
+						m.del(victim)
+					default:
+						if err := db.Put(key, tweetDoc(user, op, "crashy")); err != nil {
+							t.Fatal(err)
+						}
+						m.put(key, user, op)
+					}
+				}
+			}
+			verify := func() {
+				for u := 0; u < 15; u++ {
+					user := fmt.Sprintf("u%02d", u)
+					got, err := db.Lookup("UserID", user, 7)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := m.lookup("UserID", user, user, 7)
+					if !sameKeys(keysOf(got), want) {
+						t.Fatalf("user %s after recovery: got %v want %v", user, keysOf(got), want)
+					}
+				}
+			}
+
+			step(700)
+			// "Crash" 1: reopen and verify.
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+			db, err = Open(dir, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			verify()
+			// Continue writing, crash again.
+			step(700)
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+			db, err = Open(dir, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			verify()
+			// Consistency audit of all tables.
+			reports, err := db.Verify()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, rep := range reports {
+				if !rep.OK() {
+					t.Fatalf("%s audit failed: %v", name, rep.Problems)
+				}
+			}
+		})
+	}
+}
+
+// TestGetLiteSavesIO verifies the paper's §3 claim: GetLite validity
+// checks avoid the disk I/O a regular GET would pay. We compare primary
+// block reads per LOOKUP with GetLite on and off on identical stores.
+func TestGetLiteSavesIO(t *testing.T) {
+	run := func(disable bool) float64 {
+		opts := smallOptions(IndexEmbedded)
+		opts.DisableGetLite = disable
+		db, err := Open(t.TempDir(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		// Heavy overwrite workload → many stale candidates to invalidate.
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 4000; i++ {
+			key := fmt.Sprintf("t%04d", rng.Intn(1200))
+			db.Put(key, tweetDoc(fmt.Sprintf("u%02d", rng.Intn(20)), i, "getlite measurement tweet"))
+		}
+		db.Flush()
+		pre := db.Stats().Primary.BlockReads
+		const queries = 40
+		for q := 0; q < queries; q++ {
+			if _, err := db.Lookup("UserID", fmt.Sprintf("u%02d", q%20), 10); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return float64(db.Stats().Primary.BlockReads-pre) / queries
+	}
+	withLite := run(false)
+	withoutLite := run(true)
+	if withLite > withoutLite {
+		t.Errorf("GetLite should not cost more I/O than full GET validation: %.2f vs %.2f",
+			withLite, withoutLite)
+	}
+	t.Logf("block reads per LOOKUP: GetLite=%.2f fullGET=%.2f", withLite, withoutLite)
+}
+
+// TestConcurrentReadersWithWriter exercises the core DB's concurrency
+// contract under the race detector: many readers, one writer.
+func TestConcurrentReadersWithWriter(t *testing.T) {
+	db := openKind(t, IndexLazy)
+	for i := 0; i < 500; i++ {
+		db.Put(fmt.Sprintf("t%05d", i), tweetDoc(fmt.Sprintf("u%02d", i%10), i, "seed"))
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 500; i < 1500; i++ {
+			if err := db.Put(fmt.Sprintf("t%05d", i), tweetDoc(fmt.Sprintf("u%02d", i%10), i, "live")); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		for u := 0; u < 10; u++ {
+			if _, err := db.Lookup("UserID", fmt.Sprintf("u%02d", u), 5); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := db.Get(fmt.Sprintf("t%05d", u*37)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}

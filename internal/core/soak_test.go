@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestSoak is a long randomized workout for every index kind: mixed
+// puts/updates/deletes/batches with continuous lookup validation against
+// the model, periodic reopen (WAL replay), CompactRange, Checkpoint, and
+// a final full audit. Skipped under -short.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	for _, kind := range allKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			opts := smallOptions(kind)
+			db, err := Open(dir, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := newModel()
+			rng := rand.New(rand.NewSource(2018))
+			const users = 30
+			nextKey := 0
+
+			verify := func(tag string) {
+				for i := 0; i < 10; i++ {
+					user := fmt.Sprintf("u%03d", rng.Intn(users))
+					for _, k := range []int{1, 7, 0} {
+						got, err := db.Lookup("UserID", user, k)
+						if err != nil {
+							t.Fatalf("%s: %v", tag, err)
+						}
+						want := m.lookup("UserID", user, user, k)
+						if !sameKeys(keysOf(got), want) {
+							t.Fatalf("%s user=%s k=%d:\n got %v\nwant %v", tag, user, k, keysOf(got), want)
+						}
+					}
+				}
+			}
+
+			for round := 0; round < 4; round++ {
+				for i := 0; i < 1200; i++ {
+					switch rng.Intn(12) {
+					case 0: // delete
+						if nextKey > 0 {
+							key := fmt.Sprintf("t%06d", rng.Intn(nextKey))
+							if err := db.Delete(key); err != nil {
+								t.Fatal(err)
+							}
+							m.del(key)
+						}
+					case 1: // atomic batch of 5 puts
+						var b Batch
+						for j := 0; j < 5; j++ {
+							key := fmt.Sprintf("t%06d", nextKey)
+							user := fmt.Sprintf("u%03d", rng.Intn(users))
+							b.Put(key, tweetDoc(user, nextKey, "soak batch"))
+							m.put(key, user, nextKey)
+							nextKey++
+						}
+						if err := db.Apply(&b); err != nil {
+							t.Fatal(err)
+						}
+					case 2: // update existing
+						if nextKey > 0 {
+							key := fmt.Sprintf("t%06d", rng.Intn(nextKey))
+							user := fmt.Sprintf("u%03d", rng.Intn(users))
+							if err := db.Put(key, tweetDoc(user, nextKey, "soak update")); err != nil {
+								t.Fatal(err)
+							}
+							m.put(key, user, nextKey)
+						}
+					default: // fresh put
+						key := fmt.Sprintf("t%06d", nextKey)
+						user := fmt.Sprintf("u%03d", rng.Intn(users))
+						if err := db.Put(key, tweetDoc(user, nextKey, "soak put with some body text")); err != nil {
+							t.Fatal(err)
+						}
+						m.put(key, user, nextKey)
+						nextKey++
+					}
+				}
+				verify(fmt.Sprintf("round %d", round))
+
+				switch round {
+				case 0: // crash-reopen
+					if err := db.Close(); err != nil {
+						t.Fatal(err)
+					}
+					db, err = Open(dir, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					verify("after reopen")
+				case 1: // manual compaction
+					if err := db.CompactRange("", ""); err != nil {
+						t.Fatal(err)
+					}
+					verify("after compact")
+				case 2: // checkpoint and verify the snapshot independently
+					ckpt := dir + "-ckpt"
+					if err := db.Checkpoint(ckpt); err != nil {
+						t.Fatal(err)
+					}
+					snap, err := Open(ckpt, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					user := fmt.Sprintf("u%03d", rng.Intn(users))
+					a, err1 := db.Lookup("UserID", user, 5)
+					b, err2 := snap.Lookup("UserID", user, 5)
+					if err1 != nil || err2 != nil || !sameKeys(keysOf(a), keysOf(b)) {
+						t.Fatalf("checkpoint diverged: %v vs %v (%v %v)", keysOf(a), keysOf(b), err1, err2)
+					}
+					snap.Close()
+				}
+			}
+
+			reports, err := db.Verify()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, rep := range reports {
+				if !rep.OK() {
+					t.Fatalf("final audit %s: %v", name, rep.Problems)
+				}
+			}
+			db.Close()
+		})
+	}
+}

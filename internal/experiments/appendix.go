@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"leveldbpp/internal/bloom"
+	"leveldbpp/internal/core"
+	"leveldbpp/internal/metrics"
+	"leveldbpp/internal/workload"
+)
+
+// C1Result is one point of Appendix C.1's bits-per-key sweep for the
+// Embedded index.
+type C1Result struct {
+	BitsPerKey     int
+	TheoreticalFP  float64
+	LookupMicros   float64
+	IOPerLookup    float64
+	FilterMemBytes int
+}
+
+// AppendixC1BloomBits sweeps the secondary bloom filter size (the paper
+// tries 20…100 bits/key and settles on a dataset-dependent optimum) and
+// measures Embedded LOOKUP latency and I/O at each setting.
+func AppendixC1BloomBits(c Config, bitsSweep []int) ([]C1Result, error) {
+	c = c.withDefaults()
+	if len(bitsSweep) == 0 {
+		bitsSweep = []int{2, 5, 10, 20, 50, 100}
+	}
+	tweets := c.dataset()
+	c.printf("Appendix C.1 — Embedded LOOKUP vs secondary bloom filter bits/key (%d tweets)\n", len(tweets))
+	c.printf("%8s %12s %12s %12s %14s\n", "bits/key", "theory-FP", "lookup(us)", "IO/lookup", "filter-mem(KB)")
+
+	var out []C1Result
+	for _, bits := range bitsSweep {
+		opts := dbOptions(core.IndexEmbedded)
+		opts.SecondaryBitsPerKey = bits
+		db, err := core.Open(filepath.Join(c.Dir, fmt.Sprintf("c1-%d", bits)), opts)
+		if err != nil {
+			return nil, err
+		}
+		if err := ingest(db, tweets, nil); err != nil {
+			db.Close()
+			return nil, err
+		}
+		q := workload.NewStaticQueries(tweets, c.Seed+31)
+		h := metrics.NewHistogram(0)
+		s0 := db.Stats()
+		for i := 0; i < c.Queries; i++ {
+			op := q.Lookup(workload.AttrUser, 10)
+			d, err := runOp(db, op)
+			if err != nil {
+				db.Close()
+				return nil, err
+			}
+			h.Observe(float64(d.Microseconds()))
+		}
+		s1 := db.Stats()
+		r := C1Result{
+			BitsPerKey:     bits,
+			TheoreticalFP:  bloom.FalsePositiveRate(bits),
+			LookupMicros:   h.Mean(),
+			IOPerLookup:    float64(s1.Primary.BlockReads-s0.Primary.BlockReads) / float64(c.Queries),
+			FilterMemBytes: db.FilterMemoryUsage(),
+		}
+		out = append(out, r)
+		c.printf("%8d %12.5f %12.1f %12.2f %14.1f\n",
+			r.BitsPerKey, r.TheoreticalFP, r.LookupMicros, r.IOPerLookup, float64(r.FilterMemBytes)/(1<<10))
+		db.Close()
+	}
+	c.printf("\n")
+	return out, nil
+}
+
+// C2Result compares compressed and uncompressed stores (Appendix C.2).
+type C2Result struct {
+	Kind          core.IndexKind
+	Compressed    bool
+	DiskBytes     int64
+	MeanPutMicros float64
+	LookupMicros  float64
+}
+
+// AppendixC2Compression reruns the Static ingest + LOOKUP with block
+// compression disabled, for the Embedded and Lazy variants.
+func AppendixC2Compression(c Config) ([]C2Result, error) {
+	c = c.withDefaults()
+	tweets := c.dataset()
+	c.printf("Appendix C.2 — effect of block compression (%d tweets)\n", len(tweets))
+	c.printf("%-10s %12s %12s %12s %12s\n", "index", "compressed", "disk(MB)", "put(us)", "lookup(us)")
+
+	var out []C2Result
+	for _, kind := range []core.IndexKind{core.IndexEmbedded, core.IndexLazy} {
+		for _, compressed := range []bool{true, false} {
+			opts := dbOptions(kind)
+			opts.DisableCompression = !compressed
+			db, err := core.Open(filepath.Join(c.Dir, fmt.Sprintf("c2-%s-%v", kind, compressed)), opts)
+			if err != nil {
+				return nil, err
+			}
+			ph := metrics.NewHistogram(0)
+			if err := ingest(db, tweets, ph); err != nil {
+				db.Close()
+				return nil, err
+			}
+			prim, idx, err := db.DiskUsage()
+			if err != nil {
+				db.Close()
+				return nil, err
+			}
+			q := workload.NewStaticQueries(tweets, c.Seed+41)
+			lh := metrics.NewHistogram(0)
+			for i := 0; i < c.Queries; i++ {
+				op := q.Lookup(workload.AttrUser, 10)
+				d, err := runOp(db, op)
+				if err != nil {
+					db.Close()
+					return nil, err
+				}
+				lh.Observe(float64(d.Microseconds()))
+			}
+			r := C2Result{
+				Kind:          kind,
+				Compressed:    compressed,
+				DiskBytes:     prim + idx,
+				MeanPutMicros: ph.Mean(),
+				LookupMicros:  lh.Mean(),
+			}
+			out = append(out, r)
+			c.printf("%s %12v %12.2f %12.1f %12.1f\n", kindLabel(kind),
+				compressed, float64(r.DiskBytes)/(1<<20), r.MeanPutMicros, r.LookupMicros)
+			db.Close()
+		}
+	}
+	c.printf("\n")
+	return out, nil
+}
+
+// AblationResult compares Embedded LOOKUP with and without one of its
+// internal mechanisms (GetLite, file-level zone maps) — the extra
+// ablations promised in DESIGN.md.
+type AblationResult struct {
+	Name         string
+	LookupMicros float64
+	IOPerLookup  float64
+}
+
+// EmbeddedAblations measures Embedded LOOKUP with GetLite disabled and
+// with file-level zone maps disabled.
+func EmbeddedAblations(c Config) ([]AblationResult, error) {
+	c = c.withDefaults()
+	tweets := c.dataset()
+	configs := []struct {
+		name   string
+		mutate func(*core.Options)
+	}{
+		{"baseline", func(*core.Options) {}},
+		{"no-getlite", func(o *core.Options) { o.DisableGetLite = true }},
+		{"no-filezone", func(o *core.Options) { o.DisableFileZoneMap = true }},
+	}
+	c.printf("Ablation — Embedded LOOKUP internal mechanisms (%d tweets, %d queries)\n", len(tweets), c.Queries)
+	c.printf("%-14s %12s %12s\n", "config", "lookup(us)", "IO/lookup")
+
+	var out []AblationResult
+	for _, cfg := range configs {
+		opts := dbOptions(core.IndexEmbedded)
+		cfg.mutate(&opts)
+		db, err := core.Open(filepath.Join(c.Dir, "abl-"+cfg.name), opts)
+		if err != nil {
+			return nil, err
+		}
+		if err := ingest(db, tweets, nil); err != nil {
+			db.Close()
+			return nil, err
+		}
+		q := workload.NewStaticQueries(tweets, c.Seed+51)
+		h := metrics.NewHistogram(0)
+		s0 := db.Stats()
+		for i := 0; i < c.Queries; i++ {
+			op := q.Lookup(workload.AttrUser, 10)
+			d, err := runOp(db, op)
+			if err != nil {
+				db.Close()
+				return nil, err
+			}
+			h.Observe(float64(d.Microseconds()))
+		}
+		s1 := db.Stats()
+		r := AblationResult{
+			Name:         cfg.name,
+			LookupMicros: h.Mean(),
+			IOPerLookup:  float64(s1.Primary.BlockReads-s0.Primary.BlockReads) / float64(c.Queries),
+		}
+		out = append(out, r)
+		c.printf("%-14s %12.1f %12.2f\n", r.Name, r.LookupMicros, r.IOPerLookup)
+		db.Close()
+	}
+	c.printf("\n")
+	return out, nil
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// WriteCSV writes one experiment's rows to dir/name.csv for plotting.
+func WriteCSV(dir, name string, header []string, rows [][]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: csv dir: %w", err)
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return fmt.Errorf("experiments: create csv: %w", err)
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		f.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+func itoa(v int64) string   { return strconv.FormatInt(v, 10) }
+
+// Fig8aCSV converts Figure 8a results to CSV rows.
+func Fig8aCSV(rs []Fig8aResult) ([]string, [][]string) {
+	header := []string{"index", "primary_bytes", "index_bytes", "filter_memory_bytes", "mean_put_us"}
+	var rows [][]string
+	for _, r := range rs {
+		rows = append(rows, []string{r.Kind.String(), itoa(r.PrimaryBytes), itoa(r.IndexBytes),
+			itoa(int64(r.FilterMemory)), ftoa(r.MeanPutMicros)})
+	}
+	return header, rows
+}
+
+// Fig8bCSV converts Figure 8b results to CSV rows.
+func Fig8bCSV(rs []Fig8bResult) ([]string, [][]string) {
+	header := []string{"index", "mean_put_us", "overhead_us", "creationtime_index_us", "userid_index_us",
+		"index_write_io", "index_read_io", "index_compaction_io"}
+	var rows [][]string
+	for _, r := range rs {
+		rows = append(rows, []string{r.Kind.String(), ftoa(r.MeanPutMicros), ftoa(r.OverheadMicros),
+			ftoa(r.CreationTimeUs), ftoa(r.UserIDUs),
+			itoa(r.IndexWriteIO), itoa(r.IndexReadIO), itoa(r.IndexCompaction)})
+	}
+	return header, rows
+}
+
+// Fig9CSV converts Figure 9 curves to long-form CSV rows.
+func Fig9CSV(rs []Fig9Result) ([]string, [][]string) {
+	header := []string{"index", "ops", "put_us", "cum_index_compaction_io", "cum_index_write_io"}
+	var rows [][]string
+	for _, r := range rs {
+		for _, p := range r.Points {
+			rows = append(rows, []string{r.Kind.String(), strconv.Itoa(p.Ops), ftoa(p.PutMicros),
+				itoa(p.CumIndexCompIO), itoa(p.CumIndexWriteIO)})
+		}
+	}
+	return header, rows
+}
+
+// QueryCSV converts Figure 10/11 cells to CSV rows.
+func QueryCSV(rs []QueryResult) ([]string, [][]string) {
+	header := []string{"index", "op", "topk", "selectivity",
+		"median_us", "q1_us", "q3_us", "whisker_low_us", "whisker_high_us", "mean_us", "io_per_query"}
+	var rows [][]string
+	for _, r := range rs {
+		rows = append(rows, []string{r.Kind.String(), r.Op.String(), strconv.Itoa(r.TopK), strconv.Itoa(r.Selectivity),
+			ftoa(r.Box.Median), ftoa(r.Box.Q1), ftoa(r.Box.Q3),
+			ftoa(r.Box.WhiskerLow), ftoa(r.Box.WhiskerHigh), ftoa(r.Box.Mean), ftoa(r.IOPerQuery)})
+	}
+	return header, rows
+}
+
+// MixedCSV converts Figure 12–15 curves to long-form CSV rows.
+func MixedCSV(rs []MixedResult) ([]string, [][]string) {
+	header := []string{"index", "ops", "mean_op_us",
+		"cum_compaction_io", "cum_get_io", "cum_lookup_io", "cum_write_io"}
+	var rows [][]string
+	for _, r := range rs {
+		for _, p := range r.Points {
+			rows = append(rows, []string{r.Kind.String(), strconv.Itoa(p.Ops), ftoa(p.MeanOpMicros),
+				itoa(p.CumCompactionIO), itoa(p.CumGetIO), itoa(p.CumLookupIO), itoa(p.CumWriteIO)})
+		}
+	}
+	return header, rows
+}
+
+// C1CSV converts the Appendix C.1 sweep to CSV rows.
+func C1CSV(rs []C1Result) ([]string, [][]string) {
+	header := []string{"bits_per_key", "theoretical_fp", "lookup_us", "io_per_lookup", "filter_memory_bytes"}
+	var rows [][]string
+	for _, r := range rs {
+		rows = append(rows, []string{strconv.Itoa(r.BitsPerKey), ftoa(r.TheoreticalFP),
+			ftoa(r.LookupMicros), ftoa(r.IOPerLookup), itoa(int64(r.FilterMemBytes))})
+	}
+	return header, rows
+}
+
+// Fig7CSV converts the rank-frequency curve to CSV rows.
+func Fig7CSV(r Fig7Result) ([]string, [][]string) {
+	header := []string{"rank", "tweets"}
+	var rows [][]string
+	for i, f := range r.Ranks {
+		rows = append(rows, []string{strconv.Itoa(1 << i), strconv.Itoa(f)})
+	}
+	return header, rows
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"testing"
+
+	"leveldbpp/internal/workload"
+)
+
+func TestCacheEffects(t *testing.T) {
+	c := testConfig(t)
+	c.Scale = 3000
+	rs, err := CacheEffects(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("rows = %d", len(rs))
+	}
+	off, on := rs[0], rs[1]
+	if off.CacheHits != 0 {
+		t.Fatal("cache-off run recorded hits")
+	}
+	if on.CacheHits == 0 {
+		t.Fatal("cache-on run recorded no hits")
+	}
+	// Caching a read-heavy workload must cut disk reads.
+	if on.DiskReads >= off.DiskReads {
+		t.Errorf("cache did not reduce disk reads: %d vs %d", on.DiskReads, off.DiskReads)
+	}
+	// Compaction churn retires cached tables, so the hit rate stays
+	// below 100% even for a Zipf-hot read set.
+	if on.HitRate >= 0.999 {
+		t.Errorf("hit rate implausibly perfect: %.4f", on.HitRate)
+	}
+}
+
+func TestConcurrentReaders(t *testing.T) {
+	c := testConfig(t)
+	c.Scale = 2000
+	rs, err := ConcurrentReaders(c, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("rows = %d", len(rs))
+	}
+	for _, r := range rs {
+		if r.LookupsPerSec <= 0 {
+			t.Fatalf("no lookups completed with %d readers", r.Readers)
+		}
+		if r.WriterOpsTotal == 0 {
+			t.Fatalf("writer starved with %d readers", r.Readers)
+		}
+	}
+}
+
+func TestCSVHelpers(t *testing.T) {
+	dir := t.TempDir()
+	h, rows := Fig8aCSV([]Fig8aResult{{PrimaryBytes: 100, IndexBytes: 50, FilterMemory: 10, MeanPutMicros: 1.5}})
+	if len(h) != 5 || len(rows) != 1 {
+		t.Fatalf("Fig8aCSV shape: %v %v", h, rows)
+	}
+	if err := WriteCSV(dir, "fig8a", h, rows); err != nil {
+		t.Fatal(err)
+	}
+	h, rows = QueryCSV([]QueryResult{{TopK: 3, Selectivity: 10, IOPerQuery: 2.5}})
+	if len(rows) != 1 || rows[0][2] != "3" {
+		t.Fatalf("QueryCSV rows: %v", rows)
+	}
+	h, rows = MixedCSV([]MixedResult{{Points: []MixedPoint{{Ops: 5}, {Ops: 10}}}})
+	if len(rows) != 2 {
+		t.Fatalf("MixedCSV rows: %v", rows)
+	}
+	h, rows = Fig9CSV([]Fig9Result{{Points: []Fig9Point{{Ops: 1}}}})
+	if len(rows) != 1 {
+		t.Fatal("Fig9CSV rows")
+	}
+	h, rows = C1CSV([]C1Result{{BitsPerKey: 10}})
+	if len(rows) != 1 || rows[0][0] != "10" {
+		t.Fatal("C1CSV rows")
+	}
+	h, rows = Fig7CSV(Fig7Result{Ranks: []int{9, 4, 2}})
+	if len(rows) != 3 || rows[2][0] != "4" {
+		t.Fatalf("Fig7CSV rows: %v", rows)
+	}
+	_ = h
+}
+
+func TestYCSBBench(t *testing.T) {
+	c := testConfig(t)
+	c.Scale = 1500
+	rs, err := YCSBBench(c, []workload.YCSBWorkload{workload.YCSBA, workload.YCSBC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 4 { // 2 presets × 2 index kinds
+		t.Fatalf("cells = %d", len(rs))
+	}
+	for _, r := range rs {
+		if r.OpsPerSec <= 0 || r.MeanOpUs <= 0 {
+			t.Fatalf("empty cell %+v", r)
+		}
+	}
+}

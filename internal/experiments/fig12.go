@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"time"
+
+	"leveldbpp/internal/core"
+	"leveldbpp/internal/workload"
+)
+
+// MixedPoint is one checkpoint of Figures 12–15: overall mean op time so
+// far plus cumulative disk I/O decomposed the way the paper plots it
+// (compaction, GET, LOOKUP).
+type MixedPoint struct {
+	Ops             int
+	MeanOpMicros    float64
+	CumCompactionIO int64 // Fig 13a/14a/15a
+	CumGetIO        int64 // Fig 13b/14b/15b
+	CumLookupIO     int64 // Fig 13c/14c/15c
+	CumWriteIO      int64
+}
+
+// MixedResult is one curve of a Mixed-workload figure.
+type MixedResult struct {
+	Kind   core.IndexKind
+	Points []MixedPoint
+}
+
+// MixedWorkload runs Figures 12–15 for one ratio set (write/read/update
+// heavy). Only UserID is indexed and queried, as in the paper (§5.2.2).
+// Eager is excluded, matching the paper ("we did not consider Eager Index
+// as it is shown to be unusable").
+func MixedWorkload(c Config, name string, ratios workload.MixRatios, checkpoints int) ([]MixedResult, error) {
+	c = c.withDefaults()
+	if checkpoints <= 0 {
+		checkpoints = 10
+	}
+	nOps := c.Scale
+	c.printf("Figures 12-15 — Mixed %s workload (%d ops; PUT=%.0f%% GET=%.0f%% LOOKUP=%.0f%% updateFrac=%.0f%%)\n",
+		name, nOps, ratios.Put*100, ratios.Get*100, ratios.Lookup*100, ratios.UpdateFrac*100)
+	c.printf("%-10s %10s %12s %12s %12s %12s\n", "index", "ops", "mean(us)", "compIO", "getIO", "lookupIO")
+
+	var out []MixedResult
+	for _, kind := range VariantsNoEager {
+		db, err := core.Open(c.Dir+"/mixed-"+name+"-"+kind.String(), mixedOptions(kind))
+		if err != nil {
+			return nil, err
+		}
+		m := workload.NewMixed(workload.Config{Seed: c.Seed, Tweets: nOps}, ratios, nOps, 10)
+		res := MixedResult{Kind: kind}
+		var totalTime time.Duration
+		done := 0
+		checkEvery := nOps / checkpoints
+
+		// Track I/O per op class by snapshotting around each op.
+		var compIO, getIO, lookupIO, writeIO int64
+		for {
+			op, ok := m.Next()
+			if !ok {
+				break
+			}
+			s0 := db.Stats()
+			d, err := runOp(db, op)
+			if err != nil {
+				db.Close()
+				return nil, err
+			}
+			s1 := db.Stats()
+			totalTime += d
+			done++
+			fg := (s1.Primary.BlockReads - s0.Primary.BlockReads) +
+				(s1.Index.BlockReads - s0.Index.BlockReads) +
+				(s1.Primary.BlockWrites - s0.Primary.BlockWrites) +
+				(s1.Index.BlockWrites - s0.Index.BlockWrites)
+			comp := (s1.Primary.CompactionIO() - s0.Primary.CompactionIO()) +
+				(s1.Index.CompactionIO() - s0.Index.CompactionIO())
+			compIO += comp
+			switch op.Kind {
+			case workload.OpGet:
+				getIO += fg
+			case workload.OpLookup, workload.OpRangeLookup:
+				lookupIO += fg
+			default:
+				writeIO += fg
+			}
+			if done%checkEvery == 0 {
+				res.Points = append(res.Points, MixedPoint{
+					Ops:             done,
+					MeanOpMicros:    float64(totalTime.Microseconds()) / float64(done),
+					CumCompactionIO: compIO,
+					CumGetIO:        getIO,
+					CumLookupIO:     lookupIO,
+					CumWriteIO:      writeIO,
+				})
+			}
+		}
+		out = append(out, res)
+		if n := len(res.Points); n > 0 {
+			p := res.Points[n-1]
+			c.printf("%s %10d %12.1f %12d %12d %12d\n", kindLabel(kind),
+				p.Ops, p.MeanOpMicros, p.CumCompactionIO, p.CumGetIO, p.CumLookupIO)
+		}
+		db.Close()
+	}
+	c.printf("\n")
+	return out, nil
+}
+
+// mixedOptions indexes only UserID (paper §5.2.2: "Only the UserID
+// attribute is indexed and queried").
+func mixedOptions(kind core.IndexKind) core.Options {
+	o := dbOptions(kind)
+	o.Attrs = []string{workload.AttrUser}
+	return o
+}
+
+// Fig12WriteHeavy runs the write-heavy mix (80/15/5).
+func Fig12WriteHeavy(c Config) ([]MixedResult, error) {
+	return MixedWorkload(c, "write-heavy", workload.WriteHeavy, 10)
+}
+
+// Fig12ReadHeavy runs the read-heavy mix (20/70/10).
+func Fig12ReadHeavy(c Config) ([]MixedResult, error) {
+	return MixedWorkload(c, "read-heavy", workload.ReadHeavy, 10)
+}
+
+// Fig12UpdateHeavy runs the update-heavy mix (40/15/5 with 40% updates).
+func Fig12UpdateHeavy(c Config) ([]MixedResult, error) {
+	return MixedWorkload(c, "update-heavy", workload.UpdateHeavy, 10)
+}

@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"path/filepath"
+	"time"
+
+	"leveldbpp/internal/core"
+	"leveldbpp/internal/metrics"
+	"leveldbpp/internal/workload"
+)
+
+// Fig8aResult is one bar group of Figure 8a: on-disk size decomposed into
+// primary table and index tables, plus the Embedded index's memory-
+// resident filter bytes.
+type Fig8aResult struct {
+	Kind          core.IndexKind
+	PrimaryBytes  int64
+	IndexBytes    int64
+	FilterMemory  int
+	MeanPutMicros float64
+}
+
+// Fig8aDatabaseSize ingests the Static dataset under every index variant
+// and reports database sizes (Figure 8a) and mean PUT latency (the input
+// to Figure 8b).
+func Fig8aDatabaseSize(c Config) ([]Fig8aResult, error) {
+	c = c.withDefaults()
+	tweets := c.dataset()
+	c.printf("Figure 8a — database size after %d PUTs (two secondary indexes: UserID, CreationTime)\n", len(tweets))
+	c.printf("%-10s %14s %14s %14s %14s\n", "index", "primary(MB)", "index(MB)", "filters(KB)", "put(us)")
+
+	var out []Fig8aResult
+	for _, kind := range Variants {
+		db, err := c.openDB("fig8a-"+kind.String(), kind)
+		if err != nil {
+			return nil, err
+		}
+		h := metrics.NewHistogram(0)
+		if err := ingest(db, tweets, h); err != nil {
+			db.Close()
+			return nil, err
+		}
+		prim, idx, err := db.DiskUsage()
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		r := Fig8aResult{
+			Kind:          kind,
+			PrimaryBytes:  prim,
+			IndexBytes:    idx,
+			FilterMemory:  db.FilterMemoryUsage(),
+			MeanPutMicros: h.Mean(),
+		}
+		out = append(out, r)
+		c.printf("%s %14.2f %14.2f %14.1f %14.1f\n", kindLabel(kind),
+			float64(prim)/(1<<20), float64(idx)/(1<<20), float64(r.FilterMemory)/(1<<10), r.MeanPutMicros)
+		db.Close()
+	}
+	c.printf("\n")
+	return out, nil
+}
+
+// Fig8bResult decomposes PUT cost the paper's way: the primary-table
+// baseline plus the isolated per-index overheads, obtained by differencing
+// a CreationTime-only run and a two-index run ("the CreationTime Index
+// time shows the difference between the time of PUT when we only have one
+// secondary index minus the PUT time when there is no secondary index").
+type Fig8bResult struct {
+	Kind            core.IndexKind
+	MeanPutMicros   float64 // both indexes
+	OverheadMicros  float64 // vs the NoIndex baseline
+	CreationTimeUs  float64 // isolated CreationTime-index overhead
+	UserIDUs        float64 // isolated UserID-index overhead
+	IndexWriteIO    int64   // index-table block writes + compaction writes
+	IndexReadIO     int64   // index-table reads incurred by writes
+	IndexCompaction int64
+}
+
+// Fig8bPutPerformance measures ingest cost per variant (Figure 8b),
+// decomposed as the paper does: baseline (no index), CreationTime-only,
+// and CreationTime+UserID runs, with the per-index overheads isolated by
+// differencing.
+func Fig8bPutPerformance(c Config) ([]Fig8bResult, error) {
+	c = c.withDefaults()
+	tweets := c.dataset()
+	c.printf("Figure 8b — PUT performance decomposition (%d PUTs)\n", len(tweets))
+	c.printf("%-10s %10s %10s %10s %10s %10s %10s %10s\n",
+		"index", "put(us)", "overhead", "ct-idx", "uid-idx", "idx-wIO", "idx-rIO", "idx-compIO")
+
+	ingestWith := func(name string, kind core.IndexKind, attrs []string) (float64, core.Stats, error) {
+		opts := dbOptions(kind)
+		opts.Attrs = attrs
+		db, err := core.Open(filepath.Join(c.Dir, "fig8b-"+name), opts)
+		if err != nil {
+			return 0, core.Stats{}, err
+		}
+		defer db.Close()
+		h := metrics.NewHistogram(0)
+		if err := ingest(db, tweets, h); err != nil {
+			return 0, core.Stats{}, err
+		}
+		return h.Mean(), db.Stats(), nil
+	}
+
+	baseline, _, err := ingestWith("baseline", core.IndexNone, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := []Fig8bResult{{Kind: core.IndexNone, MeanPutMicros: baseline}}
+	c.printf("%s %10.1f %10.1f %10s %10s %10d %10d %10d\n", kindLabel(core.IndexNone),
+		baseline, 0.0, "-", "-", 0, 0, 0)
+
+	for _, kind := range []core.IndexKind{core.IndexEmbedded, core.IndexEager, core.IndexLazy, core.IndexComposite} {
+		ctOnly, _, err := ingestWith("ct-"+kind.String(), kind, []string{workload.AttrTime})
+		if err != nil {
+			return nil, err
+		}
+		both, s, err := ingestWith("both-"+kind.String(), kind, []string{workload.AttrUser, workload.AttrTime})
+		if err != nil {
+			return nil, err
+		}
+		r := Fig8bResult{
+			Kind:            kind,
+			MeanPutMicros:   both,
+			OverheadMicros:  both - baseline,
+			CreationTimeUs:  ctOnly - baseline,
+			UserIDUs:        both - ctOnly,
+			IndexWriteIO:    s.Index.BlockWrites + s.Index.CompactionWrites,
+			IndexReadIO:     s.Index.BlockReads,
+			IndexCompaction: s.Index.CompactionIO(),
+		}
+		out = append(out, r)
+		c.printf("%s %10.1f %10.1f %10.1f %10.1f %10d %10d %10d\n", kindLabel(kind),
+			r.MeanPutMicros, r.OverheadMicros, r.CreationTimeUs, r.UserIDUs,
+			r.IndexWriteIO, r.IndexReadIO, r.IndexCompaction)
+	}
+	c.printf("\n")
+	return out, nil
+}
+
+// Fig8cResult is one bar of Figure 8c: mean GET latency per variant.
+type Fig8cResult struct {
+	Kind          core.IndexKind
+	MeanGetMicros float64
+	GetBlockReads float64 // block reads per GET
+}
+
+// Fig8cGetPerformance confirms the paper's claim that secondary indexes
+// leave primary-key GETs untouched.
+func Fig8cGetPerformance(c Config) ([]Fig8cResult, error) {
+	c = c.withDefaults()
+	tweets := c.dataset()
+	nGets := c.Queries * 10
+	c.printf("Figure 8c — GET performance (%d GETs after %d PUTs)\n", nGets, len(tweets))
+	c.printf("%-10s %12s %14s\n", "index", "get(us)", "blocks/GET")
+
+	var out []Fig8cResult
+	for _, kind := range Variants {
+		db, err := c.openDB("fig8c-"+kind.String(), kind)
+		if err != nil {
+			return nil, err
+		}
+		if err := ingest(db, tweets, nil); err != nil {
+			db.Close()
+			return nil, err
+		}
+		q := workload.NewStaticQueries(tweets, c.Seed+77)
+		h := metrics.NewHistogram(0)
+		before := db.Stats().Primary
+		for i := 0; i < nGets; i++ {
+			op := q.Get()
+			d, err := runOp(db, op)
+			if err != nil {
+				db.Close()
+				return nil, err
+			}
+			h.Observe(float64(d.Microseconds()))
+		}
+		reads := db.Stats().Primary.BlockReads - before.BlockReads
+		r := Fig8cResult{Kind: kind, MeanGetMicros: h.Mean(), GetBlockReads: float64(reads) / float64(nGets)}
+		out = append(out, r)
+		c.printf("%s %12.1f %14.2f\n", kindLabel(kind), r.MeanGetMicros, r.GetBlockReads)
+		db.Close()
+	}
+	c.printf("\n")
+	return out, nil
+}
+
+// Fig9Point is one sample of Figure 9: state after each ingest batch.
+type Fig9Point struct {
+	Ops             int
+	PutMicros       float64 // mean PUT latency in this batch
+	CumIndexCompIO  int64   // cumulative index-table compaction I/O (Fig 9c)
+	CumIndexWriteIO int64
+}
+
+// Fig9Result is one curve (per index variant) of Figures 9a–9c.
+type Fig9Result struct {
+	Kind   core.IndexKind
+	Points []Fig9Point
+}
+
+// Fig9PutOverTime ingests the dataset in batches, sampling PUT latency
+// and cumulative index compaction I/O after each batch (the paper samples
+// per million inserts).
+func Fig9PutOverTime(c Config, batches int) ([]Fig9Result, error) {
+	c = c.withDefaults()
+	if batches <= 0 {
+		batches = 10
+	}
+	tweets := c.dataset()
+	batchSize := len(tweets) / batches
+	c.printf("Figure 9 — PUT latency and cumulative index compaction I/O over time (%d batches of %d)\n", batches, batchSize)
+
+	var out []Fig9Result
+	for _, kind := range Variants {
+		db, err := c.openDB("fig9-"+kind.String(), kind)
+		if err != nil {
+			return nil, err
+		}
+		res := Fig9Result{Kind: kind}
+		for b := 0; b < batches; b++ {
+			batch := tweets[b*batchSize : (b+1)*batchSize]
+			var total time.Duration
+			for _, tw := range batch {
+				start := time.Now()
+				if err := db.Put(tw.ID, tw.Doc()); err != nil {
+					db.Close()
+					return nil, err
+				}
+				total += time.Since(start)
+			}
+			s := db.Stats()
+			res.Points = append(res.Points, Fig9Point{
+				Ops:             (b + 1) * batchSize,
+				PutMicros:       float64(total.Microseconds()) / float64(len(batch)),
+				CumIndexCompIO:  s.Index.CompactionIO(),
+				CumIndexWriteIO: s.Index.BlockWrites + s.Index.CompactionWrites,
+			})
+		}
+		out = append(out, res)
+		c.printf("%s ", kindLabel(kind))
+		for _, p := range res.Points {
+			c.printf("[%dk: %.0fus io=%d] ", p.Ops/1000, p.PutMicros, p.CumIndexCompIO)
+		}
+		c.printf("\n")
+		db.Close()
+	}
+	c.printf("\n")
+	return out, nil
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"leveldbpp/internal/advisor"
+	"leveldbpp/internal/core"
+	"leveldbpp/internal/costmodel"
+	"leveldbpp/internal/workload"
+)
+
+// Table3Embedded prints the Embedded index analytic cost table (paper
+// Table 3) alongside a measured LOOKUP I/O figure on the Static dataset.
+func Table3Embedded(c Config) ([]costmodel.EmbeddedCost, float64, error) {
+	c = c.withDefaults()
+	tweets := c.dataset()
+
+	db, err := c.openDB("table3", core.IndexEmbedded)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer db.Close()
+	if err := ingest(db, tweets, nil); err != nil {
+		return nil, 0, err
+	}
+
+	// Measure: average block reads per top-10 UserID LOOKUP.
+	q := workload.NewStaticQueries(tweets, c.Seed+5)
+	s0 := db.Stats()
+	for i := 0; i < c.Queries; i++ {
+		op := q.Lookup(workload.AttrUser, 10)
+		if _, err := db.Lookup(op.Attr, op.Lo, op.K); err != nil {
+			return nil, 0, err
+		}
+	}
+	s1 := db.Stats()
+	measured := float64(s1.Primary.BlockReads-s0.Primary.BlockReads) / float64(c.Queries)
+
+	p := costmodel.Params{Levels: 4, LevelRatio: 10, BlocksL0: 64, BitsPerKey: 10}
+	rows := costmodel.Table3(p, 10, 2, 100000, false)
+	c.printf("Table 3 — Embedded index worst-case disk accesses (analytic)\n")
+	for _, r := range rows {
+		c.printf("%-14s read=%.2f write=%.2f  %s\n", r.Op, r.ReadIO, r.WriteIO, r.Note)
+	}
+	c.printf("measured: %.2f primary block reads per top-10 UserID LOOKUP\n\n", measured)
+	return rows, measured, nil
+}
+
+// Table5StandAlone prints the stand-alone cost table (paper Table 5) with
+// parameters fitted to the generated dataset, plus measured per-PUT index
+// I/O for each stand-alone variant.
+func Table5StandAlone(c Config) ([]costmodel.StandAloneCost, map[core.IndexKind]float64, error) {
+	c = c.withDefaults()
+	tweets := c.dataset()
+
+	avgPosting := float64(len(tweets))
+	g := workload.NewGenerator(workload.Config{Tweets: c.Scale, Seed: c.Seed})
+	g.All()
+	if rf := workload.RankFrequency(g.UserFreq); len(rf) > 0 {
+		avgPosting = float64(len(tweets)) / float64(len(rf))
+	}
+
+	p := costmodel.Params{Levels: 4, LevelRatio: 10, NumAttrs: 2, AvgPostingLen: avgPosting, RangeBlocks: 8}
+	rows := costmodel.Table5(p, 10)
+	c.printf("Table 5 — stand-alone index worst-case disk accesses (analytic, PL_S=%.0f)\n", avgPosting)
+	for _, r := range rows {
+		c.printf("  %s\n", r.String())
+	}
+
+	// Measure index-table I/O per PUT for the three stand-alone kinds.
+	measured := map[core.IndexKind]float64{}
+	for _, kind := range []core.IndexKind{core.IndexEager, core.IndexLazy, core.IndexComposite} {
+		db, err := c.openDB("table5-"+kind.String(), kind)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := ingest(db, tweets, nil); err != nil {
+			db.Close()
+			return nil, nil, err
+		}
+		s := db.Stats()
+		perPut := float64(s.Index.TotalIO()) / float64(len(tweets))
+		measured[kind] = perPut
+		_, wamf := db.WriteAmplification()
+		c.printf("measured %s: %.3f index-table block I/Os per PUT; index WAMF (bytes written per primary user byte): UserID=%.2f CreationTime=%.2f\n",
+			kind, perPut, wamf["UserID"], wamf["CreationTime"])
+		db.Close()
+	}
+	c.printf("\n")
+	return rows, measured, nil
+}
+
+// Fig2Advisor demonstrates the index selection strategy on the paper's
+// three motivating application profiles.
+func Fig2Advisor(c Config) []advisor.Recommendation {
+	c = c.withDefaults()
+	profiles := []struct {
+		name string
+		p    advisor.Profile
+	}{
+		{"wireless sensor network (write-heavy, rare lookups)",
+			advisor.Profile{WriteFraction: 0.85, SecondaryQueryFraction: 0.03}},
+		{"social feed (read-heavy, small top-K)",
+			advisor.Profile{WriteFraction: 0.1, SecondaryQueryFraction: 0.4, TypicalTopK: 10}},
+		{"analytics platform (group-by, no limit)",
+			advisor.Profile{WriteFraction: 0.3, SecondaryQueryFraction: 0.5, TypicalTopK: 0}},
+		{"time-series telemetry (time-correlated attribute)",
+			advisor.Profile{WriteFraction: 0.6, SecondaryQueryFraction: 0.2, TimeCorrelated: true, TypicalTopK: 100}},
+		{"mobile/edge store (space constrained)",
+			advisor.Profile{WriteFraction: 0.5, SecondaryQueryFraction: 0.2, SpaceConstrained: true, TypicalTopK: 20}},
+	}
+	c.printf("Figure 2 — secondary index selection strategy\n")
+	var out []advisor.Recommendation
+	for _, pr := range profiles {
+		r := advisor.Recommend(pr.p)
+		out = append(out, r)
+		c.printf("%-55s → %s\n    %s\n", pr.name, r.Index, r.Rationale)
+	}
+	c.printf("\n")
+	return out
+}

@@ -1,0 +1,93 @@
+// Package ikey defines the internal key encoding shared by the MemTable,
+// SSTables and the LSM engine.
+//
+// An internal key is the user key followed by an 8-byte trailer packing a
+// 56-bit sequence number and an 8-bit record kind, exactly LevelDB's
+// scheme. The comparator orders by user key ascending, then by sequence
+// number *descending*, so the newest version of a key is encountered first
+// when scanning forward. Tombstones (KindDelete) participate in ordering
+// like any other record.
+package ikey
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Kind distinguishes live records from deletion tombstones.
+type Kind uint8
+
+const (
+	// KindDelete marks a tombstone; the value is ignored.
+	KindDelete Kind = 0
+	// KindSet marks a live key/value record.
+	KindSet Kind = 1
+)
+
+// MaxSeq is the largest representable sequence number (56 bits).
+const MaxSeq = uint64(1)<<56 - 1
+
+const trailerLen = 8
+
+// Make encodes an internal key from its parts.
+func Make(userKey []byte, seq uint64, kind Kind) []byte {
+	ik := make([]byte, len(userKey)+trailerLen)
+	copy(ik, userKey)
+	binary.BigEndian.PutUint64(ik[len(userKey):], seq<<8|uint64(kind))
+	return ik
+}
+
+// SeekKey returns the internal key that sorts before every record of
+// userKey, suitable as a lower bound for forward scans.
+func SeekKey(userKey []byte) []byte { return Make(userKey, MaxSeq, KindSet) }
+
+// UserKey extracts the user key portion. It panics on malformed keys.
+func UserKey(ik []byte) []byte {
+	if len(ik) < trailerLen {
+		panic(fmt.Sprintf("ikey: malformed internal key of length %d", len(ik)))
+	}
+	return ik[:len(ik)-trailerLen]
+}
+
+// Seq extracts the sequence number.
+func Seq(ik []byte) uint64 {
+	return binary.BigEndian.Uint64(ik[len(ik)-trailerLen:]) >> 8
+}
+
+// KindOf extracts the record kind.
+func KindOf(ik []byte) Kind {
+	return Kind(ik[len(ik)-1])
+}
+
+// Compare orders internal keys: user key ascending, then sequence number
+// descending, then kind descending. It is the comparator for every ordered
+// structure in the engine.
+func Compare(a, b []byte) int {
+	ua, ub := UserKey(a), UserKey(b)
+	if c := bytes.Compare(ua, ub); c != 0 {
+		return c
+	}
+	ta := binary.BigEndian.Uint64(a[len(a)-trailerLen:])
+	tb := binary.BigEndian.Uint64(b[len(b)-trailerLen:])
+	switch {
+	case ta > tb:
+		return -1 // higher seq (or kind) sorts first
+	case ta < tb:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String renders an internal key for debugging.
+func String(ik []byte) string {
+	if len(ik) < trailerLen {
+		return fmt.Sprintf("corrupt(%x)", ik)
+	}
+	k := "SET"
+	if KindOf(ik) == KindDelete {
+		k = "DEL"
+	}
+	return fmt.Sprintf("%q@%d:%s", UserKey(ik), Seq(ik), k)
+}

@@ -1,0 +1,107 @@
+package lsm
+
+import (
+	"leveldbpp/internal/ikey"
+	"leveldbpp/internal/wal"
+)
+
+// Batch collects writes that commit atomically: all operations share one
+// WAL frame, so after a crash either every operation replays or none
+// does, and readers never observe a prefix (operations apply under the
+// writer lock).
+type Batch struct {
+	records []wal.Record
+}
+
+// Put queues key → value.
+func (b *Batch) Put(key, value []byte) {
+	b.records = append(b.records, wal.Record{
+		Kind:  byte(ikey.KindSet),
+		Key:   append([]byte(nil), key...),
+		Value: append([]byte(nil), value...),
+	})
+}
+
+// Delete queues a tombstone for key.
+func (b *Batch) Delete(key []byte) {
+	b.records = append(b.records, wal.Record{
+		Kind: byte(ikey.KindDelete),
+		Key:  append([]byte(nil), key...),
+	})
+}
+
+// Len returns the number of queued operations.
+func (b *Batch) Len() int { return len(b.records) }
+
+// Reset clears the batch for reuse.
+func (b *Batch) Reset() { b.records = b.records[:0] }
+
+// Apply commits the batch. Within the batch, later operations shadow
+// earlier ones on the same key (they receive higher sequence numbers).
+// The MemTable flush check runs once, after the whole batch.
+func (db *DB) Apply(b *Batch) error {
+	_, err := db.ApplyWithSeq(b)
+	return err
+}
+
+// ApplyWithSeq is Apply returning the sequence number assigned to the
+// batch's first operation (operation i gets firstSeq+i).
+func (db *DB) ApplyWithSeq(b *Batch) (uint64, error) {
+	if b.Len() == 0 {
+		return 0, nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return 0, ErrClosed
+	}
+	// WriteMerge must run before logging: the WAL stores post-merge
+	// values so replay reconstructs the MemTable without re-merging.
+	// Records later in the batch merge against earlier ones too.
+	var pending map[string][]byte
+	if db.opts.WriteMerge != nil {
+		pending = make(map[string][]byte, len(b.records))
+	}
+	for i := range b.records {
+		db.lastSeq++
+		b.records[i].Seq = db.lastSeq
+		if db.opts.WriteMerge == nil {
+			continue
+		}
+		k := string(b.records[i].Key)
+		if b.records[i].Kind != byte(ikey.KindSet) {
+			delete(pending, k)
+			continue
+		}
+		existing, merged := pending[k], false
+		if existing != nil {
+			merged = true
+		} else if v, _, kind, ok := db.mem.get(b.records[i].Key); ok && kind == ikey.KindSet {
+			existing, merged = v, true
+		}
+		if merged {
+			b.records[i].Value = db.opts.WriteMerge(existing, b.records[i].Value)
+		}
+		pending[k] = b.records[i].Value
+	}
+	firstSeq := b.records[0].Seq
+	if err := db.log.AppendBatch(b.records); err != nil {
+		return 0, err
+	}
+	if db.opts.SyncWAL {
+		if err := db.log.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	for _, r := range b.records {
+		db.mem.add(r.Seq, ikey.Kind(r.Kind), r.Key, r.Value, db.opts.Extract)
+		db.ingestBytes += int64(len(r.Key) + len(r.Value))
+	}
+	if db.mem.approximateBytes() >= db.opts.MemTableBytes {
+		if err := db.flushLocked(); err != nil {
+			return 0, err
+		}
+		return firstSeq, db.maybeCompactLocked()
+	}
+	return firstSeq, nil
+}

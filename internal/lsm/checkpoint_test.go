@@ -1,0 +1,80 @@
+package lsm
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+func TestCheckpointIsConsistentSnapshot(t *testing.T) {
+	db, _ := openTestDB(t, smallOpts())
+	for i := 0; i < 2000; i++ {
+		mustPut(t, db, fmt.Sprintf("key%05d", i), fmt.Sprintf("val%032d", i))
+	}
+	// Leave some data in the MemTable (unflushed) on purpose.
+	mustPut(t, db, "memonly", "still-in-wal")
+
+	ckpt := filepath.Join(t.TempDir(), "ckpt")
+	if err := db.Checkpoint(ckpt); err != nil {
+		t.Fatal(err)
+	}
+
+	// Writes after the checkpoint must not appear in it.
+	mustPut(t, db, "after", "too-late")
+	db.Flush()
+
+	snap, err := Open(ckpt, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	for i := 0; i < 2000; i++ {
+		if v, ok := mustGet(t, snap, fmt.Sprintf("key%05d", i)); !ok || v != fmt.Sprintf("val%032d", i) {
+			t.Fatalf("checkpoint lost key%05d: %q %v", i, v, ok)
+		}
+	}
+	if v, ok := mustGet(t, snap, "memonly"); !ok || v != "still-in-wal" {
+		t.Fatalf("MemTable data missing from checkpoint: %q %v", v, ok)
+	}
+	if _, ok := mustGet(t, snap, "after"); ok {
+		t.Fatal("post-checkpoint write leaked into the snapshot")
+	}
+	// The snapshot must pass a full audit and accept new writes.
+	rep, err := snap.Verify()
+	if err != nil || !rep.OK() {
+		t.Fatalf("checkpoint audit: %v %v", rep.Problems, err)
+	}
+	mustPut(t, snap, "fresh", "write-into-snapshot")
+	if v, _ := mustGet(t, snap, "fresh"); v != "write-into-snapshot" {
+		t.Fatal("snapshot not writable")
+	}
+	// And the original is untouched.
+	if v, _ := mustGet(t, db, "after"); v != "too-late" {
+		t.Fatal("original database damaged by checkpoint")
+	}
+}
+
+func TestCheckpointRefusesExistingDir(t *testing.T) {
+	db, _ := openTestDB(t, smallOpts())
+	mustPut(t, db, "k", "v")
+	dir := t.TempDir() // exists
+	if err := db.Checkpoint(dir); err == nil {
+		t.Fatal("checkpoint into existing dir accepted")
+	}
+}
+
+func TestCheckpointEmptyDB(t *testing.T) {
+	db, _ := openTestDB(t, smallOpts())
+	ckpt := filepath.Join(t.TempDir(), "empty-ckpt")
+	if err := db.Checkpoint(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := Open(ckpt, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	if _, ok := mustGet(t, snap, "anything"); ok {
+		t.Fatal("empty checkpoint has data")
+	}
+}

@@ -1,0 +1,454 @@
+package lsm
+
+import (
+	"bytes"
+	"container/heap"
+	"fmt"
+	"io"
+	"os"
+
+	"leveldbpp/internal/cache"
+	"leveldbpp/internal/ikey"
+	"leveldbpp/internal/metrics"
+	"leveldbpp/internal/sstable"
+	"leveldbpp/internal/wal"
+)
+
+func openSSTable(r io.ReaderAt, size int64, stats *metrics.IOStats, c *cache.Cache) (*sstable.Table, error) {
+	return sstable.OpenTableCached(r, size, stats, c)
+}
+
+// maxTableBytes is the target SSTable size (LevelDB's 2 MB).
+const maxTableBytes = 2 << 20
+
+// maxBytesForLevel returns the size threshold that triggers compaction out
+// of level l (l ≥ 1): BaseLevelBytes · LevelMultiplier^(l-1).
+func (db *DB) maxBytesForLevel(l int) int64 {
+	n := db.opts.BaseLevelBytes
+	for i := 1; i < l; i++ {
+		n *= int64(db.opts.LevelMultiplier)
+	}
+	return n
+}
+
+// flushLocked writes the MemTable to a new level-0 SSTable, persists the
+// manifest, and truncates the WAL. Caller holds db.mu.
+func (db *DB) flushLocked() error {
+	fileNum := db.nextFileNum
+	db.nextFileNum++
+
+	path := tablePath(db.dir, fileNum)
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("lsm: create sstable: %w", err)
+	}
+	builder := sstable.NewBuilder(f, db.opts.tableOptions(false))
+	it := db.mem.iter()
+	var prevUser []byte
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		ik, val := it.Key(), it.Value()
+		uk := ikey.UserKey(ik)
+		// The engine has no snapshots, so only the newest version of each
+		// user key needs to survive the flush (entries arrive newest
+		// first). This also guarantees one entry per user key per table,
+		// which the Embedded lookup's validity check relies on.
+		if prevUser != nil && bytes.Equal(prevUser, uk) {
+			continue
+		}
+		prevUser = append(prevUser[:0], uk...)
+		var attrs []sstable.AttrValue
+		if db.opts.Extract != nil && ikey.KindOf(ik) == ikey.KindSet {
+			attrs = db.opts.Extract(uk, val)
+		}
+		if err := builder.Add(ik, val, attrs); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	size, err := builder.Finish()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	fm, err := db.openTable(fileRecord{Num: fileNum, Size: size})
+	if err != nil {
+		return err
+	}
+	// Newest first in level 0.
+	db.v.levels[0] = append([]*FileMeta{fm}, db.v.levels[0]...)
+
+	if err := saveManifest(db.dir, db.v.toManifest(db.nextFileNum, db.lastSeq)); err != nil {
+		return err
+	}
+
+	// The MemTable is durable in the SSTable; restart the WAL.
+	if err := db.log.Close(); err != nil {
+		return err
+	}
+	db.log, err = wal.Create(db.walFile())
+	if err != nil {
+		return err
+	}
+	db.mem = newMemTable(db.opts.SecondaryAttrs)
+	return nil
+}
+
+// maybeCompactLocked runs compactions until the tree satisfies all shape
+// invariants. Caller holds db.mu.
+func (db *DB) maybeCompactLocked() error {
+	for {
+		if len(db.v.levels[0]) >= db.opts.L0CompactionTrigger {
+			if err := db.compactL0Locked(); err != nil {
+				return err
+			}
+			continue
+		}
+		compacted := false
+		for l := 1; l < db.opts.MaxLevels-1; l++ {
+			if db.v.levelBytes(l) > db.maxBytesForLevel(l) {
+				if err := db.compactLevelLocked(l); err != nil {
+					return err
+				}
+				compacted = true
+				break
+			}
+		}
+		if !compacted {
+			return nil
+		}
+	}
+}
+
+// compactL0Locked merges every level-0 file with the overlapping files of
+// level 1.
+func (db *DB) compactL0Locked() error {
+	inputs := append([]*FileMeta(nil), db.v.levels[0]...)
+	var lo, hi []byte
+	for _, fm := range inputs {
+		s, l := ikey.UserKey(fm.Smallest), ikey.UserKey(fm.Largest)
+		if lo == nil || bytes.Compare(s, lo) < 0 {
+			lo = s
+		}
+		if hi == nil || bytes.Compare(l, hi) > 0 {
+			hi = l
+		}
+	}
+	next := db.v.overlappingFiles(1, lo, hi)
+	return db.runCompactionLocked(0, inputs, next)
+}
+
+// compactLevelLocked picks one file of level l round-robin (LevelDB's
+// compaction pointer, paper §4.2) and merges it with the overlapping
+// files of level l+1.
+func (db *DB) compactLevelLocked(l int) error {
+	files := db.v.levels[l]
+	if len(files) == 0 {
+		return nil
+	}
+	pick := files[0]
+	if ptr := db.compactPtr[l]; ptr != nil {
+		for _, fm := range files {
+			if bytes.Compare(ikey.UserKey(fm.Smallest), ptr) > 0 {
+				pick = fm
+				break
+			}
+		}
+	}
+	db.compactPtr[l] = append([]byte(nil), ikey.UserKey(pick.Largest)...)
+	next := db.v.overlappingFiles(l+1, ikey.UserKey(pick.Smallest), ikey.UserKey(pick.Largest))
+	return db.runCompactionLocked(l, []*FileMeta{pick}, next)
+}
+
+// mergeSource is one input iterator of a compaction.
+type mergeSource struct {
+	it *sstable.Iterator
+}
+
+type mergeHeap []*mergeSource
+
+func (h mergeHeap) Len() int            { return len(h) }
+func (h mergeHeap) Less(i, j int) bool  { return ikey.Compare(h[i].it.Key(), h[j].it.Key()) < 0 }
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(*mergeSource)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// runCompactionLocked merges inputs (from level) and next (from level+1)
+// into new tables at level+1, installs the new version, and removes
+// obsolete files.
+func (db *DB) runCompactionLocked(level int, inputs, next []*FileMeta) error {
+	target := level + 1
+	all := append(append([]*FileMeta(nil), inputs...), next...)
+
+	var h mergeHeap
+	for _, fm := range all {
+		it := fm.tbl.NewIterator(true)
+		if it.Next() {
+			heap.Push(&h, &mergeSource{it: it})
+		} else if err := it.Err(); err != nil {
+			return err
+		}
+	}
+
+	var outputs []*FileMeta
+	var curFile *os.File
+	var curBuilder *sstable.Builder
+	var curNum uint64
+
+	startOutput := func() error {
+		curNum = db.nextFileNum
+		db.nextFileNum++
+		f, err := os.Create(tablePath(db.dir, curNum))
+		if err != nil {
+			return err
+		}
+		curFile = f
+		curBuilder = sstable.NewBuilder(f, db.opts.tableOptions(true))
+		return nil
+	}
+	finishOutput := func() error {
+		if curBuilder == nil {
+			return nil
+		}
+		size, err := curBuilder.Finish()
+		if err != nil {
+			return err
+		}
+		if err := curFile.Sync(); err != nil {
+			return err
+		}
+		if err := curFile.Close(); err != nil {
+			return err
+		}
+		fm, err := db.openTable(fileRecord{Num: curNum, Size: size})
+		if err != nil {
+			return err
+		}
+		outputs = append(outputs, fm)
+		curFile, curBuilder = nil, nil
+		return nil
+	}
+	emit := func(ik, value []byte) error {
+		if curBuilder == nil {
+			if err := startOutput(); err != nil {
+				return err
+			}
+		}
+		var attrs []sstable.AttrValue
+		if db.opts.Extract != nil && ikey.KindOf(ik) == ikey.KindSet {
+			attrs = db.opts.Extract(ikey.UserKey(ik), value)
+		}
+		if err := curBuilder.Add(ik, value, attrs); err != nil {
+			return err
+		}
+		if curBuilder.EstimatedSize() >= maxTableBytes {
+			return finishOutput()
+		}
+		return nil
+	}
+
+	// Group consecutive entries sharing a user key; within a group entries
+	// arrive newest first (internal-key order).
+	var groupKey []byte
+	var groupIKeys [][]byte
+	var groupValues [][]byte
+	var groupKinds []ikey.Kind
+
+	flushGroup := func() error {
+		if groupKey == nil {
+			return nil
+		}
+		defer func() {
+			groupKey = nil
+			groupIKeys = groupIKeys[:0]
+			groupValues = groupValues[:0]
+			groupKinds = groupKinds[:0]
+		}()
+		bottom := db.v.isBaseLevelForKey(target, groupKey)
+
+		if db.opts.Merge != nil {
+			// Collect live values down to (not past) the newest tombstone.
+			var live [][]byte
+			tombstoneAt := -1
+			for i, k := range groupKinds {
+				if k == ikey.KindDelete {
+					tombstoneAt = i
+					break
+				}
+				live = append(live, groupValues[i])
+			}
+			if len(live) == 0 {
+				// Newest record is a tombstone.
+				if tombstoneAt >= 0 && !bottom {
+					return emit(groupIKeys[0], nil)
+				}
+				return nil
+			}
+			merged, keep := db.opts.Merge.Merge(groupKey, live, bottom && tombstoneAt < 0)
+			if keep {
+				if err := emit(groupIKeys[0], merged); err != nil {
+					return err
+				}
+			}
+			// A tombstone under the merged fragments must survive (unless
+			// this is the base level) — it still shadows older fragments
+			// in deeper levels.
+			if tombstoneAt >= 0 && !bottom {
+				return emit(groupIKeys[tombstoneAt], nil)
+			}
+			return nil
+		}
+
+		// Default: newest version wins.
+		if groupKinds[0] == ikey.KindDelete {
+			if bottom {
+				return nil // tombstone has nothing left to shadow
+			}
+			return emit(groupIKeys[0], nil)
+		}
+		return emit(groupIKeys[0], groupValues[0])
+	}
+
+	for h.Len() > 0 {
+		src := h[0]
+		ik, val := src.it.Key(), src.it.Value()
+		uk := ikey.UserKey(ik)
+		if groupKey == nil || !bytes.Equal(groupKey, uk) {
+			if err := flushGroup(); err != nil {
+				return err
+			}
+			groupKey = append([]byte(nil), uk...)
+		}
+		groupIKeys = append(groupIKeys, append([]byte(nil), ik...))
+		groupValues = append(groupValues, append([]byte(nil), val...))
+		groupKinds = append(groupKinds, ikey.KindOf(ik))
+
+		if src.it.Next() {
+			heap.Fix(&h, 0)
+		} else {
+			if err := src.it.Err(); err != nil {
+				return err
+			}
+			heap.Pop(&h)
+		}
+	}
+	if err := flushGroup(); err != nil {
+		return err
+	}
+	if err := finishOutput(); err != nil {
+		return err
+	}
+
+	// Install the new version.
+	dead := map[uint64]bool{}
+	for _, fm := range all {
+		dead[fm.Num] = true
+	}
+	var keepL []*FileMeta
+	for _, fm := range db.v.levels[level] {
+		if !dead[fm.Num] {
+			keepL = append(keepL, fm)
+		}
+	}
+	db.v.levels[level] = keepL
+	var keepT []*FileMeta
+	for _, fm := range db.v.levels[target] {
+		if !dead[fm.Num] {
+			keepT = append(keepT, fm)
+		}
+	}
+	// Insert outputs sorted by smallest key (they are produced in order,
+	// and target-level survivors don't overlap them).
+	merged := append(keepT, outputs...)
+	sortFilesBySmallest(merged)
+	db.v.levels[target] = merged
+
+	if err := saveManifest(db.dir, db.v.toManifest(db.nextFileNum, db.lastSeq)); err != nil {
+		return err
+	}
+	for _, fm := range all {
+		if db.blockCache != nil {
+			db.blockCache.EvictTable(fm.tbl.ID())
+		}
+		fm.f.Close()
+		os.Remove(tablePath(db.dir, fm.Num))
+	}
+	return nil
+}
+
+func sortFilesBySmallest(files []*FileMeta) {
+	for i := 1; i < len(files); i++ {
+		for j := i; j > 0 && ikey.Compare(files[j].Smallest, files[j-1].Smallest) < 0; j-- {
+			files[j], files[j-1] = files[j-1], files[j]
+		}
+	}
+}
+
+// CompactRange forces the user-key range [lo, hi] (nil = unbounded) down
+// the tree until every level except the deepest non-empty one is clear of
+// it — LevelDB's manual compaction. Useful for tests, space reclamation
+// after bulk deletes, and read-optimizing a cold dataset.
+func (db *DB) CompactRange(lo, hi []byte) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if !db.mem.empty() {
+		if err := db.flushLocked(); err != nil {
+			return err
+		}
+	}
+	if len(db.v.levels[0]) > 0 {
+		if err := db.compactL0Locked(); err != nil {
+			return err
+		}
+	}
+	for l := 1; l < db.opts.MaxLevels-1; l++ {
+		for {
+			overlapping := db.v.overlappingFiles(l, lo, hi)
+			if len(overlapping) == 0 {
+				break
+			}
+			// Skip when nothing deeper exists: the range already rests at
+			// its final level.
+			deeper := false
+			for dl := l + 1; dl < db.opts.MaxLevels; dl++ {
+				if len(db.v.levels[dl]) > 0 {
+					deeper = true
+				}
+			}
+			if !deeper && l == db.deepestNonEmptyLocked() {
+				break
+			}
+			pick := overlapping[0]
+			next := db.v.overlappingFiles(l+1, ikey.UserKey(pick.Smallest), ikey.UserKey(pick.Largest))
+			if err := db.runCompactionLocked(l, []*FileMeta{pick}, next); err != nil {
+				return err
+			}
+		}
+	}
+	return db.maybeCompactLocked()
+}
+
+func (db *DB) deepestNonEmptyLocked() int {
+	for l := db.opts.MaxLevels - 1; l >= 0; l-- {
+		if len(db.v.levels[l]) > 0 {
+			return l
+		}
+	}
+	return 0
+}

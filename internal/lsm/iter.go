@@ -1,0 +1,155 @@
+package lsm
+
+import (
+	"bytes"
+	"container/heap"
+
+	"leveldbpp/internal/ikey"
+	"leveldbpp/internal/skiplist"
+	"leveldbpp/internal/sstable"
+)
+
+// entryIter is the common shape of MemTable and SSTable iterators used by
+// the merged scan.
+type entryIter interface {
+	Next() bool
+	Key() []byte // internal key
+	Value() []byte
+	Err() error
+}
+
+// memIterAdapter turns a positioned skiplist iterator into an entryIter.
+type memIterAdapter struct {
+	it      *skiplist.Iterator
+	started bool
+}
+
+func (a *memIterAdapter) Next() bool {
+	if !a.started {
+		a.started = true
+	} else if a.it.Valid() {
+		a.it.Next()
+	}
+	return a.it.Valid()
+}
+func (a *memIterAdapter) Key() []byte   { return a.it.Key() }
+func (a *memIterAdapter) Value() []byte { return a.it.Value() }
+func (a *memIterAdapter) Err() error    { return nil }
+
+type scanSource struct{ it entryIter }
+
+type scanHeap []*scanSource
+
+func (h scanHeap) Len() int            { return len(h) }
+func (h scanHeap) Less(i, j int) bool  { return ikey.Compare(h[i].it.Key(), h[j].it.Key()) < 0 }
+func (h scanHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *scanHeap) Push(x interface{}) { *h = append(*h, x.(*scanSource)) }
+func (h *scanHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// Scan performs a merged, newest-wins range scan over [lo, hiExcl):
+// exactly one callback per live user key, tombstones suppressed, in
+// ascending user-key order. A nil hiExcl means unbounded; fn returning
+// false stops the scan. The callback receives the key's newest sequence
+// number (insertion-time ordering for top-K processing).
+func (db *DB) Scan(lo, hiExcl []byte, fn func(key, value []byte, seq uint64) bool) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return scanView(&View{db: db, mem: db.mem, levels: db.v.levels}, lo, hiExcl, fn)
+}
+
+// Scan is the View-scoped variant of DB.Scan.
+func (v *View) Scan(lo, hiExcl []byte, fn func(key, value []byte, seq uint64) bool) error {
+	return scanView(v, lo, hiExcl, fn)
+}
+
+func scanView(v *View, lo, hiExcl []byte, fn func(key, value []byte, seq uint64) bool) error {
+	seekKey := ikey.SeekKey(lo)
+
+	var h scanHeap
+	add := func(it entryIter) {
+		heap.Push(&h, &scanSource{it: it})
+	}
+
+	mi := v.mem.iter()
+	mi.SeekGE(seekKey)
+	if mi.Valid() {
+		add(&memIterAdapter{it: mi, started: true})
+	}
+	seekTable := func(fm *FileMeta) error {
+		it := fm.tbl.NewIterator(false)
+		if it.SeekGE(seekKey) {
+			add(&tableIterAdapter{it: it, positioned: true})
+		}
+		return it.Err()
+	}
+	for _, fm := range v.levels[0] {
+		if fm.overlapsUser(lo, nil) {
+			if err := seekTable(fm); err != nil {
+				return err
+			}
+		}
+	}
+	for l := 1; l < len(v.levels); l++ {
+		for _, fm := range v.levels[l] {
+			if fm.overlapsUser(lo, nil) {
+				if err := seekTable(fm); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	var curUser []byte
+	for h.Len() > 0 {
+		src := h[0]
+		ik, val := src.it.Key(), src.it.Value()
+		uk := ikey.UserKey(ik)
+		if hiExcl != nil && bytes.Compare(uk, hiExcl) >= 0 {
+			return nil
+		}
+		emit := curUser == nil || !bytes.Equal(curUser, uk)
+		if emit {
+			curUser = append(curUser[:0], uk...)
+			if ikey.KindOf(ik) != ikey.KindDelete {
+				if !fn(uk, val, ikey.Seq(ik)) {
+					return nil
+				}
+			}
+		}
+		if src.it.Next() {
+			heap.Fix(&h, 0)
+		} else {
+			if err := src.it.Err(); err != nil {
+				return err
+			}
+			heap.Pop(&h)
+		}
+	}
+	return nil
+}
+
+// tableIterAdapter bridges sstable.Iterator (whose SeekGE positions on the
+// first entry) to the Next-first entryIter protocol.
+type tableIterAdapter struct {
+	it         *sstable.Iterator
+	positioned bool
+}
+
+func (a *tableIterAdapter) Next() bool {
+	if a.positioned {
+		a.positioned = false
+		return true
+	}
+	return a.it.Next()
+}
+func (a *tableIterAdapter) Key() []byte   { return a.it.Key() }
+func (a *tableIterAdapter) Value() []byte { return a.it.Value() }
+func (a *tableIterAdapter) Err() error    { return a.it.Err() }

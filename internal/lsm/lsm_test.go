@@ -1,0 +1,561 @@
+package lsm
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"leveldbpp/internal/ikey"
+	"leveldbpp/internal/sstable"
+)
+
+// smallOpts returns options scaled so tests exercise flushes and multiple
+// compaction levels with tiny data volumes.
+func smallOpts() *Options {
+	return &Options{
+		MemTableBytes:       8 << 10, // 8 KiB
+		BlockSize:           1 << 10,
+		BaseLevelBytes:      32 << 10,
+		LevelMultiplier:     4,
+		L0CompactionTrigger: 4,
+		MaxLevels:           5,
+	}
+}
+
+func openTestDB(t testing.TB, opts *Options) (*DB, string) {
+	t.Helper()
+	dir := t.TempDir()
+	db, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db, dir
+}
+
+func mustPut(t testing.TB, db *DB, k, v string) {
+	t.Helper()
+	if err := db.Put([]byte(k), []byte(v)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustGet(t testing.TB, db *DB, k string) (string, bool) {
+	t.Helper()
+	v, ok, err := db.Get([]byte(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(v), ok
+}
+
+func TestPutGetDelete(t *testing.T) {
+	db, _ := openTestDB(t, smallOpts())
+	mustPut(t, db, "k1", "v1")
+	mustPut(t, db, "k2", "v2")
+	if v, ok := mustGet(t, db, "k1"); !ok || v != "v1" {
+		t.Fatalf("Get(k1) = %q %v", v, ok)
+	}
+	if _, ok := mustGet(t, db, "missing"); ok {
+		t.Fatal("found missing key")
+	}
+	if err := db.Delete([]byte("k1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mustGet(t, db, "k1"); ok {
+		t.Fatal("deleted key still visible")
+	}
+	if v, ok := mustGet(t, db, "k2"); !ok || v != "v2" {
+		t.Fatal("unrelated key lost")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	db, _ := openTestDB(t, smallOpts())
+	for i := 0; i < 10; i++ {
+		mustPut(t, db, "k", fmt.Sprintf("v%d", i))
+	}
+	if v, ok := mustGet(t, db, "k"); !ok || v != "v9" {
+		t.Fatalf("Get = %q %v, want v9", v, ok)
+	}
+}
+
+func TestFlushAndReadFromSSTable(t *testing.T) {
+	db, _ := openTestDB(t, smallOpts())
+	for i := 0; i < 100; i++ {
+		mustPut(t, db, fmt.Sprintf("key%04d", i), fmt.Sprintf("val%04d", i))
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var nL0 int
+	db.View(func(v *View) error { nL0 = len(v.L0()); return nil })
+	if nL0 == 0 {
+		t.Fatal("no L0 files after flush")
+	}
+	for i := 0; i < 100; i++ {
+		if v, ok := mustGet(t, db, fmt.Sprintf("key%04d", i)); !ok || v != fmt.Sprintf("val%04d", i) {
+			t.Fatalf("key%04d = %q %v", i, v, ok)
+		}
+	}
+}
+
+func TestCompactionPreservesData(t *testing.T) {
+	db, _ := openTestDB(t, smallOpts())
+	const n = 3000
+	rng := rand.New(rand.NewSource(1))
+	want := map[string]string{}
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key%05d", rng.Intn(1000))
+		v := fmt.Sprintf("val%08d", i)
+		want[k] = v
+		mustPut(t, db, k, v)
+	}
+	// Compactions must have run.
+	deepest := 0
+	db.View(func(v *View) error { deepest = v.DeepestNonEmpty(); return nil })
+	if deepest < 1 {
+		t.Fatalf("expected multi-level tree, deepest=%d", deepest)
+	}
+	for k, v := range want {
+		if got, ok := mustGet(t, db, k); !ok || got != v {
+			t.Fatalf("after compaction %s = %q %v, want %q", k, got, ok, v)
+		}
+	}
+}
+
+func TestDeleteSurvivesCompaction(t *testing.T) {
+	db, _ := openTestDB(t, smallOpts())
+	for i := 0; i < 500; i++ {
+		mustPut(t, db, fmt.Sprintf("key%05d", i), "v")
+	}
+	db.Flush()
+	for i := 0; i < 500; i += 2 {
+		if err := db.Delete([]byte(fmt.Sprintf("key%05d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Push everything down through several flush/compaction rounds.
+	for i := 0; i < 2000; i++ {
+		mustPut(t, db, fmt.Sprintf("pad%06d", i), "padpadpadpadpadpad")
+	}
+	for i := 0; i < 500; i++ {
+		_, ok := mustGet(t, db, fmt.Sprintf("key%05d", i))
+		if i%2 == 0 && ok {
+			t.Fatalf("deleted key%05d visible", i)
+		}
+		if i%2 == 1 && !ok {
+			t.Fatalf("live key%05d lost", i)
+		}
+	}
+}
+
+func TestRecovery(t *testing.T) {
+	dir := t.TempDir()
+	opts := smallOpts()
+	db, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{}
+	for i := 0; i < 1500; i++ {
+		k, v := fmt.Sprintf("key%05d", i%400), fmt.Sprintf("val%06d", i)
+		want[k] = v
+		mustPut(t, db, k, v)
+	}
+	db.Delete([]byte("key00007"))
+	delete(want, "key00007")
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for k, v := range want {
+		if got, ok := mustGet(t, db2, k); !ok || got != v {
+			t.Fatalf("after recovery %s = %q %v, want %q", k, got, ok, v)
+		}
+	}
+	if _, ok := mustGet(t, db2, "key00007"); ok {
+		t.Fatal("deleted key resurrected by recovery")
+	}
+	// Sequence numbers must continue, not restart.
+	pre := db2.LastSeq()
+	mustPut(t, db2, "post", "recovery")
+	if db2.LastSeq() != pre+1 || pre < 1500 {
+		t.Fatalf("sequence restarted: pre=%d", pre)
+	}
+}
+
+func TestRecoveryWithTornWAL(t *testing.T) {
+	dir := t.TempDir()
+	opts := smallOpts()
+	opts.MemTableBytes = 1 << 30 // never flush: everything stays in WAL
+	db, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		mustPut(t, db, fmt.Sprintf("k%03d", i), "v")
+	}
+	db.Close()
+	// Tear the last record.
+	walFile := filepath.Join(dir, "WAL")
+	fi, _ := os.Stat(walFile)
+	if err := os.Truncate(walFile, fi.Size()-2); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for i := 0; i < 49; i++ {
+		if _, ok := mustGet(t, db2, fmt.Sprintf("k%03d", i)); !ok {
+			t.Fatalf("k%03d lost", i)
+		}
+	}
+	if _, ok := mustGet(t, db2, "k049"); ok {
+		t.Fatal("torn record should be lost")
+	}
+}
+
+func TestWriteMerge(t *testing.T) {
+	opts := smallOpts()
+	opts.WriteMerge = func(existing, incoming []byte) []byte {
+		return append(append([]byte(nil), existing...), incoming...)
+	}
+	db, _ := openTestDB(t, opts)
+	mustPut(t, db, "list", "a")
+	mustPut(t, db, "list", "b")
+	mustPut(t, db, "list", "c")
+	if v, _ := mustGet(t, db, "list"); v != "abc" {
+		t.Fatalf("write-merged value = %q, want abc", v)
+	}
+	// After a flush the memtable is empty → no merge with disk values.
+	db.Flush()
+	mustPut(t, db, "list", "d")
+	if v, _ := mustGet(t, db, "list"); v != "d" {
+		t.Fatalf("fresh memtable value = %q, want d (fragments merge at compaction)", v)
+	}
+}
+
+// concatMerger joins all observed values oldest→newest with '|'.
+type concatMerger struct{}
+
+func (concatMerger) Merge(_ []byte, values [][]byte, _ bool) ([]byte, bool) {
+	// values arrive newest→oldest; concatenate oldest first.
+	var out []byte
+	for i := len(values) - 1; i >= 0; i-- {
+		if len(out) > 0 {
+			out = append(out, '|')
+		}
+		out = append(out, values[i]...)
+	}
+	return out, true
+}
+
+func TestCompactionMerger(t *testing.T) {
+	opts := smallOpts()
+	opts.Merge = concatMerger{}
+	db, _ := openTestDB(t, opts)
+	// Write fragments of the same key into separate L0 files.
+	mustPut(t, db, "frag", "one")
+	db.Flush()
+	mustPut(t, db, "frag", "two")
+	db.Flush()
+	mustPut(t, db, "frag", "three")
+	db.Flush()
+	mustPut(t, db, "frag", "four")
+	db.Flush() // 4 L0 files → triggers L0 compaction with merger
+	var nL0 int
+	db.View(func(v *View) error { nL0 = len(v.L0()); return nil })
+	if nL0 != 0 {
+		t.Fatalf("L0 not compacted: %d files", nL0)
+	}
+	if v, _ := mustGet(t, db, "frag"); v != "one|two|three|four" {
+		t.Fatalf("merged = %q", v)
+	}
+}
+
+func TestTombstoneDroppedAtBaseLevel(t *testing.T) {
+	db, _ := openTestDB(t, smallOpts())
+	mustPut(t, db, "victim", "v")
+	db.Flush()
+	db.Delete([]byte("victim"))
+	db.Flush()
+	// Force compactions until L0 is empty; the tombstone should vanish
+	// once it reaches the deepest level holding the key.
+	for i := 0; i < 3; i++ {
+		mustPut(t, db, fmt.Sprintf("fill%d", i), "x")
+		db.Flush()
+	}
+	if _, ok := mustGet(t, db, "victim"); ok {
+		t.Fatal("tombstone lost before shadowing its target")
+	}
+	// Scan all tables for any "victim" record.
+	found := false
+	db.View(func(v *View) error {
+		scan := func(fms []*FileMeta) {
+			for _, fm := range fms {
+				it := fm.Table().NewIterator(false)
+				for it.Next() {
+					if string(ikey.UserKey(it.Key())) == "victim" {
+						found = true
+					}
+				}
+			}
+		}
+		scan(v.L0())
+		for l := 1; l <= v.MaxLevel(); l++ {
+			scan(v.Level(l))
+		}
+		return nil
+	})
+	if found {
+		t.Fatal("victim record (or tombstone) still present after full compaction")
+	}
+}
+
+func TestLevelShapeInvariants(t *testing.T) {
+	db, _ := openTestDB(t, smallOpts())
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 6000; i++ {
+		mustPut(t, db, fmt.Sprintf("key%07d", rng.Intn(100000)), fmt.Sprintf("val%032d", i))
+	}
+	db.View(func(v *View) error {
+		for l := 1; l <= v.MaxLevel(); l++ {
+			files := v.Level(l)
+			for i := 1; i < len(files); i++ {
+				// Sorted and disjoint.
+				if bytes.Compare(ikey.UserKey(files[i-1].Largest), ikey.UserKey(files[i].Smallest)) >= 0 {
+					t.Errorf("level %d files overlap: %q vs %q",
+						l, ikey.UserKey(files[i-1].Largest), ikey.UserKey(files[i].Smallest))
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestRandomOpsMatchReferenceMap(t *testing.T) {
+	db, _ := openTestDB(t, smallOpts())
+	ref := map[string]string{}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 8000; i++ {
+		k := fmt.Sprintf("key%04d", rng.Intn(800))
+		switch rng.Intn(10) {
+		case 0:
+			if err := db.Delete([]byte(k)); err != nil {
+				t.Fatal(err)
+			}
+			delete(ref, k)
+		default:
+			v := fmt.Sprintf("val%08d", i)
+			mustPut(t, db, k, v)
+			ref[k] = v
+		}
+		if i%1000 == 999 {
+			// Spot-check a sample.
+			for j := 0; j < 50; j++ {
+				probe := fmt.Sprintf("key%04d", rng.Intn(800))
+				got, ok := mustGet(t, db, probe)
+				wantV, wantOK := ref[probe]
+				if ok != wantOK || (ok && got != wantV) {
+					t.Fatalf("op %d: %s = %q/%v, want %q/%v", i, probe, got, ok, wantV, wantOK)
+				}
+			}
+		}
+	}
+	for k, v := range ref {
+		if got, ok := mustGet(t, db, k); !ok || got != v {
+			t.Fatalf("final: %s = %q/%v want %q", k, got, ok, v)
+		}
+	}
+}
+
+func TestStatsCountIO(t *testing.T) {
+	db, _ := openTestDB(t, smallOpts())
+	for i := 0; i < 3000; i++ {
+		mustPut(t, db, fmt.Sprintf("key%06d", i), fmt.Sprintf("val%032d", i))
+	}
+	s := db.Stats().Snapshot()
+	if s.BlockWrites == 0 {
+		t.Error("no flush block writes recorded")
+	}
+	if s.CompactionWrites == 0 || s.CompactionReads == 0 {
+		t.Errorf("no compaction I/O recorded: %+v", s)
+	}
+	pre := db.Stats().Snapshot()
+	mustGet(t, db, "key000001") // old key: must be on disk
+	post := db.Stats().Snapshot().Sub(pre)
+	if post.BlockReads == 0 {
+		t.Error("disk Get did not count a block read")
+	}
+}
+
+func TestEmbeddedAttrsSurviveFlushAndCompaction(t *testing.T) {
+	opts := smallOpts()
+	opts.SecondaryAttrs = []string{"user"}
+	opts.Extract = func(key, value []byte) []sstable.AttrValue {
+		var doc map[string]string
+		if json.Unmarshal(value, &doc) != nil {
+			return nil
+		}
+		return []sstable.AttrValue{{Attr: "user", Value: doc["user"]}}
+	}
+	db, _ := openTestDB(t, opts)
+	for i := 0; i < 3000; i++ {
+		v := fmt.Sprintf(`{"user":"u%03d","text":"padding padding padding"}`, i%40)
+		mustPut(t, db, fmt.Sprintf("t%06d", i), v)
+	}
+	db.Flush()
+	// Every table at every level must carry the embedded structures.
+	db.View(func(v *View) error {
+		check := func(fms []*FileMeta, lvl string) {
+			for _, fm := range fms {
+				if !fm.Table().HasAttr("user") {
+					t.Errorf("%s table %d lacks embedded attr", lvl, fm.Num)
+				}
+				if c := fm.Table().SecondaryCandidates("user", "u007"); len(c) == 0 {
+					// u007 occurs every 40 entries; any table with ≥40
+					// sequential entries must contain it.
+					if fm.Table().EntryCount() > 80 {
+						t.Errorf("%s table %d: no candidates for frequent user", lvl, fm.Num)
+					}
+				}
+			}
+		}
+		check(v.L0(), "L0")
+		for l := 1; l <= v.MaxLevel(); l++ {
+			check(v.Level(l), fmt.Sprintf("L%d", l))
+		}
+		return nil
+	})
+	// MemTable B-tree must cover unflushed entries.
+	mustPut(t, db, "t999999", `{"user":"u999","text":"fresh"}`)
+	db.View(func(v *View) error {
+		tree := v.MemSecTree("user")
+		if tree == nil {
+			t.Fatal("no memtable secondary tree")
+		}
+		if ps := tree.Get("u999"); len(ps) != 1 || string(ps[0].Key) != "t999999" {
+			t.Fatalf("memtable B-tree postings = %v", ps)
+		}
+		return nil
+	})
+}
+
+func TestViewStrata(t *testing.T) {
+	opts := smallOpts()
+	opts.L0CompactionTrigger = 100 // keep L0 files around
+	db, _ := openTestDB(t, opts)
+	mustPut(t, db, "a", "1")
+	db.Flush()
+	mustPut(t, db, "b", "2")
+	db.Flush()
+	mustPut(t, db, "c", "3")
+	db.View(func(v *View) error {
+		if len(v.L0()) != 2 {
+			t.Fatalf("L0 files = %d", len(v.L0()))
+		}
+		// Newest first: the "b" file must precede the "a" file.
+		if string(ikey.UserKey(v.L0()[0].Smallest)) != "b" {
+			t.Fatalf("L0 not newest-first: %q", ikey.UserKey(v.L0()[0].Smallest))
+		}
+		if v.NumStrata() != 3 { // mem + 2 L0 files
+			t.Fatalf("NumStrata = %d", v.NumStrata())
+		}
+		if _, _, _, ok := v.MemGet([]byte("c")); !ok {
+			t.Fatal("memtable miss in view")
+		}
+		return nil
+	})
+}
+
+func TestClosedDBErrors(t *testing.T) {
+	db, _ := openTestDB(t, smallOpts())
+	db.Close()
+	if err := db.Put([]byte("k"), []byte("v")); err != ErrClosed {
+		t.Fatalf("Put after close: %v", err)
+	}
+	if _, _, err := db.Get([]byte("k")); err != ErrClosed {
+		t.Fatalf("Get after close: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestDiskUsageGrows(t *testing.T) {
+	db, _ := openTestDB(t, smallOpts())
+	before, _ := db.DiskUsage()
+	for i := 0; i < 2000; i++ {
+		mustPut(t, db, fmt.Sprintf("key%06d", i), fmt.Sprintf("val%064d", i))
+	}
+	db.Flush()
+	after, _ := db.DiskUsage()
+	if after <= before {
+		t.Fatalf("disk usage did not grow: %d → %d", before, after)
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	db, _ := openTestDB(b, &Options{MemTableBytes: 4 << 20})
+	val := bytes.Repeat([]byte("v"), 550) // paper's average tweet size
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("tweet%010d", i)), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetFromDisk(b *testing.B) {
+	db, _ := openTestDB(b, smallOpts())
+	const n = 5000
+	for i := 0; i < n; i++ {
+		db.Put([]byte(fmt.Sprintf("key%07d", i)), bytes.Repeat([]byte("v"), 100))
+	}
+	db.Flush()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Get([]byte(fmt.Sprintf("key%07d", i%n)))
+	}
+}
+
+func TestWriteAmplificationMeasured(t *testing.T) {
+	db, _ := openTestDB(t, smallOpts())
+	if db.WriteAmplification() != 0 {
+		t.Fatal("WAMF nonzero before ingest")
+	}
+	for i := 0; i < 8000; i++ {
+		mustPut(t, db, fmt.Sprintf("key%07d", i), fmt.Sprintf("val%048d", i))
+	}
+	db.Flush()
+	wamf := db.WriteAmplification()
+	// Data spans multiple levels, so each byte is rewritten a few times;
+	// compression can pull the physical ratio below 1, but multi-level
+	// churn must still leave a clearly positive factor.
+	if wamf < 0.3 || wamf > 50 {
+		t.Fatalf("implausible WAMF %.2f", wamf)
+	}
+	// Disabling compression must raise the physical ratio.
+	opts2 := smallOpts()
+	opts2.DisableCompression = true
+	db2, _ := openTestDB(t, opts2)
+	for i := 0; i < 8000; i++ {
+		mustPut(t, db2, fmt.Sprintf("key%07d", i), fmt.Sprintf("val%048d", i))
+	}
+	db2.Flush()
+	if db2.WriteAmplification() <= wamf {
+		t.Fatalf("uncompressed WAMF (%.2f) should exceed compressed (%.2f)", db2.WriteAmplification(), wamf)
+	}
+}

@@ -1,0 +1,74 @@
+package lsm
+
+import (
+	"bytes"
+
+	"leveldbpp/internal/btree"
+	"leveldbpp/internal/ikey"
+	"leveldbpp/internal/skiplist"
+)
+
+// memTable is the in-memory component C0: a skip list over internal keys
+// plus, when secondary attributes are indexed, a B-tree from attribute
+// value to postings (paper §3: "For lookup in the MemTable, we maintain an
+// in-memory B-tree on the secondary attribute(s)").
+type memTable struct {
+	list *skiplist.List
+	sec  map[string]*btree.Tree // attr name → value → postings
+}
+
+func newMemTable(secondaryAttrs []string) *memTable {
+	m := &memTable{list: skiplist.New(ikey.Compare)}
+	if len(secondaryAttrs) > 0 {
+		m.sec = make(map[string]*btree.Tree, len(secondaryAttrs))
+		for _, a := range secondaryAttrs {
+			m.sec[a] = btree.New()
+		}
+	}
+	return m
+}
+
+// add inserts a record and maintains the secondary B-trees.
+func (m *memTable) add(seq uint64, kind ikey.Kind, userKey, value []byte, extract AttrExtractor) {
+	ik := ikey.Make(userKey, seq, kind)
+	m.list.Insert(ik, value)
+	if m.sec != nil && kind == ikey.KindSet && extract != nil {
+		for _, av := range extract(userKey, value) {
+			if tree, ok := m.sec[av.Attr]; ok {
+				tree.Add(av.Value, btree.Posting{Key: userKey, Seq: seq})
+			}
+		}
+	}
+}
+
+// get returns the newest record for userKey: its value, sequence number
+// and kind.
+func (m *memTable) get(userKey []byte) (value []byte, seq uint64, kind ikey.Kind, ok bool) {
+	it := m.list.NewIterator()
+	it.SeekGE(ikey.SeekKey(userKey))
+	if !it.Valid() {
+		return nil, 0, 0, false
+	}
+	k := it.Key()
+	if !bytes.Equal(ikey.UserKey(k), userKey) {
+		return nil, 0, 0, false
+	}
+	return it.Value(), ikey.Seq(k), ikey.KindOf(k), true
+}
+
+// approximateBytes reports memory used by keys and values.
+func (m *memTable) approximateBytes() int64 { return m.list.ApproximateMemoryUsage() }
+
+// empty reports whether any record has been added.
+func (m *memTable) empty() bool { return m.list.Len() == 0 }
+
+// iter returns an iterator over the full internal-key order.
+func (m *memTable) iter() *skiplist.Iterator { return m.list.NewIterator() }
+
+// secTree returns the secondary B-tree for attr, or nil.
+func (m *memTable) secTree(attr string) *btree.Tree {
+	if m.sec == nil {
+		return nil
+	}
+	return m.sec[attr]
+}

@@ -1,0 +1,142 @@
+// Package lsm implements the leveled LSM-tree storage engine underneath
+// LevelDB++ (paper Appendix A.1/A.2): a WAL-backed MemTable, leveled
+// immutable SSTables with 10× fan-out, round-robin leveled compaction,
+// tombstone deletes, and exact logical block I/O accounting.
+//
+// The engine is deliberately single-writer with *inline* flush and
+// compaction: the paper picked LevelDB because a single-threaded store
+// isolates and explains index costs, and inline compaction additionally
+// makes every experiment deterministic. Reads are guarded by an RWMutex
+// and may run concurrently with each other.
+package lsm
+
+import (
+	"leveldbpp/internal/metrics"
+	"leveldbpp/internal/sstable"
+)
+
+// Merger combines multiple values of the same user key during compaction.
+// The Lazy secondary index uses it to merge posting-list fragments
+// scattered across levels (paper §4.1.2); the default (nil) behaviour
+// keeps only the newest value.
+type Merger interface {
+	// Merge receives every value observed for userKey in this compaction,
+	// ordered newest to oldest. bottom reports that no deeper level can
+	// contain this key, allowing deletion markers to be dropped.
+	// Returning keep=false elides the key from the output entirely.
+	Merge(userKey []byte, values [][]byte, bottom bool) (merged []byte, keep bool)
+}
+
+// WriteMerger combines an incoming value with the value already present in
+// the MemTable for the same key. The Lazy index uses it so that at most
+// one posting-list fragment per key exists per level, at zero disk-I/O
+// cost (DESIGN.md §5).
+type WriteMerger func(existing, incoming []byte) []byte
+
+// AttrExtractor reports the indexed secondary attribute values of an
+// entry; it is invoked at flush and compaction time to build the Embedded
+// index structures of each new SSTable. It may return nil.
+type AttrExtractor func(userKey, value []byte) []sstable.AttrValue
+
+// Options tunes a DB. The zero value is usable; defaults mirror LevelDB's
+// constants scaled to experiment-friendly sizes.
+type Options struct {
+	// MemTableBytes triggers a flush when the MemTable reaches this size.
+	// Default 4 MiB.
+	MemTableBytes int64
+	// BlockSize is the SSTable data-block target size. Default 4096.
+	BlockSize int
+	// BitsPerKey sizes primary bloom filters. Default 10.
+	BitsPerKey int
+	// SecondaryBitsPerKey sizes embedded secondary bloom filters.
+	// Default: BitsPerKey.
+	SecondaryBitsPerKey int
+	// Compression selects the SSTable block codec. Default: flate
+	// (disable for paper Appendix C.2 runs).
+	DisableCompression bool
+	// L0CompactionTrigger is the number of level-0 files that forces an
+	// L0→L1 compaction. Default 4.
+	L0CompactionTrigger int
+	// BaseLevelBytes is the target size of level 1; level i+1 is
+	// LevelMultiplier times larger. Default 10 MiB.
+	BaseLevelBytes int64
+	// LevelMultiplier is the fan-out between adjacent levels. Default 10
+	// (LevelDB's constant; the paper's cost formulas use it as N).
+	LevelMultiplier int
+	// MaxLevels bounds the tree depth. Default 7.
+	MaxLevels int
+	// SecondaryAttrs lists attributes to embed bloom filters and zone
+	// maps for (the Embedded index). Empty for index tables.
+	SecondaryAttrs []string
+	// Extract provides attribute values at table-build time; required
+	// when SecondaryAttrs is non-empty.
+	Extract AttrExtractor
+	// Merge, when set, merges multi-version values during compaction.
+	Merge Merger
+	// WriteMerge, when set, merges an incoming Put with the MemTable's
+	// current value for the key.
+	WriteMerge WriteMerger
+	// SyncWAL forces an fsync per write. Off by default (the paper's
+	// throughput experiments run LevelDB in its default async mode).
+	SyncWAL bool
+	// BlockCacheBytes enables an LRU block cache of the given capacity.
+	// 0 disables caching — the paper's configuration ("No block cache
+	// was used"), keeping measured block I/O purely algorithmic.
+	BlockCacheBytes int64
+	// Stats receives I/O accounting. If nil a private IOStats is used.
+	Stats *metrics.IOStats
+}
+
+func (o *Options) withDefaults() Options {
+	opts := Options{}
+	if o != nil {
+		opts = *o
+	}
+	if opts.MemTableBytes <= 0 {
+		opts.MemTableBytes = 4 << 20
+	}
+	if opts.BlockSize <= 0 {
+		opts.BlockSize = 4096
+	}
+	if opts.BitsPerKey <= 0 {
+		opts.BitsPerKey = 10
+	}
+	if opts.SecondaryBitsPerKey <= 0 {
+		opts.SecondaryBitsPerKey = opts.BitsPerKey
+	}
+	if opts.L0CompactionTrigger <= 0 {
+		opts.L0CompactionTrigger = 4
+	}
+	if opts.BaseLevelBytes <= 0 {
+		opts.BaseLevelBytes = 10 << 20
+	}
+	if opts.LevelMultiplier <= 1 {
+		opts.LevelMultiplier = 10
+	}
+	if opts.MaxLevels <= 1 {
+		opts.MaxLevels = 7
+	}
+	if opts.Stats == nil {
+		opts.Stats = &metrics.IOStats{}
+	}
+	return opts
+}
+
+func (o Options) compression() sstable.Compression {
+	if o.DisableCompression {
+		return sstable.NoCompression
+	}
+	return sstable.FlateCompression
+}
+
+func (o Options) tableOptions(compaction bool) sstable.Options {
+	return sstable.Options{
+		BlockSize:           o.BlockSize,
+		BitsPerKey:          o.BitsPerKey,
+		SecondaryBitsPerKey: o.SecondaryBitsPerKey,
+		Compression:         o.compression(),
+		SecondaryAttrs:      o.SecondaryAttrs,
+		Stats:               o.Stats,
+		CompactionIO:        compaction,
+	}
+}

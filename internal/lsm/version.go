@@ -1,0 +1,164 @@
+package lsm
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"leveldbpp/internal/ikey"
+	"leveldbpp/internal/sstable"
+)
+
+// FileMeta describes one SSTable in the tree: its file number, size, key
+// range, and the open table handle (all tables stay open, mirroring the
+// paper's max_open_files=30000 configuration that keeps every filter in
+// memory).
+type FileMeta struct {
+	Num      uint64
+	Size     int64
+	Smallest []byte // internal key
+	Largest  []byte // internal key
+	tbl      *sstable.Table
+	f        *os.File
+}
+
+// Table returns the open table handle.
+func (fm *FileMeta) Table() *sstable.Table { return fm.tbl }
+
+func (fm *FileMeta) overlapsUser(loUser, hiUser []byte) bool {
+	// [loUser, hiUser] inclusive, nil means unbounded.
+	if hiUser != nil && bytes.Compare(ikey.UserKey(fm.Smallest), hiUser) > 0 {
+		return false
+	}
+	if loUser != nil && bytes.Compare(ikey.UserKey(fm.Largest), loUser) < 0 {
+		return false
+	}
+	return true
+}
+
+// version is the current shape of the tree: levels[0] holds overlapping
+// files ordered newest-first; deeper levels hold disjoint files sorted by
+// smallest key.
+type version struct {
+	levels [][]*FileMeta
+}
+
+func newVersion(maxLevels int) *version {
+	return &version{levels: make([][]*FileMeta, maxLevels)}
+}
+
+// levelBytes sums file sizes in a level.
+func (v *version) levelBytes(level int) int64 {
+	var n int64
+	for _, f := range v.levels[level] {
+		n += f.Size
+	}
+	return n
+}
+
+// overlappingFiles returns the files in level whose user-key range
+// intersects [loUser, hiUser].
+func (v *version) overlappingFiles(level int, loUser, hiUser []byte) []*FileMeta {
+	var out []*FileMeta
+	for _, f := range v.levels[level] {
+		if f.overlapsUser(loUser, hiUser) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// findFile binary-searches a sorted (level ≥ 1) level for the single file
+// that may contain userKey.
+func (v *version) findFile(level int, userKey []byte) *FileMeta {
+	files := v.levels[level]
+	i := sort.Search(len(files), func(i int) bool {
+		return bytes.Compare(ikey.UserKey(files[i].Largest), userKey) >= 0
+	})
+	if i < len(files) && bytes.Compare(ikey.UserKey(files[i].Smallest), userKey) <= 0 {
+		return files[i]
+	}
+	return nil
+}
+
+// isBaseLevelForKey reports that no level deeper than level contains
+// userKey's range, so tombstones may be dropped.
+func (v *version) isBaseLevelForKey(level int, userKey []byte) bool {
+	for l := level + 1; l < len(v.levels); l++ {
+		for _, f := range v.levels[l] {
+			if f.overlapsUser(userKey, userKey) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// --- manifest persistence ---------------------------------------------
+
+// manifest is the JSON-serialized durable tree state. It is rewritten
+// atomically (temp file + rename) after every flush or compaction.
+type manifest struct {
+	NextFileNum uint64         `json:"next_file_num"`
+	LastSeq     uint64         `json:"last_seq"`
+	Levels      [][]fileRecord `json:"levels"`
+}
+
+type fileRecord struct {
+	Num      uint64 `json:"num"`
+	Size     int64  `json:"size"`
+	Smallest string `json:"smallest"` // base64 internal key
+	Largest  string `json:"largest"`
+}
+
+func manifestPath(dir string) string { return filepath.Join(dir, "MANIFEST") }
+
+func saveManifest(dir string, m manifest) error {
+	data, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		return fmt.Errorf("lsm: encode manifest: %w", err)
+	}
+	tmp := manifestPath(dir) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("lsm: write manifest: %w", err)
+	}
+	return os.Rename(tmp, manifestPath(dir))
+}
+
+func loadManifest(dir string) (manifest, bool, error) {
+	data, err := os.ReadFile(manifestPath(dir))
+	if os.IsNotExist(err) {
+		return manifest{}, false, nil
+	}
+	if err != nil {
+		return manifest{}, false, fmt.Errorf("lsm: read manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return manifest{}, false, fmt.Errorf("lsm: decode manifest: %w", err)
+	}
+	return m, true, nil
+}
+
+func (v *version) toManifest(nextFileNum, lastSeq uint64) manifest {
+	m := manifest{NextFileNum: nextFileNum, LastSeq: lastSeq, Levels: make([][]fileRecord, len(v.levels))}
+	for l, files := range v.levels {
+		for _, f := range files {
+			m.Levels[l] = append(m.Levels[l], fileRecord{
+				Num:      f.Num,
+				Size:     f.Size,
+				Smallest: base64.StdEncoding.EncodeToString(f.Smallest),
+				Largest:  base64.StdEncoding.EncodeToString(f.Largest),
+			})
+		}
+	}
+	return m
+}
+
+func tablePath(dir string, num uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%06d.sst", num))
+}

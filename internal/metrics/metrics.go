@@ -1,0 +1,252 @@
+// Package metrics provides the measurement primitives behind every figure
+// in the study: atomic I/O counters (the paper reports cumulative disk I/O,
+// Figures 9c and 13–15), latency histograms with quartiles and whiskers
+// (the box-and-whisker plots of Figures 10–11), and cumulative series.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// IOStats counts logical disk-block I/O. The engine increments these at
+// every block boundary, so experiments measure algorithmic I/O exactly,
+// independent of OS caching (see DESIGN.md §3).
+type IOStats struct {
+	BlockReads           atomic.Int64 // data/index block reads on the read path
+	BlockReadBytes       atomic.Int64
+	BlockWrites          atomic.Int64 // block writes from memtable flushes
+	BlockWriteBytes      atomic.Int64
+	CompactionReads      atomic.Int64 // block reads performed by compactions
+	CompactionReadBytes  atomic.Int64
+	CompactionWrites     atomic.Int64 // block writes performed by compactions
+	CompactionWriteBytes atomic.Int64
+	CacheHits            atomic.Int64 // block reads served from the block cache
+	CacheMisses          atomic.Int64
+}
+
+// Snapshot is a point-in-time copy of IOStats.
+type Snapshot struct {
+	BlockReads, BlockReadBytes             int64
+	BlockWrites, BlockWriteBytes           int64
+	CompactionReads, CompactionReadBytes   int64
+	CompactionWrites, CompactionWriteBytes int64
+	CacheHits, CacheMisses                 int64
+}
+
+// Snapshot returns a consistent-enough copy for reporting (fields are read
+// individually; exactness across fields is not required by any experiment).
+func (s *IOStats) Snapshot() Snapshot {
+	return Snapshot{
+		BlockReads:           s.BlockReads.Load(),
+		BlockReadBytes:       s.BlockReadBytes.Load(),
+		BlockWrites:          s.BlockWrites.Load(),
+		BlockWriteBytes:      s.BlockWriteBytes.Load(),
+		CompactionReads:      s.CompactionReads.Load(),
+		CompactionReadBytes:  s.CompactionReadBytes.Load(),
+		CompactionWrites:     s.CompactionWrites.Load(),
+		CompactionWriteBytes: s.CompactionWriteBytes.Load(),
+		CacheHits:            s.CacheHits.Load(),
+		CacheMisses:          s.CacheMisses.Load(),
+	}
+}
+
+// TotalIO returns all block operations (reads + writes, foreground and
+// compaction), the paper's "cumulative number of disk I/O".
+func (sn Snapshot) TotalIO() int64 {
+	return sn.BlockReads + sn.BlockWrites + sn.CompactionReads + sn.CompactionWrites
+}
+
+// CompactionIO returns compaction-attributed block operations.
+func (sn Snapshot) CompactionIO() int64 { return sn.CompactionReads + sn.CompactionWrites }
+
+// Sub returns sn - other, field-wise, for interval measurements.
+func (sn Snapshot) Sub(other Snapshot) Snapshot {
+	return Snapshot{
+		BlockReads:           sn.BlockReads - other.BlockReads,
+		BlockReadBytes:       sn.BlockReadBytes - other.BlockReadBytes,
+		BlockWrites:          sn.BlockWrites - other.BlockWrites,
+		BlockWriteBytes:      sn.BlockWriteBytes - other.BlockWriteBytes,
+		CompactionReads:      sn.CompactionReads - other.CompactionReads,
+		CompactionReadBytes:  sn.CompactionReadBytes - other.CompactionReadBytes,
+		CompactionWrites:     sn.CompactionWrites - other.CompactionWrites,
+		CompactionWriteBytes: sn.CompactionWriteBytes - other.CompactionWriteBytes,
+		CacheHits:            sn.CacheHits - other.CacheHits,
+		CacheMisses:          sn.CacheMisses - other.CacheMisses,
+	}
+}
+
+// Histogram collects latency (or any scalar) samples and reports the
+// five-number summary used in the paper's box plots. It keeps every sample
+// up to a cap, then switches to uniform reservoir sampling, preserving
+// unbiased quantile estimates for arbitrarily long runs.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []float64
+	sorted  bool
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	cap     int
+	rnd     *rand.Rand
+}
+
+// NewHistogram returns a histogram retaining at most capSamples raw values
+// (0 means the default of 100 000).
+func NewHistogram(capSamples int) *Histogram {
+	if capSamples <= 0 {
+		capSamples = 100000
+	}
+	return &Histogram{cap: capSamples, min: math.Inf(1), max: math.Inf(-1), rnd: rand.New(rand.NewSource(1))}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	if len(h.samples) < h.cap {
+		h.samples = append(h.samples, v)
+	} else if j := h.rnd.Int63n(h.count); j < int64(h.cap) {
+		h.samples[j] = v
+	}
+	h.sorted = false
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { h.mu.Lock(); defer h.mu.Unlock(); return h.count }
+
+// Mean returns the arithmetic mean of all observations (not just retained
+// samples).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min and Max return observed extremes over the full stream.
+func (h *Histogram) Min() float64 { h.mu.Lock(); defer h.mu.Unlock(); return h.min }
+func (h *Histogram) Max() float64 { h.mu.Lock(); defer h.mu.Unlock(); return h.max }
+
+// Quantile returns the q-quantile (0 <= q <= 1) estimated from retained
+// samples using linear interpolation.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+	if q <= 0 {
+		return h.samples[0]
+	}
+	if q >= 1 {
+		return h.samples[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return h.samples[n-1]
+	}
+	return h.samples[lo]*(1-frac) + h.samples[lo+1]*frac
+}
+
+// BoxPlot is the five-number summary drawn in Figures 10–11: quartile
+// boundaries plus whiskers at the most distant points within 1.5×IQR of
+// the box, exactly as the paper describes its plots.
+type BoxPlot struct {
+	WhiskerLow  float64
+	Q1          float64
+	Median      float64
+	Q3          float64
+	WhiskerHigh float64
+	Mean        float64
+	Count       int64
+}
+
+// BoxPlot computes the summary.
+func (h *Histogram) BoxPlot() BoxPlot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	b := BoxPlot{Count: h.count}
+	if h.count == 0 {
+		return b
+	}
+	b.Q1 = h.quantileLocked(0.25)
+	b.Median = h.quantileLocked(0.5)
+	b.Q3 = h.quantileLocked(0.75)
+	b.Mean = h.sum / float64(h.count)
+	iqr := b.Q3 - b.Q1
+	loFence, hiFence := b.Q1-1.5*iqr, b.Q3+1.5*iqr
+	b.WhiskerLow, b.WhiskerHigh = b.Q3, b.Q1
+	for _, v := range h.samples {
+		if v >= loFence && v < b.WhiskerLow {
+			b.WhiskerLow = v
+		}
+		if v <= hiFence && v > b.WhiskerHigh {
+			b.WhiskerHigh = v
+		}
+	}
+	return b
+}
+
+// String renders the summary in one line, in microseconds-agnostic units.
+func (b BoxPlot) String() string {
+	return fmt.Sprintf("n=%d whiskers=[%.1f, %.1f] box=[%.1f, %.1f] median=%.1f mean=%.1f",
+		b.Count, b.WhiskerLow, b.WhiskerHigh, b.Q1, b.Q3, b.Median, b.Mean)
+}
+
+// Series is an append-only (x, y) sequence for cumulative plots
+// (Figures 9 and 13–15).
+type Series struct {
+	mu     sync.Mutex
+	Name   string
+	Points []Point
+}
+
+// Point is a single series sample.
+type Point struct{ X, Y float64 }
+
+// NewSeries returns a named empty series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Append adds a point.
+func (s *Series) Append(x, y float64) {
+	s.mu.Lock()
+	s.Points = append(s.Points, Point{x, y})
+	s.mu.Unlock()
+}
+
+// Last returns the most recent point and whether one exists.
+func (s *Series) Last() (Point, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.Points) == 0 {
+		return Point{}, false
+	}
+	return s.Points[len(s.Points)-1], true
+}

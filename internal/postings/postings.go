@@ -1,0 +1,110 @@
+// Package postings implements the JSON-serialized posting lists used by
+// the Stand-Alone Eager and Lazy indexes (paper §4.1): for each secondary
+// attribute value, an index table stores the list of primary keys carrying
+// that value, newest first, each entry stamped with the write's sequence
+// number ("we attach a sequence number to each entry in the postings list
+// on every write").
+//
+// Lazy-index deletions are represented as in the paper: "DEL ... maintains
+// a deletion marker which is used during merge in compaction to remove the
+// deleted entry."
+package postings
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Entry is one posting: a primary key, the sequence number of the write
+// that produced it, and an optional deletion marker.
+type Entry struct {
+	Key string `json:"k"`
+	Seq uint64 `json:"s"`
+	Del bool   `json:"d,omitempty"`
+}
+
+// List is a posting list ordered newest (highest Seq) first.
+type List []Entry
+
+// Encode serializes the list as a single JSON array — the paper's
+// representation ("Posting lists can be serialized as a single JSON
+// array").
+func Encode(l List) []byte {
+	if len(l) == 0 {
+		return []byte("[]")
+	}
+	data, err := json.Marshal(l)
+	if err != nil {
+		// A List of plain structs cannot fail to marshal.
+		panic(fmt.Sprintf("postings: marshal: %v", err))
+	}
+	return data
+}
+
+// Decode parses a serialized posting list.
+func Decode(data []byte) (List, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	var l List
+	if err := json.Unmarshal(data, &l); err != nil {
+		return nil, fmt.Errorf("postings: decode: %w", err)
+	}
+	return l, nil
+}
+
+// Single returns an encoded one-entry list — the fragment a Lazy-index
+// PUT writes.
+func Single(key string, seq uint64, del bool) []byte {
+	return Encode(List{{Key: key, Seq: seq, Del: del}})
+}
+
+// Merge combines fragments ordered newest-fragment-first into one list:
+// per primary key only the newest entry survives, and when dropDeleted is
+// true (bottom-level compaction) surviving deletion markers are removed.
+// The result is ordered newest first.
+func Merge(fragments []List, dropDeleted bool) List {
+	newest := map[string]Entry{}
+	for _, frag := range fragments {
+		for _, e := range frag {
+			if cur, ok := newest[e.Key]; !ok || e.Seq > cur.Seq {
+				newest[e.Key] = e
+			}
+		}
+	}
+	out := make(List, 0, len(newest))
+	for _, e := range newest {
+		if dropDeleted && e.Del {
+			continue
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq > out[j].Seq })
+	return out
+}
+
+// Add prepends a new posting for key with seq, superseding any existing
+// entry for the same primary key — the Eager index's read-modify-write
+// step. The result stays newest-first.
+func Add(l List, key string, seq uint64, del bool) List {
+	out := make(List, 0, len(l)+1)
+	out = append(out, Entry{Key: key, Seq: seq, Del: del})
+	for _, e := range l {
+		if e.Key != key {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Live returns the non-deleted entries, preserving order.
+func Live(l List) List {
+	out := make(List, 0, len(l))
+	for _, e := range l {
+		if !e.Del {
+			out = append(out, e)
+		}
+	}
+	return out
+}

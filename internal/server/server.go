@@ -1,0 +1,348 @@
+// Package server exposes a LevelDB++ database over HTTP/JSON — the thin
+// network front a single-node NoSQL store needs to be usable as a
+// service. The API mirrors the paper's operation set (Table 1) plus this
+// repository's extensions:
+//
+//	PUT    /doc/{key}                         store document (JSON body)
+//	GET    /doc/{key}                         fetch document
+//	DELETE /doc/{key}                         delete document
+//	GET    /lookup?attr=A&value=a&k=K         LOOKUP(A, a, K)
+//	GET    /rangelookup?attr=A&lo=a&hi=b&k=K  RANGELOOKUP(A, a, b, K)
+//	GET    /scan?lo=a&hi=b&limit=N            primary-key range scan
+//	POST   /batch                             atomic batch (JSON body)
+//	GET    /stats                             I/O counters, sizes, WAMF
+//	POST   /flush                             force MemTables to disk
+//	POST   /compact                           full manual compaction
+//	GET    /check                             full consistency audit
+//	GET    /debug                             level-shape dump
+//
+// All responses are JSON. Errors use standard status codes with a
+// {"error": "..."} body.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"leveldbpp/internal/core"
+)
+
+// Server is an http.Handler over one database.
+type Server struct {
+	db  *core.DB
+	mux *http.ServeMux
+}
+
+// New wraps db in an HTTP handler.
+func New(db *core.DB) *Server {
+	s := &Server{db: db, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/doc/", s.handleDoc)
+	s.mux.HandleFunc("/lookup", s.handleLookup)
+	s.mux.HandleFunc("/rangelookup", s.handleRangeLookup)
+	s.mux.HandleFunc("/scan", s.handleScan)
+	s.mux.HandleFunc("/batch", s.handleBatch)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/flush", s.handleFlush)
+	s.mux.HandleFunc("/compact", s.handleCompact)
+	s.mux.HandleFunc("/check", s.handleCheck)
+	s.mux.HandleFunc("/debug", s.handleDebug)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// maxBodyBytes bounds request bodies (1 MiB documents, 16 MiB batches).
+const (
+	maxDocBytes   = 1 << 20
+	maxBatchBytes = 16 << 20
+)
+
+func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
+	key := strings.TrimPrefix(r.URL.Path, "/doc/")
+	if key == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing document key"))
+		return
+	}
+	switch r.Method {
+	case http.MethodPut, http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxDocBytes+1))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if len(body) > maxDocBytes {
+			writeErr(w, http.StatusRequestEntityTooLarge, fmt.Errorf("document exceeds %d bytes", maxDocBytes))
+			return
+		}
+		if err := s.db.Put(key, body); err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"key": key})
+	case http.MethodGet:
+		value, ok, err := s.db.Get(key)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("key %q not found", key))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(value)
+	case http.MethodDelete:
+		if err := s.db.Delete(key); err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"deleted": key})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	}
+}
+
+func parseK(r *http.Request) (int, error) {
+	ks := r.URL.Query().Get("k")
+	if ks == "" {
+		return 0, nil
+	}
+	k, err := strconv.Atoi(ks)
+	if err != nil {
+		return 0, fmt.Errorf("bad k %q: %w", ks, err)
+	}
+	return k, nil
+}
+
+// entryJSON is the wire form of one query result.
+type entryJSON struct {
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value"`
+	Seq   uint64          `json:"seq"`
+}
+
+func toWire(entries []core.Entry) []entryJSON {
+	out := make([]entryJSON, len(entries))
+	for i, e := range entries {
+		v := json.RawMessage(e.Value)
+		if !json.Valid(v) {
+			// Non-JSON payloads are re-encoded as JSON strings.
+			b, _ := json.Marshal(string(e.Value))
+			v = b
+		}
+		out[i] = entryJSON{Key: e.Key, Value: v, Seq: e.Seq}
+	}
+	return out
+}
+
+func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	attr, value := q.Get("attr"), q.Get("value")
+	if attr == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("attr parameter required"))
+		return
+	}
+	k, err := parseK(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	entries, err := s.db.Lookup(attr, value, k)
+	if errors.Is(err, core.ErrUnknownAttr) {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toWire(entries))
+}
+
+func (s *Server) handleRangeLookup(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	attr := q.Get("attr")
+	if attr == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("attr parameter required"))
+		return
+	}
+	k, err := parseK(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	entries, err := s.db.RangeLookup(attr, q.Get("lo"), q.Get("hi"), k)
+	if errors.Is(err, core.ErrUnknownAttr) {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toWire(entries))
+}
+
+func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := 1000
+	if ls := q.Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n <= 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", ls))
+			return
+		}
+		limit = n
+	}
+	var out []entryJSON
+	err := s.db.Scan(q.Get("lo"), q.Get("hi"), func(key string, value []byte) bool {
+		out = append(out, toWire([]core.Entry{{Key: key, Value: value}})[0])
+		return len(out) < limit
+	})
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// batchRequest is the wire form of an atomic batch.
+type batchRequest struct {
+	Ops []struct {
+		Op    string          `json:"op"` // "put" | "delete"
+		Key   string          `json:"key"`
+		Value json.RawMessage `json:"value,omitempty"`
+	} `json:"ops"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBatchBytes+1))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(body) > maxBatchBytes {
+		writeErr(w, http.StatusRequestEntityTooLarge, fmt.Errorf("batch exceeds %d bytes", maxBatchBytes))
+		return
+	}
+	var req batchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode batch: %w", err))
+		return
+	}
+	var b core.Batch
+	for i, op := range req.Ops {
+		switch op.Op {
+		case "put":
+			if op.Key == "" {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("op %d: missing key", i))
+				return
+			}
+			b.Put(op.Key, op.Value)
+		case "delete":
+			if op.Key == "" {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("op %d: missing key", i))
+				return
+			}
+			b.Delete(op.Key)
+		default:
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("op %d: unknown op %q", i, op.Op))
+			return
+		}
+	}
+	if err := s.db.Apply(&b); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"applied": b.Len()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	prim, idx, err := s.db.DiskUsage()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	st := s.db.Stats()
+	pWAMF, idxWAMF := s.db.WriteAmplification()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"index_kind":           s.db.Kind().String(),
+		"disk_primary_bytes":   prim,
+		"disk_index_bytes":     idx,
+		"filter_memory_bytes":  s.db.FilterMemoryUsage(),
+		"primary_io":           st.Primary,
+		"index_io":             st.Index,
+		"primary_wamf":         pWAMF,
+		"index_wamf_per_attr":  idxWAMF,
+		"last_sequence_number": s.db.LastSeq(),
+	})
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	if err := s.db.Flush(); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"flushed": true})
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	q := r.URL.Query()
+	if err := s.db.CompactRange(q.Get("lo"), q.Get("hi")); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"compacted": true})
+}
+
+func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, s.db.DebugString())
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	reports, err := s.db.Verify()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	ok := true
+	for _, rep := range reports {
+		if !rep.OK() {
+			ok = false
+		}
+	}
+	status := http.StatusOK
+	if !ok {
+		status = http.StatusInternalServerError
+	}
+	writeJSON(w, status, map[string]interface{}{"ok": ok, "reports": reports})
+}

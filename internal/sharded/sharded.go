@@ -1,0 +1,441 @@
+// Package sharded layers hash partitioning over LevelDB++ stores,
+// reproducing the paper's Appendix D discussion: "in the distributed
+// setting the main tradeoff is local versus global secondary indexes"
+// (Riak's per-partition Stand-Alone indexes vs DynamoDB's global ones).
+//
+// Two modes are provided:
+//
+//   - LocalIndexes: each data shard maintains its own secondary index
+//     (any of the paper's five techniques). A LOOKUP scatter-gathers
+//     across every shard — cheap writes, fan-out reads (Riak's design).
+//
+//   - GlobalIndexes: a separate ring of index shards is partitioned by
+//     *attribute value*; each entry projects the full document
+//     (DynamoDB's global secondary index with full projection). A LOOKUP
+//     touches exactly one index shard — fan-out writes, cheap reads.
+//
+// Global recency ordering across shards cannot use per-shard LSM
+// sequence numbers; the cluster stamps a logical timestamp (the "_gseq"
+// field) into every stored document and ranks results by it.
+package sharded
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"leveldbpp/internal/bloom"
+	"leveldbpp/internal/core"
+	"leveldbpp/internal/lsm"
+)
+
+// Mode selects the distributed indexing strategy.
+type Mode int
+
+// The two strategies of Appendix D.
+const (
+	// LocalIndexes: per-shard secondary indexes, scatter-gather queries.
+	LocalIndexes Mode = iota
+	// GlobalIndexes: attribute-partitioned index shards with full
+	// document projection, single-shard queries.
+	GlobalIndexes
+)
+
+// GSeqField is the metadata field the cluster injects into stored
+// documents to provide a cluster-wide insertion order.
+const GSeqField = "_gseq"
+
+// Options configures a Cluster.
+type Options struct {
+	// Shards is the number of data partitions (and, in GlobalIndexes
+	// mode, index partitions). Default 4.
+	Shards int
+	// Mode selects local or global secondary indexes.
+	Mode Mode
+	// Store configures each underlying LevelDB++ shard. In GlobalIndexes
+	// mode the per-shard Index is forced to IndexNone (the global ring
+	// replaces it).
+	Store core.Options
+}
+
+// Cluster is a hash-partitioned set of LevelDB++ stores.
+type Cluster struct {
+	opts   Options
+	shards []*core.DB
+	global []*lsm.DB // GlobalIndexes: one composite-keyed table per partition, all attrs
+
+	mu   sync.Mutex
+	gseq uint64
+}
+
+// Open creates or reopens a cluster rooted at dir.
+func Open(dir string, opts Options) (*Cluster, error) {
+	if opts.Shards <= 0 {
+		opts.Shards = 4
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sharded: create dir: %w", err)
+	}
+	c := &Cluster{opts: opts}
+
+	storeOpts := opts.Store
+	if opts.Mode == GlobalIndexes {
+		storeOpts.Index = core.IndexNone
+	}
+	for i := 0; i < opts.Shards; i++ {
+		db, err := core.Open(filepath.Join(dir, fmt.Sprintf("shard-%02d", i)), storeOpts)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.shards = append(c.shards, db)
+	}
+	if opts.Mode == GlobalIndexes {
+		for i := 0; i < opts.Shards; i++ {
+			idx, err := lsm.Open(filepath.Join(dir, fmt.Sprintf("gindex-%02d", i)), &lsm.Options{
+				MemTableBytes:       opts.Store.MemTableBytes,
+				BlockSize:           opts.Store.BlockSize,
+				BaseLevelBytes:      opts.Store.BaseLevelBytes,
+				LevelMultiplier:     opts.Store.LevelMultiplier,
+				L0CompactionTrigger: opts.Store.L0CompactionTrigger,
+				MaxLevels:           opts.Store.MaxLevels,
+			})
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			c.global = append(c.global, idx)
+		}
+	}
+	// Recover the logical clock: the maximum _gseq across shards is a
+	// lower bound; per-shard LSM sequence counts bound the rest. Simplest
+	// sound recovery: sum of all shards' LastSeq (strictly ≥ any issued
+	// gseq, preserving monotonicity).
+	for _, s := range c.shards {
+		c.gseq += s.LastSeq()
+	}
+	for _, g := range c.global {
+		c.gseq += g.LastSeq()
+	}
+	return c, nil
+}
+
+// Close releases every shard.
+func (c *Cluster) Close() error {
+	var first error
+	for _, s := range c.shards {
+		if s == nil {
+			continue
+		}
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, g := range c.global {
+		if err := g.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// shardFor routes a primary key to its data shard.
+func (c *Cluster) shardFor(key string) *core.DB {
+	return c.shards[bloom.Hash([]byte(key))%uint64(len(c.shards))]
+}
+
+// indexShardFor routes an attribute value to its global index shard.
+func (c *Cluster) indexShardFor(attrValue string) *lsm.DB {
+	return c.global[bloom.Hash([]byte(attrValue))%uint64(len(c.global))]
+}
+
+// stamp injects the cluster-wide logical timestamp into a document.
+func stamp(doc []byte, gseq uint64) ([]byte, error) {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(doc, &m); err != nil {
+		return nil, fmt.Errorf("sharded: document must be a JSON object: %w", err)
+	}
+	m[GSeqField] = json.RawMessage(fmt.Sprintf("%q", encodeGSeq(gseq)))
+	return json.Marshal(m)
+}
+
+func encodeGSeq(g uint64) string { return fmt.Sprintf("%016d", g) }
+
+func gseqOf(doc []byte) (string, bool) {
+	var m map[string]json.RawMessage
+	if json.Unmarshal(doc, &m) != nil {
+		return "", false
+	}
+	raw, ok := m[GSeqField]
+	if !ok {
+		return "", false
+	}
+	var s string
+	if json.Unmarshal(raw, &s) != nil {
+		return "", false
+	}
+	return s, true
+}
+
+func attrOf(doc []byte, attr string) (string, bool) {
+	var m map[string]json.RawMessage
+	if json.Unmarshal(doc, &m) != nil {
+		return "", false
+	}
+	raw, ok := m[attr]
+	if !ok {
+		return "", false
+	}
+	var s string
+	if json.Unmarshal(raw, &s) != nil {
+		return "", false
+	}
+	return s, true
+}
+
+const sep = byte(0)
+
+func compositeKey(attr, value, primary string) []byte {
+	k := make([]byte, 0, len(attr)+len(value)+len(primary)+2)
+	k = append(k, attr...)
+	k = append(k, sep)
+	k = append(k, value...)
+	k = append(k, sep)
+	k = append(k, primary...)
+	return k
+}
+
+func splitComposite(k []byte) (attr, value, primary string, ok bool) {
+	first := -1
+	for i, b := range k {
+		if b != sep {
+			continue
+		}
+		if first < 0 {
+			first = i
+			continue
+		}
+		return string(k[:first]), string(k[first+1 : i]), string(k[i+1:]), true
+	}
+	return "", "", "", false
+}
+
+// Put stores the document (a JSON object) under key. The stored form
+// carries the injected GSeqField.
+func (c *Cluster) Put(key string, doc []byte) error {
+	c.mu.Lock()
+	c.gseq++
+	g := c.gseq
+	c.mu.Unlock()
+
+	stamped, err := stamp(doc, g)
+	if err != nil {
+		return err
+	}
+	shard := c.shardFor(key)
+
+	if c.opts.Mode == GlobalIndexes {
+		// Fan-out writes: one global index entry per indexed attribute,
+		// carrying the full projected document (DynamoDB "ALL"
+		// projection). Stale entries from attribute changes are filtered
+		// at query time by comparing GSeq with the current record.
+		for _, attr := range c.opts.Store.Attrs {
+			v, ok := attrOf(stamped, attr)
+			if !ok {
+				continue
+			}
+			if err := c.indexShardFor(v).Put(compositeKey(attr, v, key), stamped); err != nil {
+				return err
+			}
+		}
+	}
+	return shard.Put(key, stamped)
+}
+
+// Get fetches the current document for key (including the GSeqField).
+func (c *Cluster) Get(key string) ([]byte, bool, error) {
+	return c.shardFor(key).Get(key)
+}
+
+// Delete removes key, and in GlobalIndexes mode tombstones its index
+// entries.
+func (c *Cluster) Delete(key string) error {
+	shard := c.shardFor(key)
+	if c.opts.Mode == GlobalIndexes {
+		old, ok, err := shard.Get(key)
+		if err != nil {
+			return err
+		}
+		if ok {
+			for _, attr := range c.opts.Store.Attrs {
+				if v, has := attrOf(old, attr); has {
+					if err := c.indexShardFor(v).Delete(compositeKey(attr, v, key)); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return shard.Delete(key)
+}
+
+// Entry is one cluster query result.
+type Entry struct {
+	Key   string
+	Value []byte
+	GSeq  string // cluster-wide insertion order, newest = largest
+}
+
+// Lookup returns the k most recent documents with attr == value across
+// the whole cluster (k <= 0 means no limit).
+func (c *Cluster) Lookup(attr, value string, k int) ([]Entry, error) {
+	switch c.opts.Mode {
+	case LocalIndexes:
+		return c.scatterGather(k, func(s *core.DB) ([]core.Entry, error) {
+			return s.Lookup(attr, value, k)
+		})
+	default:
+		return c.globalLookup(attr, value, value, k)
+	}
+}
+
+// RangeLookup returns the k most recent documents with lo <= attr <= hi.
+func (c *Cluster) RangeLookup(attr, lo, hi string, k int) ([]Entry, error) {
+	switch c.opts.Mode {
+	case LocalIndexes:
+		return c.scatterGather(k, func(s *core.DB) ([]core.Entry, error) {
+			return s.RangeLookup(attr, lo, hi, k)
+		})
+	default:
+		// A range of attribute values hashes to many index shards: query
+		// them all (global indexes lose their single-shard advantage on
+		// range predicates — the HyperDex motivation for value-range
+		// partitioning).
+		return c.globalLookup(attr, lo, hi, k)
+	}
+}
+
+// scatterGather queries every data shard's local index and merges the
+// shard top-Ks into the cluster top-K by GSeq.
+func (c *Cluster) scatterGather(k int, q func(*core.DB) ([]core.Entry, error)) ([]Entry, error) {
+	type res struct {
+		entries []core.Entry
+		err     error
+	}
+	results := make([]res, len(c.shards))
+	var wg sync.WaitGroup
+	for i, s := range c.shards {
+		wg.Add(1)
+		go func(i int, s *core.DB) {
+			defer wg.Done()
+			entries, err := q(s)
+			results[i] = res{entries, err}
+		}(i, s)
+	}
+	wg.Wait()
+
+	var merged []Entry
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		for _, e := range r.entries {
+			g, ok := gseqOf(e.Value)
+			if !ok {
+				continue
+			}
+			merged = append(merged, Entry{Key: e.Key, Value: e.Value, GSeq: g})
+		}
+	}
+	return rank(merged, k), nil
+}
+
+// globalLookup scans the relevant global index shard(s) and validates
+// each projected entry against the owning data shard.
+func (c *Cluster) globalLookup(attr, lo, hi string, k int) ([]Entry, error) {
+	shardSet := map[*lsm.DB]bool{}
+	if lo == hi {
+		shardSet[c.indexShardFor(lo)] = true
+	} else {
+		for _, g := range c.global {
+			shardSet[g] = true
+		}
+	}
+
+	var candidates []Entry
+	loK := compositeKey(attr, lo, "")
+	hiK := append([]byte(attr), sep)
+	hiK = append(hiK, hi...)
+	hiK = append(hiK, sep+1)
+	for g := range shardSet {
+		err := g.Scan(loK, hiK, func(key, value []byte, _ uint64) bool {
+			_, v, pk, ok := splitComposite(key)
+			if !ok || v < lo || v > hi {
+				return true
+			}
+			gs, ok := gseqOf(value)
+			if !ok {
+				return true
+			}
+			candidates = append(candidates, Entry{Key: pk, Value: append([]byte(nil), value...), GSeq: gs})
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Rank newest first, then validate projections against the data
+	// shards until k valid results stand (an index entry is stale iff the
+	// record's current GSeq differs).
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].GSeq > candidates[j].GSeq })
+	var out []Entry
+	seen := map[string]bool{}
+	for _, cand := range candidates {
+		if seen[cand.Key] {
+			continue
+		}
+		seen[cand.Key] = true
+		cur, ok, err := c.Get(cand.Key)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue // deleted
+		}
+		curG, _ := gseqOf(cur)
+		if curG != cand.GSeq {
+			continue // superseded (possibly with a different attr value)
+		}
+		out = append(out, cand)
+		if k > 0 && len(out) >= k {
+			break
+		}
+	}
+	return out, nil
+}
+
+// rank orders entries newest-first by GSeq and truncates to k.
+func rank(entries []Entry, k int) []Entry {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].GSeq > entries[j].GSeq })
+	if k > 0 && len(entries) > k {
+		entries = entries[:k]
+	}
+	return entries
+}
+
+// Stats sums I/O across all shards, split into data-shard and
+// global-index-shard counters.
+func (c *Cluster) Stats() (data, global int64) {
+	for _, s := range c.shards {
+		st := s.Stats()
+		data += st.Primary.TotalIO() + st.Index.TotalIO()
+	}
+	for _, g := range c.global {
+		global += g.Stats().Snapshot().TotalIO()
+	}
+	return data, global
+}

@@ -1,0 +1,259 @@
+package sharded
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"leveldbpp/internal/core"
+)
+
+func clusterOptions(mode Mode) Options {
+	return Options{
+		Shards: 4,
+		Mode:   mode,
+		Store: core.Options{
+			Index:               core.IndexLazy,
+			Attrs:               []string{"UserID", "CreationTime"},
+			MemTableBytes:       8 << 10,
+			BaseLevelBytes:      32 << 10,
+			LevelMultiplier:     4,
+			L0CompactionTrigger: 3,
+			MaxLevels:           5,
+		},
+	}
+}
+
+func openCluster(t testing.TB, mode Mode) *Cluster {
+	t.Helper()
+	c, err := Open(t.TempDir(), clusterOptions(mode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func doc(user string, ts int) []byte {
+	return []byte(fmt.Sprintf(`{"UserID":%q,"CreationTime":"%010d","Text":"sharded"}`, user, ts))
+}
+
+var modes = map[string]Mode{"local": LocalIndexes, "global": GlobalIndexes}
+
+func TestClusterBasics(t *testing.T) {
+	for name, mode := range modes {
+		t.Run(name, func(t *testing.T) {
+			c := openCluster(t, mode)
+			for i := 0; i < 30; i++ {
+				if err := c.Put(fmt.Sprintf("t%03d", i), doc(fmt.Sprintf("u%d", i%3), i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			v, ok, err := c.Get("t007")
+			if err != nil || !ok {
+				t.Fatalf("Get: %v %v", ok, err)
+			}
+			if g, has := gseqOf(v); !has || g == "" {
+				t.Fatal("stored doc lacks the gseq stamp")
+			}
+
+			got, err := c.Lookup("UserID", "u1", 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := []string{"t028", "t025", "t022"}
+			if len(got) != 3 {
+				t.Fatalf("Lookup returned %d", len(got))
+			}
+			for i := range want {
+				if got[i].Key != want[i] {
+					t.Fatalf("Lookup[%d] = %s, want %s (all: %v)", i, got[i].Key, want[i], keysOfEntries(got))
+				}
+			}
+		})
+	}
+}
+
+func keysOfEntries(es []Entry) []string {
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.Key
+	}
+	return out
+}
+
+func TestClusterUpdateAndDelete(t *testing.T) {
+	for name, mode := range modes {
+		t.Run(name, func(t *testing.T) {
+			c := openCluster(t, mode)
+			c.Put("t1", doc("u1", 1))
+			c.Put("t2", doc("u1", 2))
+			c.Put("t1", doc("u2", 3)) // moves t1 from u1 to u2
+			if err := c.Delete("t2"); err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.Lookup("UserID", "u1", 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 0 {
+				t.Fatalf("stale results for u1: %v", keysOfEntries(got))
+			}
+			got, err = c.Lookup("UserID", "u2", 0)
+			if err != nil || len(got) != 1 || got[0].Key != "t1" {
+				t.Fatalf("u2 = %v, %v", keysOfEntries(got), err)
+			}
+		})
+	}
+}
+
+func TestClusterRangeLookup(t *testing.T) {
+	for name, mode := range modes {
+		t.Run(name, func(t *testing.T) {
+			c := openCluster(t, mode)
+			for i := 0; i < 100; i++ {
+				c.Put(fmt.Sprintf("t%03d", i), doc(fmt.Sprintf("u%d", i%5), i))
+			}
+			got, err := c.RangeLookup("CreationTime", "0000000010", "0000000019", 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 10 {
+				t.Fatalf("range matched %d, want 10: %v", len(got), keysOfEntries(got))
+			}
+			// Newest first within the range.
+			if got[0].Key != "t019" || got[9].Key != "t010" {
+				t.Fatalf("range order: %v", keysOfEntries(got))
+			}
+		})
+	}
+}
+
+func TestClusterDifferential(t *testing.T) {
+	// Both modes must agree with a single unsharded reference store.
+	local := openCluster(t, LocalIndexes)
+	global := openCluster(t, GlobalIndexes)
+	refOpts := clusterOptions(LocalIndexes).Store
+	ref, err := core.Open(t.TempDir(), refOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 2000; i++ {
+		var key string
+		if i > 100 && rng.Intn(5) == 0 {
+			key = fmt.Sprintf("t%05d", rng.Intn(i)) // update
+		} else {
+			key = fmt.Sprintf("t%05d", i)
+		}
+		d := doc(fmt.Sprintf("u%02d", rng.Intn(12)), i)
+		if err := local.Put(key, d); err != nil {
+			t.Fatal(err)
+		}
+		if err := global.Put(key, d); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Put(key, d); err != nil {
+			t.Fatal(err)
+		}
+		if i%20 == 19 {
+			victim := fmt.Sprintf("t%05d", rng.Intn(i))
+			local.Delete(victim)
+			global.Delete(victim)
+			ref.Delete(victim)
+		}
+	}
+	for u := 0; u < 12; u++ {
+		user := fmt.Sprintf("u%02d", u)
+		for _, k := range []int{1, 5, 0} {
+			want, err := ref.Lookup("UserID", user, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantKeys := make([]string, len(want))
+			for i, e := range want {
+				wantKeys[i] = e.Key
+			}
+			for name, c := range map[string]*Cluster{"local": local, "global": global} {
+				got, err := c.Lookup("UserID", user, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotKeys := keysOfEntries(got)
+				if fmt.Sprint(gotKeys) != fmt.Sprint(wantKeys) {
+					t.Fatalf("%s mode, user %s, k=%d:\n got %v\nwant %v", name, user, k, gotKeys, wantKeys)
+				}
+			}
+		}
+	}
+}
+
+func TestClusterPersistence(t *testing.T) {
+	for name, mode := range modes {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			opts := clusterOptions(mode)
+			c, err := Open(dir, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 200; i++ {
+				c.Put(fmt.Sprintf("t%03d", i), doc(fmt.Sprintf("u%d", i%4), i))
+			}
+			c.Close()
+			c2, err := Open(dir, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c2.Close()
+			got, err := c2.Lookup("UserID", "u2", 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 2 || got[0].Key != "t198" || got[1].Key != "t194" {
+				t.Fatalf("after reopen: %v", keysOfEntries(got))
+			}
+			// New writes must rank above everything pre-restart.
+			c2.Put("t999", doc("u2", 999))
+			got, _ = c2.Lookup("UserID", "u2", 1)
+			if len(got) != 1 || got[0].Key != "t999" {
+				t.Fatalf("logical clock went backwards: %v", keysOfEntries(got))
+			}
+		})
+	}
+}
+
+func TestGlobalSingleShardLookupIsCheaper(t *testing.T) {
+	// The core Appendix D tradeoff: point LOOKUPs touch one index shard
+	// in global mode but every data shard in local mode.
+	local := openCluster(t, LocalIndexes)
+	global := openCluster(t, GlobalIndexes)
+	for i := 0; i < 3000; i++ {
+		d := doc(fmt.Sprintf("u%03d", i%100), i)
+		local.Put(fmt.Sprintf("t%05d", i), d)
+		global.Put(fmt.Sprintf("t%05d", i), d)
+	}
+	for _, c := range []*Cluster{local, global} {
+		for _, s := range c.shards {
+			s.Flush()
+		}
+	}
+	measure := func(c *Cluster) int64 {
+		d0, g0 := c.Stats()
+		for q := 0; q < 50; q++ {
+			if _, err := c.Lookup("UserID", fmt.Sprintf("u%03d", q%100), 10); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d1, g1 := c.Stats()
+		return (d1 - d0) + (g1 - g0)
+	}
+	localIO := measure(local)
+	globalIO := measure(global)
+	if globalIO >= localIO {
+		t.Errorf("global-index lookups (%d I/Os) should beat local scatter-gather (%d I/Os)", globalIO, localIO)
+	}
+	t.Logf("lookup I/O over 50 queries: local=%d global=%d", localIO, globalIO)
+}

@@ -1,0 +1,197 @@
+// Package sstable implements LevelDB++'s on-disk table format (paper
+// Appendix A.2 and Figure 3): data blocks holding sorted internal
+// key/value entries, a block index carrying primary-key zone maps, a
+// per-block primary bloom filter section, and — the Embedded index — a
+// per-block bloom filter plus per-block and per-file zone maps for every
+// indexed secondary attribute. All filters and maps are memory resident
+// once a table is opened; disk is touched only for data blocks.
+package sstable
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Compression selects the per-block compression codec. The paper uses
+// Snappy; we substitute stdlib DEFLATE at its fastest setting (see
+// DESIGN.md §3) and support disabling it (paper Appendix C.2).
+type Compression uint8
+
+const (
+	// NoCompression stores blocks raw.
+	NoCompression Compression = 0
+	// FlateCompression compresses each block with DEFLATE (BestSpeed).
+	FlateCompression Compression = 1
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// blockBuilder accumulates entries for one data block with LevelDB-style
+// key prefix compression: each entry stores only the suffix of its key
+// that differs from the previous entry's key.
+// Entry wire format: varint(sharedLen) varint(unsharedLen) varint(valLen)
+// unsharedKeyBytes value.
+type blockBuilder struct {
+	buf     bytes.Buffer
+	scratch [3 * binary.MaxVarintLen64]byte
+	prevKey []byte
+	count   int
+}
+
+func sharedPrefixLen(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+func (b *blockBuilder) add(key, value []byte) {
+	shared := sharedPrefixLen(b.prevKey, key)
+	n := binary.PutUvarint(b.scratch[:], uint64(shared))
+	n += binary.PutUvarint(b.scratch[n:], uint64(len(key)-shared))
+	n += binary.PutUvarint(b.scratch[n:], uint64(len(value)))
+	b.buf.Write(b.scratch[:n])
+	b.buf.Write(key[shared:])
+	b.buf.Write(value)
+	b.prevKey = append(b.prevKey[:0], key...)
+	b.count++
+}
+
+func (b *blockBuilder) sizeEstimate() int { return b.buf.Len() }
+func (b *blockBuilder) empty() bool       { return b.count == 0 }
+
+func (b *blockBuilder) reset() {
+	b.buf.Reset()
+	b.prevKey = b.prevKey[:0]
+	b.count = 0
+}
+
+// finish returns the physical block: payload, a codec byte, and a CRC32C
+// of payload+codec. The payload is compressed only when that actually
+// shrinks it (LevelDB applies the same rule).
+func (b *blockBuilder) finish(c Compression) ([]byte, error) {
+	raw := b.buf.Bytes()
+	payload := raw
+	codec := NoCompression
+	if c == FlateCompression {
+		var cbuf bytes.Buffer
+		fw, err := flate.NewWriter(&cbuf, flate.BestSpeed)
+		if err != nil {
+			return nil, fmt.Errorf("sstable: flate init: %w", err)
+		}
+		if _, err := fw.Write(raw); err != nil {
+			return nil, fmt.Errorf("sstable: flate write: %w", err)
+		}
+		if err := fw.Close(); err != nil {
+			return nil, fmt.Errorf("sstable: flate close: %w", err)
+		}
+		if cbuf.Len() < len(raw) {
+			payload = cbuf.Bytes()
+			codec = FlateCompression
+		}
+	}
+	out := make([]byte, 0, len(payload)+5)
+	out = append(out, payload...)
+	out = append(out, byte(codec))
+	crc := crc32.Checksum(out, crcTable)
+	out = binary.BigEndian.AppendUint32(out, crc)
+	return out, nil
+}
+
+// decodeBlock verifies the CRC and decompresses a physical block into its
+// raw entry stream.
+func decodeBlock(phys []byte) ([]byte, error) {
+	if len(phys) < 5 {
+		return nil, fmt.Errorf("sstable: block too short (%d bytes)", len(phys))
+	}
+	body, crcBytes := phys[:len(phys)-4], phys[len(phys)-4:]
+	if got, want := crc32.Checksum(body, crcTable), binary.BigEndian.Uint32(crcBytes); got != want {
+		return nil, fmt.Errorf("sstable: block checksum mismatch: got %08x want %08x", got, want)
+	}
+	payload, codec := body[:len(body)-1], Compression(body[len(body)-1])
+	switch codec {
+	case NoCompression:
+		return payload, nil
+	case FlateCompression:
+		fr := flate.NewReader(bytes.NewReader(payload))
+		defer fr.Close()
+		raw, err := io.ReadAll(fr)
+		if err != nil {
+			return nil, fmt.Errorf("sstable: flate decode: %w", err)
+		}
+		return raw, nil
+	default:
+		return nil, fmt.Errorf("sstable: unknown block codec %d", codec)
+	}
+}
+
+// BlockIter walks the decoded entries of one block in order,
+// reconstructing prefix-compressed keys.
+type BlockIter struct {
+	data []byte
+	off  int
+	key  []byte
+	val  []byte
+	err  error
+}
+
+func newBlockIter(raw []byte) *BlockIter { return &BlockIter{data: raw} }
+
+// Next advances to the following entry, returning false at the end or on
+// corruption (check Err).
+func (it *BlockIter) Next() bool {
+	if it.err != nil || it.off >= len(it.data) {
+		return false
+	}
+	corrupt := func(what string) bool {
+		it.err = fmt.Errorf("sstable: corrupt entry %s at offset %d", what, it.off)
+		return false
+	}
+	shared, n := binary.Uvarint(it.data[it.off:])
+	if n <= 0 {
+		return corrupt("shared length")
+	}
+	it.off += n
+	unshared, n := binary.Uvarint(it.data[it.off:])
+	if n <= 0 {
+		return corrupt("unshared length")
+	}
+	it.off += n
+	vlen, n := binary.Uvarint(it.data[it.off:])
+	if n <= 0 {
+		return corrupt("value length")
+	}
+	it.off += n
+	if shared > uint64(len(it.key)) {
+		return corrupt("shared prefix exceeding previous key")
+	}
+	end := it.off + int(unshared) + int(vlen)
+	if end > len(it.data) || int(unshared) < 0 || int(vlen) < 0 || end < it.off {
+		it.err = fmt.Errorf("sstable: entry overruns block (end %d > %d)", end, len(it.data))
+		return false
+	}
+	// Rebuild the key: keep the shared prefix of the previous key, append
+	// the unshared suffix. it.key is always this iterator's own buffer.
+	it.key = append(it.key[:shared], it.data[it.off:it.off+int(unshared)]...)
+	it.val = it.data[it.off+int(unshared) : end]
+	it.off = end
+	return true
+}
+
+// Err reports any corruption hit while iterating.
+func (it *BlockIter) Err() error { return it.err }
+
+// Key returns the current entry's internal key (valid until Next).
+func (it *BlockIter) Key() []byte { return it.key }
+
+// Value returns the current entry's value (valid until Next).
+func (it *BlockIter) Value() []byte { return it.val }

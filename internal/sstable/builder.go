@@ -1,0 +1,336 @@
+package sstable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"leveldbpp/internal/bloom"
+	"leveldbpp/internal/ikey"
+	"leveldbpp/internal/metrics"
+)
+
+// Options configures table building and opening.
+type Options struct {
+	// BlockSize is the uncompressed target size of a data block.
+	BlockSize int
+	// BitsPerKey sizes the per-block primary-key bloom filters.
+	BitsPerKey int
+	// SecondaryBitsPerKey sizes per-block secondary-attribute bloom
+	// filters (paper Appendix C.1 sweeps this). 0 means BitsPerKey.
+	SecondaryBitsPerKey int
+	// Compression selects the block codec.
+	Compression Compression
+	// SecondaryAttrs lists the attributes for which embedded bloom
+	// filters and zone maps are built (paper §3). May be empty.
+	SecondaryAttrs []string
+	// Stats receives block I/O accounting; may be nil.
+	Stats *metrics.IOStats
+	// CompactionIO attributes writes to compaction counters instead of
+	// foreground flush counters.
+	CompactionIO bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.BlockSize <= 0 {
+		o.BlockSize = 4096
+	}
+	if o.BitsPerKey <= 0 {
+		o.BitsPerKey = 10
+	}
+	if o.SecondaryBitsPerKey <= 0 {
+		o.SecondaryBitsPerKey = o.BitsPerKey
+	}
+	return o
+}
+
+// AttrValue carries one indexed secondary attribute value for an entry
+// being added to a table.
+type AttrValue struct {
+	Attr  string
+	Value string
+}
+
+// zone is a min/max range over attribute values (a zone map entry).
+type zone struct {
+	min, max string
+	ok       bool
+}
+
+func (z *zone) extend(v string) {
+	if !z.ok {
+		z.min, z.max, z.ok = v, v, true
+		return
+	}
+	if v < z.min {
+		z.min = v
+	}
+	if v > z.max {
+		z.max = v
+	}
+}
+
+func (z *zone) contains(v string) bool      { return z.ok && z.min <= v && v <= z.max }
+func (z *zone) overlaps(lo, hi string) bool { return z.ok && z.min <= hi && lo <= z.max }
+
+// blockMeta is the in-memory (and on-disk) descriptor of one data block:
+// its location, its primary-key zone map (first/last internal key — the
+// "data index block" of Figure 3) and its primary bloom filter.
+type blockMeta struct {
+	offset, size uint64
+	firstKey     []byte // internal key of the first entry
+	lastKey      []byte // internal key of the last entry
+	primaryBloom bloom.Filter
+}
+
+// secBlockMeta holds the Embedded-index structures for one (attribute,
+// block) pair: a bloom filter over that block's attribute values and the
+// block's attribute zone map.
+type secBlockMeta struct {
+	filter bloom.Filter
+	zone   zone
+}
+
+// secAttrMeta aggregates an attribute's embedded index across a table:
+// per-block filters/zones plus the file-level zone map the paper stores
+// "in a global metadata file".
+type secAttrMeta struct {
+	name     string
+	fileZone zone
+	blocks   []secBlockMeta
+}
+
+// Builder writes an SSTable to w. Entries must be added in strictly
+// increasing internal-key order.
+type Builder struct {
+	w    io.Writer
+	opts Options
+
+	block      blockBuilder
+	firstIKey  []byte
+	lastIKey   []byte
+	userKeys   [][]byte
+	attrValues map[string][]string
+	attrZone   map[string]*zone
+
+	blocks     []blockMeta
+	attrs      map[string]*secAttrMeta
+	offset     uint64
+	entryCount int
+	maxSeq     uint64
+	prevIKey   []byte
+	err        error
+}
+
+// NewBuilder returns a Builder writing to w with the given options.
+func NewBuilder(w io.Writer, opts Options) *Builder {
+	opts = opts.withDefaults()
+	b := &Builder{
+		w:          w,
+		opts:       opts,
+		attrValues: map[string][]string{},
+		attrZone:   map[string]*zone{},
+		attrs:      map[string]*secAttrMeta{},
+	}
+	for _, a := range opts.SecondaryAttrs {
+		b.attrs[a] = &secAttrMeta{name: a}
+		b.attrZone[a] = &zone{}
+	}
+	return b
+}
+
+// Add appends an entry. attrs carries the entry's indexed secondary
+// attribute values; attribute names not listed in Options.SecondaryAttrs
+// are ignored, and entries (e.g. tombstones) may carry none.
+func (b *Builder) Add(internalKey, value []byte, attrs []AttrValue) error {
+	if b.err != nil {
+		return b.err
+	}
+	if b.prevIKey != nil && ikey.Compare(b.prevIKey, internalKey) >= 0 {
+		b.err = fmt.Errorf("sstable: keys added out of order: %s then %s",
+			ikey.String(b.prevIKey), ikey.String(internalKey))
+		return b.err
+	}
+	b.prevIKey = append(b.prevIKey[:0], internalKey...)
+
+	if b.block.empty() {
+		b.firstIKey = append([]byte(nil), internalKey...)
+	}
+	b.lastIKey = append(b.lastIKey[:0], internalKey...)
+	b.block.add(internalKey, value)
+	b.userKeys = append(b.userKeys, append([]byte(nil), ikey.UserKey(internalKey)...))
+	for _, av := range attrs {
+		if z, indexed := b.attrZone[av.Attr]; indexed {
+			b.attrValues[av.Attr] = append(b.attrValues[av.Attr], av.Value)
+			z.extend(av.Value)
+		}
+	}
+	b.entryCount++
+	if s := ikey.Seq(internalKey); s > b.maxSeq {
+		b.maxSeq = s
+	}
+
+	if b.block.sizeEstimate() >= b.opts.BlockSize {
+		return b.flushBlock()
+	}
+	return nil
+}
+
+func (b *Builder) flushBlock() error {
+	phys, err := b.block.finish(b.opts.Compression)
+	if err != nil {
+		b.err = err
+		return err
+	}
+	if _, err := b.w.Write(phys); err != nil {
+		b.err = fmt.Errorf("sstable: write data block: %w", err)
+		return b.err
+	}
+	if s := b.opts.Stats; s != nil {
+		if b.opts.CompactionIO {
+			s.CompactionWrites.Add(1)
+			s.CompactionWriteBytes.Add(int64(len(phys)))
+		} else {
+			s.BlockWrites.Add(1)
+			s.BlockWriteBytes.Add(int64(len(phys)))
+		}
+	}
+
+	bm := blockMeta{
+		offset:       b.offset,
+		size:         uint64(len(phys)),
+		firstKey:     b.firstIKey,
+		lastKey:      append([]byte(nil), b.lastIKey...),
+		primaryBloom: bloom.Build(b.userKeys, b.opts.BitsPerKey),
+	}
+	b.blocks = append(b.blocks, bm)
+	b.offset += uint64(len(phys))
+
+	for name, meta := range b.attrs {
+		vals := b.attrValues[name]
+		byteVals := make([][]byte, len(vals))
+		for i, v := range vals {
+			byteVals[i] = []byte(v)
+		}
+		sb := secBlockMeta{
+			filter: bloom.Build(byteVals, b.opts.SecondaryBitsPerKey),
+			zone:   *b.attrZone[name],
+		}
+		meta.blocks = append(meta.blocks, sb)
+		if sb.zone.ok {
+			meta.fileZone.extend(sb.zone.min)
+			meta.fileZone.extend(sb.zone.max)
+		}
+		b.attrValues[name] = vals[:0]
+		*b.attrZone[name] = zone{}
+	}
+
+	b.block.reset()
+	b.userKeys = b.userKeys[:0]
+	b.firstIKey = nil
+	return nil
+}
+
+const (
+	footerLen   = 24
+	tableMagic  = 0x4c534d2b2b474f21 // "LSM++GO!"
+	metaVersion = 1
+)
+
+// Finish flushes the pending block, writes the meta section and footer,
+// and returns the total file size. The Builder must not be reused.
+func (b *Builder) Finish() (int64, error) {
+	if b.err != nil {
+		return 0, b.err
+	}
+	if !b.block.empty() {
+		if err := b.flushBlock(); err != nil {
+			return 0, err
+		}
+	}
+	meta := b.encodeMeta()
+	metaOff := b.offset
+	if _, err := b.w.Write(meta); err != nil {
+		return 0, fmt.Errorf("sstable: write meta: %w", err)
+	}
+	b.offset += uint64(len(meta))
+	if s := b.opts.Stats; s != nil {
+		if b.opts.CompactionIO {
+			s.CompactionWrites.Add(1)
+			s.CompactionWriteBytes.Add(int64(len(meta)))
+		} else {
+			s.BlockWrites.Add(1)
+			s.BlockWriteBytes.Add(int64(len(meta)))
+		}
+	}
+
+	var footer [footerLen]byte
+	binary.BigEndian.PutUint64(footer[0:8], metaOff)
+	binary.BigEndian.PutUint64(footer[8:16], uint64(len(meta)))
+	binary.BigEndian.PutUint64(footer[16:24], tableMagic)
+	if _, err := b.w.Write(footer[:]); err != nil {
+		return 0, fmt.Errorf("sstable: write footer: %w", err)
+	}
+	b.offset += footerLen
+	return int64(b.offset), nil
+}
+
+// EntryCount returns the number of entries added so far.
+func (b *Builder) EntryCount() int { return b.entryCount }
+
+// EstimatedSize returns bytes written so far plus the pending block.
+func (b *Builder) EstimatedSize() int64 {
+	return int64(b.offset) + int64(b.block.sizeEstimate())
+}
+
+// --- meta encoding ---------------------------------------------------
+
+type metaWriter struct{ buf []byte }
+
+func (m *metaWriter) putUvarint(v uint64) { m.buf = binary.AppendUvarint(m.buf, v) }
+func (m *metaWriter) putBytes(p []byte) {
+	m.putUvarint(uint64(len(p)))
+	m.buf = append(m.buf, p...)
+}
+func (m *metaWriter) putString(s string) { m.putBytes([]byte(s)) }
+func (m *metaWriter) putBool(v bool) {
+	if v {
+		m.buf = append(m.buf, 1)
+	} else {
+		m.buf = append(m.buf, 0)
+	}
+}
+
+func (b *Builder) encodeMeta() []byte {
+	var m metaWriter
+	m.putUvarint(metaVersion)
+	m.putUvarint(uint64(len(b.blocks)))
+	for _, bm := range b.blocks {
+		m.putUvarint(bm.offset)
+		m.putUvarint(bm.size)
+		m.putBytes(bm.firstKey)
+		m.putBytes(bm.lastKey)
+		m.putBytes(bm.primaryBloom)
+	}
+	// Deterministic attribute order.
+	m.putUvarint(uint64(len(b.opts.SecondaryAttrs)))
+	for _, name := range b.opts.SecondaryAttrs {
+		am := b.attrs[name]
+		m.putString(am.name)
+		m.putBool(am.fileZone.ok)
+		m.putString(am.fileZone.min)
+		m.putString(am.fileZone.max)
+		for _, sb := range am.blocks {
+			m.putBytes(sb.filter)
+			m.putBool(sb.zone.ok)
+			m.putString(sb.zone.min)
+			m.putString(sb.zone.max)
+		}
+	}
+	m.putUvarint(uint64(b.entryCount))
+	m.putUvarint(b.maxSeq)
+	crc := crc32.Checksum(m.buf, crcTable)
+	m.buf = binary.BigEndian.AppendUint32(m.buf, crc)
+	return m.buf
+}

@@ -1,0 +1,477 @@
+package sstable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+	"sync/atomic"
+
+	"leveldbpp/internal/bloom"
+	"leveldbpp/internal/cache"
+	"leveldbpp/internal/ikey"
+	"leveldbpp/internal/metrics"
+)
+
+// tableIDCounter assigns each opened table a process-unique ID for block
+// cache keys; compaction outputs therefore never alias the cached blocks
+// of the tables they replace.
+var tableIDCounter atomic.Uint64
+
+// Table is an open SSTable. All metadata — the block index (primary zone
+// maps), primary bloom filters, secondary bloom filters and zone maps — is
+// memory resident; only data block reads touch r.
+type Table struct {
+	r          io.ReaderAt
+	id         uint64
+	blocks     []blockMeta
+	attrs      map[string]*secAttrMeta
+	entryCount int
+	maxSeq     uint64
+	stats      *metrics.IOStats
+	cache      *cache.Cache
+}
+
+// OpenTable parses the footer and meta section of a table of the given
+// size. stats may be nil.
+func OpenTable(r io.ReaderAt, size int64, stats *metrics.IOStats) (*Table, error) {
+	return OpenTableCached(r, size, stats, nil)
+}
+
+// OpenTableCached is OpenTable with an optional shared block cache
+// (LevelDB's block cache; the paper's experiments run without one).
+func OpenTableCached(r io.ReaderAt, size int64, stats *metrics.IOStats, blockCache *cache.Cache) (*Table, error) {
+	if size < footerLen {
+		return nil, fmt.Errorf("sstable: file too small (%d bytes)", size)
+	}
+	var footer [footerLen]byte
+	if _, err := r.ReadAt(footer[:], size-footerLen); err != nil {
+		return nil, fmt.Errorf("sstable: read footer: %w", err)
+	}
+	if magic := binary.BigEndian.Uint64(footer[16:24]); magic != tableMagic {
+		return nil, fmt.Errorf("sstable: bad magic %016x", magic)
+	}
+	metaOff := binary.BigEndian.Uint64(footer[0:8])
+	metaLen := binary.BigEndian.Uint64(footer[8:16])
+	if int64(metaOff)+int64(metaLen) > size-footerLen {
+		return nil, fmt.Errorf("sstable: meta section out of bounds")
+	}
+	meta := make([]byte, metaLen)
+	if _, err := r.ReadAt(meta, int64(metaOff)); err != nil {
+		return nil, fmt.Errorf("sstable: read meta: %w", err)
+	}
+	t := &Table{
+		r:     r,
+		id:    tableIDCounter.Add(1),
+		attrs: map[string]*secAttrMeta{},
+		stats: stats,
+		cache: blockCache,
+	}
+	if err := t.decodeMeta(meta); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ID returns the table's process-unique identity (for cache eviction).
+func (t *Table) ID() uint64 { return t.id }
+
+type metaReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (m *metaReader) uvarint() uint64 {
+	if m.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(m.buf[m.off:])
+	if n <= 0 {
+		m.err = fmt.Errorf("sstable: corrupt meta varint at %d", m.off)
+		return 0
+	}
+	m.off += n
+	return v
+}
+
+func (m *metaReader) bytes() []byte {
+	n := m.uvarint()
+	if m.err != nil {
+		return nil
+	}
+	if m.off+int(n) > len(m.buf) {
+		m.err = fmt.Errorf("sstable: corrupt meta bytes at %d", m.off)
+		return nil
+	}
+	b := m.buf[m.off : m.off+int(n)]
+	m.off += int(n)
+	return b
+}
+
+func (m *metaReader) str() string { return string(m.bytes()) }
+
+func (m *metaReader) bool() bool {
+	if m.err != nil {
+		return false
+	}
+	if m.off >= len(m.buf) {
+		m.err = fmt.Errorf("sstable: corrupt meta bool at %d", m.off)
+		return false
+	}
+	v := m.buf[m.off] != 0
+	m.off++
+	return v
+}
+
+func (t *Table) decodeMeta(meta []byte) error {
+	if len(meta) < 4 {
+		return fmt.Errorf("sstable: meta section truncated")
+	}
+	body, crcBytes := meta[:len(meta)-4], meta[len(meta)-4:]
+	if got, want := crc32.Checksum(body, crcTable), binary.BigEndian.Uint32(crcBytes); got != want {
+		return fmt.Errorf("sstable: meta checksum mismatch")
+	}
+	m := &metaReader{buf: body}
+	if v := m.uvarint(); v != metaVersion {
+		return fmt.Errorf("sstable: unsupported meta version %d", v)
+	}
+	nBlocks := m.uvarint()
+	t.blocks = make([]blockMeta, nBlocks)
+	for i := range t.blocks {
+		t.blocks[i] = blockMeta{
+			offset:       m.uvarint(),
+			size:         m.uvarint(),
+			firstKey:     append([]byte(nil), m.bytes()...),
+			lastKey:      append([]byte(nil), m.bytes()...),
+			primaryBloom: bloom.Filter(append([]byte(nil), m.bytes()...)),
+		}
+	}
+	nAttrs := m.uvarint()
+	for a := uint64(0); a < nAttrs; a++ {
+		am := &secAttrMeta{name: m.str()}
+		am.fileZone.ok = m.bool()
+		am.fileZone.min = m.str()
+		am.fileZone.max = m.str()
+		am.blocks = make([]secBlockMeta, nBlocks)
+		for i := range am.blocks {
+			am.blocks[i].filter = bloom.Filter(append([]byte(nil), m.bytes()...))
+			am.blocks[i].zone.ok = m.bool()
+			am.blocks[i].zone.min = m.str()
+			am.blocks[i].zone.max = m.str()
+		}
+		t.attrs[am.name] = am
+	}
+	t.entryCount = int(m.uvarint())
+	t.maxSeq = m.uvarint()
+	return m.err
+}
+
+// NumBlocks returns the number of data blocks.
+func (t *Table) NumBlocks() int { return len(t.blocks) }
+
+// EntryCount returns the number of entries in the table.
+func (t *Table) EntryCount() int { return t.entryCount }
+
+// MaxSeq returns the highest sequence number stored in the table, used to
+// prune strata that cannot improve a full top-K heap.
+func (t *Table) MaxSeq() uint64 { return t.maxSeq }
+
+// Smallest returns the smallest internal key (nil for an empty table).
+func (t *Table) Smallest() []byte {
+	if len(t.blocks) == 0 {
+		return nil
+	}
+	return t.blocks[0].firstKey
+}
+
+// Largest returns the largest internal key (nil for an empty table).
+func (t *Table) Largest() []byte {
+	if len(t.blocks) == 0 {
+		return nil
+	}
+	return t.blocks[len(t.blocks)-1].lastKey
+}
+
+// readBlock fetches, verifies and decompresses block i, attributing I/O to
+// foreground reads or compaction according to the flag.
+func (t *Table) readBlock(i int, compaction bool) ([]byte, error) {
+	// Foreground reads may be served from the block cache; compaction
+	// reads bypass it (LevelDB's rule) so compactions neither pollute nor
+	// benefit from it.
+	if t.cache != nil && !compaction {
+		if raw, ok := t.cache.Get(cache.Key{Table: t.id, Block: i}); ok {
+			if t.stats != nil {
+				t.stats.CacheHits.Add(1)
+			}
+			return raw, nil
+		}
+		if t.stats != nil {
+			t.stats.CacheMisses.Add(1)
+		}
+	}
+	bm := t.blocks[i]
+	phys := make([]byte, bm.size)
+	if _, err := t.r.ReadAt(phys, int64(bm.offset)); err != nil {
+		return nil, fmt.Errorf("sstable: read block %d: %w", i, err)
+	}
+	if t.stats != nil {
+		if compaction {
+			t.stats.CompactionReads.Add(1)
+			t.stats.CompactionReadBytes.Add(int64(len(phys)))
+		} else {
+			t.stats.BlockReads.Add(1)
+			t.stats.BlockReadBytes.Add(int64(len(phys)))
+		}
+	}
+	raw, err := decodeBlock(phys)
+	if err != nil {
+		return nil, err
+	}
+	if t.cache != nil && !compaction {
+		t.cache.Put(cache.Key{Table: t.id, Block: i}, raw)
+	}
+	return raw, nil
+}
+
+// candidateBlocks returns the index range [lo, hi) of blocks whose
+// user-key span may contain userKey. Blocks are disjoint in internal-key
+// order, so at most two blocks can straddle one user key (a key's versions
+// crossing a block boundary).
+func (t *Table) candidateBlocks(userKey []byte) (int, int) {
+	lo := sort.Search(len(t.blocks), func(i int) bool {
+		return bytes.Compare(ikey.UserKey(t.blocks[i].lastKey), userKey) >= 0
+	})
+	hi := lo
+	for hi < len(t.blocks) && bytes.Compare(ikey.UserKey(t.blocks[hi].firstKey), userKey) <= 0 {
+		hi++
+	}
+	return lo, hi
+}
+
+// MayContainPrimary consults only in-memory metadata (key range + primary
+// bloom filters) and reports whether userKey may exist in this table. It
+// performs no disk I/O — the cheap probe behind GetLite (paper §3).
+func (t *Table) MayContainPrimary(userKey []byte) bool {
+	lo, hi := t.candidateBlocks(userKey)
+	for i := lo; i < hi; i++ {
+		if t.blocks[i].primaryBloom.MayContain(userKey) {
+			return true
+		}
+	}
+	return false
+}
+
+// Get returns the newest record for userKey in this table: its internal
+// key and value. ok is false if the key is absent. A tombstone is returned
+// like any record (callers inspect the kind).
+func (t *Table) Get(userKey []byte) (internalKey, value []byte, ok bool, err error) {
+	lo, hi := t.candidateBlocks(userKey)
+	for i := lo; i < hi; i++ {
+		if !t.blocks[i].primaryBloom.MayContain(userKey) {
+			continue
+		}
+		raw, err := t.readBlock(i, false)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		it := newBlockIter(raw)
+		for it.Next() {
+			if bytes.Equal(ikey.UserKey(it.key), userKey) {
+				// Entries are ordered newest-first within a user key.
+				return append([]byte(nil), it.key...), append([]byte(nil), it.val...), true, nil
+			}
+		}
+		if err := it.Err(); err != nil {
+			return nil, nil, false, err
+		}
+	}
+	return nil, nil, false, nil
+}
+
+// FileZone returns the file-level zone map for attr: the min and max
+// attribute values present anywhere in this table. ok is false when the
+// attribute is not indexed or no entry carried it.
+func (t *Table) FileZone(attr string) (min, max string, ok bool) {
+	am := t.attrs[attr]
+	if am == nil || !am.fileZone.ok {
+		return "", "", false
+	}
+	return am.fileZone.min, am.fileZone.max, true
+}
+
+// HasAttr reports whether attr has embedded index structures in this table.
+func (t *Table) HasAttr(attr string) bool { return t.attrs[attr] != nil }
+
+// SecondaryCandidates returns the data blocks that may contain an entry
+// with attr == value: the file zone map, per-block zone maps, and
+// per-block bloom filters must all pass (paper §3 LOOKUP).
+func (t *Table) SecondaryCandidates(attr, value string) []int {
+	am := t.attrs[attr]
+	if am == nil || !am.fileZone.contains(value) {
+		return nil
+	}
+	v := []byte(value)
+	var out []int
+	for i := range am.blocks {
+		sb := &am.blocks[i]
+		if sb.zone.contains(value) && sb.filter.MayContain(v) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SecondaryRangeCandidates returns the data blocks whose attr zone map
+// overlaps [lo, hi] (paper §3 RANGELOOKUP; bloom filters cannot help range
+// predicates).
+func (t *Table) SecondaryRangeCandidates(attr, lo, hi string) []int {
+	am := t.attrs[attr]
+	if am == nil || !am.fileZone.overlaps(lo, hi) {
+		return nil
+	}
+	var out []int
+	for i := range am.blocks {
+		if am.blocks[i].zone.overlaps(lo, hi) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// FilterMemoryBytes returns the in-memory footprint of all bloom filters
+// and zone maps, for the space accounting of Figure 8a.
+func (t *Table) FilterMemoryBytes() int {
+	n := 0
+	for _, b := range t.blocks {
+		n += len(b.primaryBloom) + len(b.firstKey) + len(b.lastKey)
+	}
+	for _, am := range t.attrs {
+		for _, sb := range am.blocks {
+			n += len(sb.filter) + len(sb.zone.min) + len(sb.zone.max)
+		}
+	}
+	return n
+}
+
+// Iterator walks every entry of a table in internal-key order.
+type Iterator struct {
+	t          *Table
+	compaction bool
+	blockIdx   int
+	bi         *BlockIter
+	err        error
+}
+
+// NewIterator returns an unpositioned iterator. compaction attributes its
+// block reads to compaction I/O counters.
+func (t *Table) NewIterator(compaction bool) *Iterator {
+	return &Iterator{t: t, compaction: compaction, blockIdx: -1}
+}
+
+// BlockIterator reads block i and returns an iterator over just that
+// block — the Embedded secondary lookup path, which visits only
+// bloom/zone-map-positive blocks.
+func (t *Table) BlockIterator(i int, compaction bool) (*BlockIter, error) {
+	raw, err := t.readBlock(i, compaction)
+	if err != nil {
+		return nil, err
+	}
+	return newBlockIter(raw), nil
+}
+
+func (it *Iterator) loadBlock(i int) bool {
+	if i >= len(it.t.blocks) {
+		it.bi = nil
+		return false
+	}
+	raw, err := it.t.readBlock(i, it.compaction)
+	if err != nil {
+		it.err = err
+		it.bi = nil
+		return false
+	}
+	it.blockIdx = i
+	it.bi = newBlockIter(raw)
+	return true
+}
+
+// Next advances; returns false at end or error.
+func (it *Iterator) Next() bool {
+	if it.err != nil {
+		return false
+	}
+	if it.bi == nil {
+		if !it.loadBlock(it.blockIdx + 1) {
+			return false
+		}
+	}
+	for {
+		if it.bi.Next() {
+			return true
+		}
+		if err := it.bi.Err(); err != nil {
+			it.err = err
+			return false
+		}
+		if !it.loadBlock(it.blockIdx + 1) {
+			return false
+		}
+	}
+}
+
+// SeekGE positions at the first entry with internal key >= target;
+// returns false if no such entry exists.
+func (it *Iterator) SeekGE(target []byte) bool {
+	if it.err != nil {
+		return false
+	}
+	idx := sort.Search(len(it.t.blocks), func(i int) bool {
+		return ikey.Compare(it.t.blocks[i].lastKey, target) >= 0
+	})
+	it.bi = nil
+	it.blockIdx = idx - 1
+	for it.Next() {
+		if ikey.Compare(it.bi.key, target) >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Key returns the current internal key (valid until the next call).
+func (it *Iterator) Key() []byte { return it.bi.key }
+
+// Value returns the current value (valid until the next call).
+func (it *Iterator) Value() []byte { return it.bi.val }
+
+// Err reports any error hit during iteration.
+func (it *Iterator) Err() error { return it.err }
+
+// SecondaryAttrs lists the attributes with embedded index structures,
+// sorted for deterministic output.
+func (t *Table) SecondaryAttrs() []string {
+	out := make([]string, 0, len(t.attrs))
+	for name := range t.attrs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BlockRange returns the first and last internal keys of block i.
+func (t *Table) BlockRange(i int) (first, last []byte) {
+	return t.blocks[i].firstKey, t.blocks[i].lastKey
+}
+
+// BlockZone returns attr's zone map for block i. ok is false when the
+// attribute is unindexed or no entry in the block carried it.
+func (t *Table) BlockZone(attr string, i int) (min, max string, ok bool) {
+	am := t.attrs[attr]
+	if am == nil || !am.blocks[i].zone.ok {
+		return "", "", false
+	}
+	return am.blocks[i].zone.min, am.blocks[i].zone.max, true
+}

@@ -1,0 +1,227 @@
+// Package wal implements the write-ahead log that makes MemTable contents
+// durable before they are flushed to an SSTable. Records are length- and
+// CRC-framed; replay stops cleanly at the first torn or corrupt record, so
+// a crash mid-write loses at most the record being written (LevelDB's
+// recovery contract).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one logged operation: a put (Value != nil semantics carried by
+// Kind) or delete of a user key at a sequence number.
+type Record struct {
+	Seq   uint64
+	Kind  byte // 0 = delete, 1 = set (matches ikey kinds)
+	Key   []byte
+	Value []byte
+}
+
+// Writer appends records to a log file.
+type Writer struct {
+	f   *os.File
+	buf []byte
+}
+
+// Create opens (truncating) a log file for writing.
+func Create(path string) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: create: %w", err)
+	}
+	return &Writer{f: f}, nil
+}
+
+// Append writes one record. The frame is:
+//
+//	u32 crc | u32 payloadLen | payload
+//	payload = u64 seq | u8 kind | uvarint keyLen | key | value
+func (w *Writer) Append(r Record) error {
+	w.buf = w.buf[:0]
+	w.buf = binary.BigEndian.AppendUint64(w.buf, r.Seq)
+	w.buf = append(w.buf, r.Kind)
+	w.buf = binary.AppendUvarint(w.buf, uint64(len(r.Key)))
+	w.buf = append(w.buf, r.Key...)
+	w.buf = append(w.buf, r.Value...)
+
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:4], crc32.Checksum(w.buf, crcTable))
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(w.buf)))
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wal: append header: %w", err)
+	}
+	if _, err := w.f.Write(w.buf); err != nil {
+		return fmt.Errorf("wal: append payload: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes the log to stable storage.
+func (w *Writer) Sync() error { return w.f.Sync() }
+
+// Close closes the underlying file.
+func (w *Writer) Close() error { return w.f.Close() }
+
+// Replay reads records from the log at path in order, invoking fn for
+// each. It returns nil on a clean or truncated tail (the expected result
+// of a crash); any other corruption is reported.
+func Replay(path string, fn func(Record) error) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("wal: open for replay: %w", err)
+	}
+	defer f.Close()
+
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil // clean end or torn header
+			}
+			return fmt.Errorf("wal: read header: %w", err)
+		}
+		wantCRC := binary.BigEndian.Uint32(hdr[0:4])
+		plen := binary.BigEndian.Uint32(hdr[4:8])
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil // torn payload
+			}
+			return fmt.Errorf("wal: read payload: %w", err)
+		}
+		if crc32.Checksum(payload, crcTable) != wantCRC {
+			return nil // corrupt tail; stop replay here
+		}
+		if len(payload) > 8 && payload[8] == batchKind {
+			records, err := decodeBatch(payload)
+			if err != nil {
+				return err
+			}
+			for _, r := range records {
+				if err := fn(r); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		r, err := decode(payload)
+		if err != nil {
+			return err
+		}
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+}
+
+func decode(p []byte) (Record, error) {
+	if len(p) < 9 {
+		return Record{}, fmt.Errorf("wal: record too short (%d bytes)", len(p))
+	}
+	r := Record{
+		Seq:  binary.BigEndian.Uint64(p[0:8]),
+		Kind: p[8],
+	}
+	klen, n := binary.Uvarint(p[9:])
+	if n <= 0 || 9+n+int(klen) > len(p) {
+		return Record{}, fmt.Errorf("wal: corrupt key length")
+	}
+	off := 9 + n
+	r.Key = append([]byte(nil), p[off:off+int(klen)]...)
+	r.Value = append([]byte(nil), p[off+int(klen):]...)
+	return r, nil
+}
+
+// Append opens path for appending, creating it if absent. Used on DB open
+// so that records replayed into the MemTable remain durable until the
+// next flush.
+func Append(path string) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: append-open: %w", err)
+	}
+	return &Writer{f: f}, nil
+}
+
+// batchKind marks a frame containing multiple sub-records that commit
+// atomically: the frame CRC covers all of them, so replay applies either
+// the whole batch or none of it.
+const batchKind = 0xff
+
+// AppendBatch writes records as one atomically-replayed frame. Records
+// must carry consecutive sequence numbers starting at records[0].Seq.
+func (w *Writer) AppendBatch(records []Record) error {
+	if len(records) == 0 {
+		return nil
+	}
+	if len(records) == 1 {
+		return w.Append(records[0])
+	}
+	w.buf = w.buf[:0]
+	w.buf = binary.BigEndian.AppendUint64(w.buf, records[0].Seq)
+	w.buf = append(w.buf, batchKind)
+	w.buf = binary.AppendUvarint(w.buf, uint64(len(records)))
+	for _, r := range records {
+		w.buf = append(w.buf, r.Kind)
+		w.buf = binary.AppendUvarint(w.buf, uint64(len(r.Key)))
+		w.buf = append(w.buf, r.Key...)
+		w.buf = binary.AppendUvarint(w.buf, uint64(len(r.Value)))
+		w.buf = append(w.buf, r.Value...)
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:4], crc32.Checksum(w.buf, crcTable))
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(w.buf)))
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wal: append batch header: %w", err)
+	}
+	if _, err := w.f.Write(w.buf); err != nil {
+		return fmt.Errorf("wal: append batch payload: %w", err)
+	}
+	return nil
+}
+
+// decodeBatch expands a batch frame into its sub-records.
+func decodeBatch(p []byte) ([]Record, error) {
+	baseSeq := binary.BigEndian.Uint64(p[0:8])
+	buf := p[9:]
+	count, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, fmt.Errorf("wal: corrupt batch count")
+	}
+	buf = buf[n:]
+	out := make([]Record, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if len(buf) < 1 {
+			return nil, fmt.Errorf("wal: truncated batch record %d", i)
+		}
+		kind := buf[0]
+		buf = buf[1:]
+		klen, n := binary.Uvarint(buf)
+		if n <= 0 || int(klen) > len(buf)-n {
+			return nil, fmt.Errorf("wal: corrupt batch key %d", i)
+		}
+		buf = buf[n:]
+		key := append([]byte(nil), buf[:klen]...)
+		buf = buf[klen:]
+		vlen, n := binary.Uvarint(buf)
+		if n <= 0 || int(vlen) > len(buf)-n {
+			return nil, fmt.Errorf("wal: corrupt batch value %d", i)
+		}
+		buf = buf[n:]
+		val := append([]byte(nil), buf[:vlen]...)
+		buf = buf[vlen:]
+		out = append(out, Record{Seq: baseSeq + i, Kind: kind, Key: key, Value: val})
+	}
+	return out, nil
+}

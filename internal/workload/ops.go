@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OpKind enumerates the operations of Table 1.
+type OpKind int
+
+// Operation kinds. Update is a PUT that reuses an existing primary key
+// (Table 7b's "Update" column).
+const (
+	OpPut OpKind = iota
+	OpGet
+	OpLookup
+	OpRangeLookup
+	OpUpdate
+)
+
+// String names the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpPut:
+		return "PUT"
+	case OpGet:
+		return "GET"
+	case OpLookup:
+		return "LOOKUP"
+	case OpRangeLookup:
+		return "RANGELOOKUP"
+	case OpUpdate:
+		return "UPDATE"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one operation of a workload stream.
+type Op struct {
+	Kind  OpKind
+	Key   string // PUT/UPDATE/GET primary key
+	Value []byte // PUT/UPDATE document
+	Attr  string // LOOKUP/RANGELOOKUP attribute
+	Lo    string // LOOKUP value, or range lower bound
+	Hi    string // range upper bound
+	K     int    // top-K limit (0 = no limit)
+}
+
+// MixRatios are the operation frequency ratios of a Mixed workload
+// (Table 7b). They need not sum to 1; they are normalized. UpdateFrac is
+// the fraction of PUTs that reuse an existing key.
+type MixRatios struct {
+	Put        float64
+	Get        float64
+	Lookup     float64
+	UpdateFrac float64
+}
+
+// The paper's three Mixed workloads (Table 7b).
+var (
+	WriteHeavy  = MixRatios{Put: 0.80, Get: 0.15, Lookup: 0.05, UpdateFrac: 0}
+	ReadHeavy   = MixRatios{Put: 0.20, Get: 0.70, Lookup: 0.10, UpdateFrac: 0}
+	UpdateHeavy = MixRatios{Put: 0.40, Get: 0.15, Lookup: 0.05, UpdateFrac: 0.40 / 0.80}
+)
+
+// Mixed generates a Mixed workload stream: n operations drawn per ratios,
+// with continuous data arrivals interleaved with queries. GET keys and
+// LOOKUP values follow the distribution of the inserted data (paper §5.1:
+// "conditions of the query operations are selected based on the
+// distribution of values in the input tweets dataset").
+type Mixed struct {
+	gen    *Generator
+	ratios MixRatios
+	rng    *rand.Rand
+	n      int
+	done   int
+	topK   int
+
+	insertedIDs   []string
+	insertedUsers []string
+}
+
+// NewMixed builds a Mixed stream of n operations over a fresh dataset
+// generator. topK bounds LOOKUP queries (0 = no limit).
+func NewMixed(cfg Config, ratios MixRatios, n, topK int) *Mixed {
+	cfg.Tweets = n // upper bound on puts; generator never exhausts early
+	return &Mixed{
+		gen:    NewGenerator(cfg),
+		ratios: ratios,
+		rng:    rand.New(rand.NewSource(cfg.Seed + 1)),
+		n:      n,
+		topK:   topK,
+	}
+}
+
+// Next returns the next operation; ok is false after n operations.
+func (m *Mixed) Next() (Op, bool) {
+	if m.done >= m.n {
+		return Op{}, false
+	}
+	m.done++
+
+	total := m.ratios.Put + m.ratios.Get + m.ratios.Lookup
+	r := m.rng.Float64() * total
+	switch {
+	case r < m.ratios.Put || len(m.insertedIDs) == 0:
+		if m.ratios.UpdateFrac > 0 && len(m.insertedIDs) > 0 && m.rng.Float64() < m.ratios.UpdateFrac {
+			// Update: a PUT on an existing primary key with fresh content.
+			t, ok := m.gen.Next()
+			if !ok {
+				t = Tweet{UserID: m.pickUser(), Creation: m.gen.MaxSecond(), Text: "updated"}
+			}
+			t.ID = m.insertedIDs[m.rng.Intn(len(m.insertedIDs))]
+			return Op{Kind: OpUpdate, Key: t.ID, Value: t.Doc()}, true
+		}
+		t, ok := m.gen.Next()
+		if !ok {
+			return Op{}, false
+		}
+		m.insertedIDs = append(m.insertedIDs, t.ID)
+		m.insertedUsers = append(m.insertedUsers, t.UserID)
+		return Op{Kind: OpPut, Key: t.ID, Value: t.Doc()}, true
+	case r < m.ratios.Put+m.ratios.Get:
+		return Op{Kind: OpGet, Key: m.insertedIDs[m.rng.Intn(len(m.insertedIDs))]}, true
+	default:
+		u := m.pickUser()
+		return Op{Kind: OpLookup, Attr: AttrUser, Lo: u, Hi: u, K: m.topK}, true
+	}
+}
+
+// pickUser samples a user weighted by tweet count (querying a user id
+// drawn from the data distribution).
+func (m *Mixed) pickUser() string {
+	return m.insertedUsers[m.rng.Intn(len(m.insertedUsers))]
+}
+
+// StaticQueries generates the query phase of a Static workload over an
+// already-ingested dataset: n operations of one kind whose conditions
+// follow the dataset's value distribution.
+type StaticQueries struct {
+	rng    *rand.Rand
+	tweets []Tweet
+}
+
+// NewStaticQueries builds a query generator over the ingested tweets.
+func NewStaticQueries(tweets []Tweet, seed int64) *StaticQueries {
+	return &StaticQueries{rng: rand.New(rand.NewSource(seed)), tweets: tweets}
+}
+
+// Get returns a GET on a random existing tweet id.
+func (s *StaticQueries) Get() Op {
+	return Op{Kind: OpGet, Key: s.tweets[s.rng.Intn(len(s.tweets))].ID}
+}
+
+// Lookup returns a LOOKUP on attr with a value drawn from the data
+// distribution and the given top-K.
+func (s *StaticQueries) Lookup(attr string, k int) Op {
+	t := s.tweets[s.rng.Intn(len(s.tweets))]
+	v := t.UserID
+	if attr == AttrTime {
+		v = EncodeTime(t.Creation)
+	}
+	return Op{Kind: OpLookup, Attr: attr, Lo: v, Hi: v, K: k}
+}
+
+// RangeLookupUsers returns a RANGELOOKUP over a span of `width` user ids
+// starting at a data-distributed user (paper Table 7a: selectivity in
+// number of users).
+func (s *StaticQueries) RangeLookupUsers(width, k int) Op {
+	t := s.tweets[s.rng.Intn(len(s.tweets))]
+	var uid int
+	fmt.Sscanf(t.UserID, "u%d", &uid)
+	return Op{
+		Kind: OpRangeLookup, Attr: AttrUser,
+		Lo: fmt.Sprintf("u%07d", uid),
+		Hi: fmt.Sprintf("u%07d", uid+width-1),
+		K:  k,
+	}
+}
+
+// RangeLookupTime returns a RANGELOOKUP over a span of `minutes` of
+// simulated time anchored at a data-distributed timestamp (Table 7a:
+// selectivity in minutes).
+func (s *StaticQueries) RangeLookupTime(minutes, k int) Op {
+	t := s.tweets[s.rng.Intn(len(s.tweets))]
+	lo := t.Creation
+	return Op{
+		Kind: OpRangeLookup, Attr: AttrTime,
+		Lo: EncodeTime(lo),
+		Hi: EncodeTime(lo + int64(minutes)*60 - 1),
+		K:  k,
+	}
+}

@@ -1,0 +1,174 @@
+// Package workload reimplements the paper's Twitter-based workload
+// generator (§5.1): a synthetic tweet dataset whose UserID rank-frequency
+// distribution follows the seed dataset's Zipf shape (Figure 7) and whose
+// CreationTime is time-correlated, plus Static and Mixed operation streams
+// with fine-grained control of the primary/secondary query ratio that the
+// paper built the generator for.
+//
+// The original seed — 8M geotagged tweets from the Twitter Streaming API —
+// is proprietary; the generator is parameterized by that seed's published
+// summary statistics (average 30 tweets/user, average 35 tweets/second,
+// average tweet size 550 bytes) as described in DESIGN.md §3.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Attribute names used across experiments (paper §5.1: "we selected
+// UserID and CreationTime as two secondary attributes").
+const (
+	AttrUser = "UserID"
+	AttrTime = "CreationTime"
+)
+
+// EncodeTime renders a second-counter as a zero-padded, byte-orderable
+// string, making CreationTime range predicates work over string zone maps.
+func EncodeTime(sec int64) string { return fmt.Sprintf("%010d", sec) }
+
+// Tweet is one synthetic record.
+type Tweet struct {
+	ID       string // primary key, e.g. "t0000000042"
+	UserID   string
+	Creation int64 // seconds since stream start (time-correlated)
+	Text     string
+}
+
+// Doc renders the tweet as the JSON document stored in the primary table.
+func (t Tweet) Doc() []byte {
+	return []byte(fmt.Sprintf(`{"UserID":%q,"CreationTime":%q,"Text":%q}`,
+		t.UserID, EncodeTime(t.Creation), t.Text))
+}
+
+// Config parameterizes the dataset generator.
+type Config struct {
+	// Tweets is the number of tweets to generate.
+	Tweets int
+	// Users is the user population. The paper's seed averages 30
+	// tweets/user; default Tweets/30 (min 1).
+	Users int
+	// ZipfS is the Zipf exponent of the user rank-frequency distribution
+	// (Figure 7 shows a heavy-tailed power law). Default 1.2.
+	ZipfS float64
+	// MeanTweetsPerSecond drives the time-correlated CreationTime: each
+	// simulated second receives Uniform(0, 2·mean) tweets, the paper's
+	// stated rule. Default 35 (the seed's average).
+	MeanTweetsPerSecond int
+	// TextBytes sizes the random body text. The seed's average tweet is
+	// 550 bytes including 22 attributes; we default the body to 160.
+	TextBytes int
+	// Seed seeds the PRNG for reproducible datasets.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Users <= 0 {
+		c.Users = c.Tweets / 30
+		if c.Users < 1 {
+			c.Users = 1
+		}
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.2
+	}
+	if c.MeanTweetsPerSecond <= 0 {
+		c.MeanTweetsPerSecond = 35
+	}
+	if c.TextBytes <= 0 {
+		c.TextBytes = 160
+	}
+	return c
+}
+
+// Generator produces tweets one at a time and records the realized user
+// frequency distribution for query generation and Figure 7.
+type Generator struct {
+	cfg       Config
+	rng       *rand.Rand
+	zipf      *rand.Zipf
+	produced  int
+	second    int64
+	leftInSec int
+	UserFreq  []int // tweets generated per user id
+}
+
+// NewGenerator returns a generator for the given config.
+func NewGenerator(cfg Config) *Generator {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &Generator{
+		cfg:      cfg,
+		rng:      rng,
+		zipf:     rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Users-1)),
+		UserFreq: make([]int, cfg.Users),
+	}
+}
+
+// Remaining reports how many tweets are left to generate.
+func (g *Generator) Remaining() int { return g.cfg.Tweets - g.produced }
+
+// Next returns the next tweet; ok is false once Config.Tweets have been
+// produced.
+func (g *Generator) Next() (Tweet, bool) {
+	if g.produced >= g.cfg.Tweets {
+		return Tweet{}, false
+	}
+	for g.leftInSec == 0 {
+		// "The number of tweets per second is selected based on a uniform
+		// distribution with minimum 0 and maximum two times the average."
+		g.leftInSec = g.rng.Intn(2*g.cfg.MeanTweetsPerSecond + 1)
+		g.second++
+	}
+	g.leftInSec--
+
+	uid := int(g.zipf.Uint64())
+	g.UserFreq[uid]++
+	t := Tweet{
+		ID:       fmt.Sprintf("t%010d", g.produced),
+		UserID:   fmt.Sprintf("u%07d", uid),
+		Creation: g.second,
+		Text:     randText(g.rng, g.cfg.TextBytes),
+	}
+	g.produced++
+	return t, true
+}
+
+// All generates the full dataset eagerly.
+func (g *Generator) All() []Tweet {
+	out := make([]Tweet, 0, g.Remaining())
+	for {
+		t, ok := g.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+// MaxSecond returns the last simulated second used so far.
+func (g *Generator) MaxSecond() int64 { return g.second }
+
+const textAlphabet = "abcdefghijklmnopqrstuvwxyz      ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789#@"
+
+func randText(rng *rand.Rand, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = textAlphabet[rng.Intn(len(textAlphabet))]
+	}
+	return string(b)
+}
+
+// RankFrequency returns the user tweet counts sorted descending — the
+// rank-frequency curve of Figure 7.
+func RankFrequency(userFreq []int) []int {
+	out := make([]int, 0, len(userFreq))
+	for _, f := range userFreq {
+		if f > 0 {
+			out = append(out, f)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}

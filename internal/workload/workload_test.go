@@ -1,0 +1,226 @@
+package workload
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestGeneratorProducesExactCount(t *testing.T) {
+	g := NewGenerator(Config{Tweets: 1000, Seed: 1})
+	all := g.All()
+	if len(all) != 1000 {
+		t.Fatalf("generated %d tweets", len(all))
+	}
+	if _, ok := g.Next(); ok {
+		t.Fatal("generator exceeded Tweets")
+	}
+	// Unique, ordered primary keys.
+	for i, tw := range all {
+		if tw.ID == "" || (i > 0 && tw.ID <= all[i-1].ID) {
+			t.Fatalf("tweet IDs not strictly increasing at %d", i)
+		}
+	}
+}
+
+func TestDocsAreValidJSONWithAttrs(t *testing.T) {
+	g := NewGenerator(Config{Tweets: 50, Seed: 2})
+	for {
+		tw, ok := g.Next()
+		if !ok {
+			break
+		}
+		var doc map[string]string
+		if err := json.Unmarshal(tw.Doc(), &doc); err != nil {
+			t.Fatalf("invalid JSON: %v\n%s", err, tw.Doc())
+		}
+		if doc[AttrUser] != tw.UserID {
+			t.Fatalf("UserID mismatch: %q vs %q", doc[AttrUser], tw.UserID)
+		}
+		if doc[AttrTime] != EncodeTime(tw.Creation) {
+			t.Fatal("CreationTime mismatch")
+		}
+		if !strings.HasPrefix(doc[AttrUser], "u") {
+			t.Fatal("bad user id format")
+		}
+	}
+}
+
+func TestTimeCorrelation(t *testing.T) {
+	g := NewGenerator(Config{Tweets: 5000, Seed: 3})
+	prev := int64(-1)
+	for {
+		tw, ok := g.Next()
+		if !ok {
+			break
+		}
+		if tw.Creation < prev {
+			t.Fatal("CreationTime must be non-decreasing (time-correlated)")
+		}
+		prev = tw.Creation
+	}
+	// ~5000 tweets at ~35/s average should span roughly 140s.
+	if g.MaxSecond() < 50 || g.MaxSecond() > 500 {
+		t.Fatalf("implausible time span: %d seconds", g.MaxSecond())
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := NewGenerator(Config{Tweets: 30000, Users: 1000, Seed: 4})
+	g.All()
+	rf := RankFrequency(g.UserFreq)
+	if len(rf) < 10 {
+		t.Fatalf("too few active users: %d", len(rf))
+	}
+	// Heavy-tailed: the top user should dwarf the median user.
+	median := rf[len(rf)/2]
+	if median == 0 {
+		median = 1
+	}
+	if rf[0] < 10*median {
+		t.Fatalf("distribution not skewed: top=%d median=%d", rf[0], median)
+	}
+	// Monotone non-increasing.
+	for i := 1; i < len(rf); i++ {
+		if rf[i] > rf[i-1] {
+			t.Fatal("rank-frequency not sorted")
+		}
+	}
+}
+
+func TestEncodeTimeOrdering(t *testing.T) {
+	if EncodeTime(9) >= EncodeTime(10) || EncodeTime(99) >= EncodeTime(100) {
+		t.Fatal("EncodeTime breaks byte ordering")
+	}
+	if len(EncodeTime(0)) != len(EncodeTime(1<<31)) {
+		t.Fatal("EncodeTime not fixed width")
+	}
+}
+
+func TestMixedRatios(t *testing.T) {
+	const n = 20000
+	m := NewMixed(Config{Seed: 5, Users: 500}, WriteHeavy, n, 10)
+	counts := map[OpKind]int{}
+	for {
+		op, ok := m.Next()
+		if !ok {
+			break
+		}
+		counts[op.Kind]++
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("produced %d ops", total)
+	}
+	frac := func(k OpKind) float64 { return float64(counts[k]) / float64(total) }
+	if f := frac(OpPut); f < 0.75 || f > 0.85 {
+		t.Fatalf("PUT fraction = %.3f, want ~0.80", f)
+	}
+	if f := frac(OpGet); f < 0.10 || f > 0.20 {
+		t.Fatalf("GET fraction = %.3f, want ~0.15", f)
+	}
+	if f := frac(OpLookup); f < 0.02 || f > 0.08 {
+		t.Fatalf("LOOKUP fraction = %.3f, want ~0.05", f)
+	}
+	if counts[OpUpdate] != 0 {
+		t.Fatal("write-heavy has no updates")
+	}
+}
+
+func TestMixedUpdateHeavyProducesUpdates(t *testing.T) {
+	const n = 10000
+	m := NewMixed(Config{Seed: 6, Users: 300}, UpdateHeavy, n, 10)
+	counts := map[OpKind]int{}
+	keys := map[string]bool{}
+	for {
+		op, ok := m.Next()
+		if !ok {
+			break
+		}
+		counts[op.Kind]++
+		if op.Kind == OpPut {
+			keys[op.Key] = true
+		}
+		if op.Kind == OpUpdate && !keys[op.Key] {
+			t.Fatal("update on never-inserted key")
+		}
+	}
+	putsAndUpdates := counts[OpPut] + counts[OpUpdate]
+	if f := float64(counts[OpUpdate]) / float64(putsAndUpdates); f < 0.35 || f > 0.65 {
+		t.Fatalf("update fraction of writes = %.3f, want ~0.5", f)
+	}
+}
+
+func TestMixedGetsReferenceInsertedKeys(t *testing.T) {
+	m := NewMixed(Config{Seed: 7, Users: 100}, ReadHeavy, 5000, 5)
+	inserted := map[string]bool{}
+	for {
+		op, ok := m.Next()
+		if !ok {
+			break
+		}
+		switch op.Kind {
+		case OpPut:
+			inserted[op.Key] = true
+		case OpGet:
+			if !inserted[op.Key] {
+				t.Fatal("GET on uninserted key")
+			}
+		case OpLookup:
+			if op.Lo == "" || op.Lo != op.Hi {
+				t.Fatal("malformed lookup op")
+			}
+		}
+	}
+}
+
+func TestStaticQueries(t *testing.T) {
+	g := NewGenerator(Config{Tweets: 1000, Seed: 8})
+	tweets := g.All()
+	q := NewStaticQueries(tweets, 9)
+
+	ids := map[string]bool{}
+	for _, tw := range tweets {
+		ids[tw.ID] = true
+	}
+	for i := 0; i < 100; i++ {
+		if op := q.Get(); !ids[op.Key] {
+			t.Fatal("static GET on unknown key")
+		}
+		if op := q.Lookup(AttrUser, 10); op.Lo == "" || op.K != 10 {
+			t.Fatal("malformed static lookup")
+		}
+		op := q.RangeLookupUsers(10, 5)
+		if op.Lo >= op.Hi {
+			t.Fatalf("user range inverted: %q..%q", op.Lo, op.Hi)
+		}
+		op = q.RangeLookupTime(10, 5)
+		if op.Lo > op.Hi || len(op.Lo) != 10 {
+			t.Fatalf("time range malformed: %q..%q", op.Lo, op.Hi)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewGenerator(Config{Tweets: 200, Seed: 42}).All()
+	b := NewGenerator(Config{Tweets: 200, Seed: 42}).All()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different datasets")
+		}
+	}
+	c := NewGenerator(Config{Tweets: 200, Seed: 43}).All()
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}

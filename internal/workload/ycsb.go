@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// YCSB-style workload presets. The paper (§5.1) notes YCSB cannot control
+// the primary/secondary query ratio, which motivated its own generator;
+// these presets complement the Twitter generator with the six standard
+// cloud-serving mixes so the store can also be exercised the way other
+// key-value systems are benchmarked. Secondary-attribute queries are
+// absent by design — that is YCSB's gap the paper fills.
+//
+//	A: update heavy (50% read / 50% update)
+//	B: read mostly  (95% read / 5% update)
+//	C: read only    (100% read)
+//	D: read latest  (95% read, skewed to recent inserts / 5% insert)
+//	E: short scans  (95% scans of ~50 keys / 5% insert)
+//	F: read-modify-write (50% read / 50% RMW)
+type YCSBWorkload byte
+
+// The six core YCSB workloads.
+const (
+	YCSBA YCSBWorkload = 'A'
+	YCSBB YCSBWorkload = 'B'
+	YCSBC YCSBWorkload = 'C'
+	YCSBD YCSBWorkload = 'D'
+	YCSBE YCSBWorkload = 'E'
+	YCSBF YCSBWorkload = 'F'
+)
+
+// YCSBOpKind extends the paper's op set with the scan and
+// read-modify-write shapes YCSB needs.
+type YCSBOpKind int
+
+// YCSB operation kinds.
+const (
+	YCSBInsert YCSBOpKind = iota
+	YCSBRead
+	YCSBUpdate
+	YCSBScan
+	YCSBReadModifyWrite
+)
+
+// YCSBOp is one generated operation.
+type YCSBOp struct {
+	Kind    YCSBOpKind
+	Key     string
+	Value   []byte
+	ScanLen int // for YCSBScan
+}
+
+// YCSBGenerator produces an operation stream for one preset over a
+// preloaded key space of Records keys ("user%012d"), using a Zipf request
+// distribution as the YCSB defaults do.
+type YCSBGenerator struct {
+	w        YCSBWorkload
+	rng      *rand.Rand
+	zipf     *rand.Zipf
+	records  int
+	inserted int
+	n        int
+	done     int
+	fieldLen int
+}
+
+// NewYCSB returns a generator for workload w over `records` preloaded
+// keys, producing n operations.
+func NewYCSB(w YCSBWorkload, records, n int, seed int64) (*YCSBGenerator, error) {
+	switch w {
+	case YCSBA, YCSBB, YCSBC, YCSBD, YCSBE, YCSBF:
+	default:
+		return nil, fmt.Errorf("workload: unknown YCSB preset %q", string(w))
+	}
+	if records < 1 {
+		records = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &YCSBGenerator{
+		w:        w,
+		rng:      rng,
+		zipf:     rand.NewZipf(rng, 1.2, 4, uint64(records-1)),
+		records:  records,
+		n:        n,
+		fieldLen: 100, // YCSB default: 10 fields × 100B; we store one field
+	}, nil
+}
+
+// Key renders a YCSB record key.
+func YCSBKey(i int) string { return fmt.Sprintf("user%012d", i) }
+
+// LoadValue renders the document inserted during the load phase for key i.
+func (g *YCSBGenerator) LoadValue(i int) []byte {
+	return []byte(fmt.Sprintf(`{"field0":%q}`, randText(g.rng, g.fieldLen)))
+}
+
+// Next returns the next operation; ok is false after n operations.
+func (g *YCSBGenerator) Next() (YCSBOp, bool) {
+	if g.done >= g.n {
+		return YCSBOp{}, false
+	}
+	g.done++
+	r := g.rng.Float64()
+
+	pick := func() string { return YCSBKey(int(g.zipf.Uint64())) }
+	pickLatest := func() string {
+		// Skew toward the most recently inserted keys.
+		lim := g.records + g.inserted
+		off := int(g.zipf.Uint64())
+		if off >= lim {
+			off = lim - 1
+		}
+		return YCSBKey(lim - 1 - off)
+	}
+	update := func(kind YCSBOpKind, key string) YCSBOp {
+		return YCSBOp{Kind: kind, Key: key,
+			Value: []byte(fmt.Sprintf(`{"field0":%q}`, randText(g.rng, g.fieldLen)))}
+	}
+	insert := func() YCSBOp {
+		op := update(YCSBInsert, YCSBKey(g.records+g.inserted))
+		g.inserted++
+		return op
+	}
+
+	switch g.w {
+	case YCSBA:
+		if r < 0.5 {
+			return YCSBOp{Kind: YCSBRead, Key: pick()}, true
+		}
+		return update(YCSBUpdate, pick()), true
+	case YCSBB:
+		if r < 0.95 {
+			return YCSBOp{Kind: YCSBRead, Key: pick()}, true
+		}
+		return update(YCSBUpdate, pick()), true
+	case YCSBC:
+		return YCSBOp{Kind: YCSBRead, Key: pick()}, true
+	case YCSBD:
+		if r < 0.95 {
+			return YCSBOp{Kind: YCSBRead, Key: pickLatest()}, true
+		}
+		return insert(), true
+	case YCSBE:
+		if r < 0.95 {
+			return YCSBOp{Kind: YCSBScan, Key: pick(), ScanLen: 1 + g.rng.Intn(100)}, true
+		}
+		return insert(), true
+	default: // YCSBF
+		if r < 0.5 {
+			return YCSBOp{Kind: YCSBRead, Key: pick()}, true
+		}
+		return update(YCSBReadModifyWrite, pick()), true
+	}
+}

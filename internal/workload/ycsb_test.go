@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func countYCSB(t *testing.T, w YCSBWorkload, n int) map[YCSBOpKind]int {
+	t.Helper()
+	g, err := NewYCSB(w, 1000, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[YCSBOpKind]int{}
+	total := 0
+	for {
+		op, ok := g.Next()
+		if !ok {
+			break
+		}
+		total++
+		counts[op.Kind]++
+		if !strings.HasPrefix(op.Key, "user") {
+			t.Fatalf("bad key %q", op.Key)
+		}
+		switch op.Kind {
+		case YCSBInsert, YCSBUpdate, YCSBReadModifyWrite:
+			if len(op.Value) == 0 {
+				t.Fatal("write op without value")
+			}
+		case YCSBScan:
+			if op.ScanLen < 1 || op.ScanLen > 100 {
+				t.Fatalf("scan length %d", op.ScanLen)
+			}
+		}
+	}
+	if total != n {
+		t.Fatalf("produced %d ops, want %d", total, n)
+	}
+	return counts
+}
+
+func TestYCSBMixes(t *testing.T) {
+	const n = 20000
+	frac := func(c map[YCSBOpKind]int, k YCSBOpKind) float64 { return float64(c[k]) / n }
+
+	a := countYCSB(t, YCSBA, n)
+	if f := frac(a, YCSBRead); f < 0.45 || f > 0.55 {
+		t.Errorf("A read fraction %.3f", f)
+	}
+	if f := frac(a, YCSBUpdate); f < 0.45 || f > 0.55 {
+		t.Errorf("A update fraction %.3f", f)
+	}
+
+	b := countYCSB(t, YCSBB, n)
+	if f := frac(b, YCSBRead); f < 0.93 || f > 0.97 {
+		t.Errorf("B read fraction %.3f", f)
+	}
+
+	c := countYCSB(t, YCSBC, n)
+	if c[YCSBRead] != n {
+		t.Errorf("C must be read-only: %v", c)
+	}
+
+	d := countYCSB(t, YCSBD, n)
+	if d[YCSBInsert] == 0 || frac(d, YCSBRead) < 0.9 {
+		t.Errorf("D mix wrong: %v", d)
+	}
+
+	e := countYCSB(t, YCSBE, n)
+	if f := frac(e, YCSBScan); f < 0.93 || f > 0.97 {
+		t.Errorf("E scan fraction %.3f", f)
+	}
+
+	f := countYCSB(t, YCSBF, n)
+	if f[YCSBReadModifyWrite] == 0 || frac(f, YCSBRead) < 0.45 {
+		t.Errorf("F mix wrong: %v", f)
+	}
+
+	if _, err := NewYCSB('Z', 10, 10, 1); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestYCSBRequestSkew(t *testing.T) {
+	g, _ := NewYCSB(YCSBC, 10000, 30000, 2)
+	counts := map[string]int{}
+	for {
+		op, ok := g.Next()
+		if !ok {
+			break
+		}
+		counts[op.Key]++
+	}
+	// Zipf: the hottest key should be requested far more than the median.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 300 { // 1% of requests on one key out of 10k
+		t.Fatalf("request distribution not skewed: max=%d over %d keys", max, len(counts))
+	}
+}
+
+func TestYCSBDReadsRecentKeys(t *testing.T) {
+	g, _ := NewYCSB(YCSBD, 1000, 20000, 3)
+	recent := 0
+	reads := 0
+	for {
+		op, ok := g.Next()
+		if !ok {
+			break
+		}
+		if op.Kind != YCSBRead {
+			continue
+		}
+		reads++
+		if op.Key >= YCSBKey(900) {
+			recent++
+		}
+	}
+	if float64(recent)/float64(reads) < 0.5 {
+		t.Fatalf("read-latest skew broken: %d/%d recent", recent, reads)
+	}
+}
