@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build vet test race short bench experiments clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: build
+	$(GO) test ./...
+
+# Race-detector pass over the engine packages; the concurrent write
+# pipeline and parallel lookup tests are the main target. -short skips
+# the long soaks so this stays tractable on small machines.
+race:
+	$(GO) test -race -short ./internal/...
+
+short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Regenerate the paper's evaluation at the default reduced scale.
+experiments:
+	$(GO) run ./cmd/lsmbench -exp all -scale 20000
+
+clean:
+	$(GO) clean ./...

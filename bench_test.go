@@ -206,6 +206,21 @@ func BenchmarkConcurrentReaders(b *testing.B) {
 	}
 }
 
+func BenchmarkPipelineIngest(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.PipelineIngest(benchConfig(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rs {
+			if r.Kind == core.IndexLazy {
+				b.ReportMetric(r.OpsPerSec, r.Mode+"-ops-per-sec")
+				b.ReportMetric(r.P99PutUs, r.Mode+"-p99-put-us")
+			}
+		}
+	}
+}
+
 func BenchmarkEmbeddedAblations(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rs, err := experiments.EmbeddedAblations(benchConfig(b))

@@ -7,7 +7,8 @@
 //	lsmbench -exp all   -scale 20000 -queries 100
 //
 // Experiments: fig2 fig7 fig8a fig8b fig8c fig9 fig10 fig11 fig12 fig13
-// fig14 fig15 table3 table5 c1 c2 ablation all. Figures 12–15 share the
+// fig14 fig15 table3 table5 c1 c2 ablation cache concurrency pipeline
+// ycsb all. Figures 12–15 share the
 // Mixed-workload driver: fig12 runs all three mixes; fig13/14/15 run the
 // write-, read- and update-heavy mixes individually.
 package main
@@ -147,10 +148,18 @@ func main() {
 			_, err := experiments.ConcurrentReaders(cfg, nil)
 			return err
 		},
+		"pipeline": func() error {
+			rs, err := experiments.PipelineIngest(cfg)
+			if err != nil {
+				return err
+			}
+			h, rows := experiments.PipelineCSV(rs)
+			return csvOut("pipeline", h, rows)
+		},
 	}
 
 	order := []string{"fig7", "fig2", "fig8a", "fig8b", "fig8c", "fig9", "fig10", "fig11",
-		"fig12", "table3", "table5", "c1", "c2", "ablation", "cache", "concurrency", "ycsb"}
+		"fig12", "table3", "table5", "c1", "c2", "ablation", "cache", "concurrency", "pipeline", "ycsb"}
 
 	if *exp == "all" {
 		for _, name := range order {

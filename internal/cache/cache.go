@@ -6,6 +6,12 @@
 // compaction rewrites tables, so cached blocks of consumed tables become
 // unreachable (new tables get new IDs) exactly like invalidated OS buffer
 // cache entries.
+//
+// The cache is partitioned into numShards independent LRU shards selected
+// by key hash (LevelDB's ShardedLRUCache), so concurrent readers — the
+// background write pipeline and parallel lookups — contend on a shard
+// mutex rather than one global lock. Each shard owns an equal slice of
+// the byte budget; eviction is per shard.
 package cache
 
 import (
@@ -20,8 +26,23 @@ type Key struct {
 	Block int
 }
 
-// Cache is a thread-safe LRU over decoded block contents.
+// numShards is the fixed shard count (a power of two, LevelDB uses 16).
+const numShards = 16
+
+// shardOf hashes a key to its shard (Fibonacci hashing over the table ID
+// and block index; blocks of one table spread across shards).
+func shardOf(k Key) uint64 {
+	h := k.Table*0x9e3779b97f4a7c15 + uint64(k.Block)*0xbf58476d1ce4e5b9
+	return (h >> 59) & (numShards - 1)
+}
+
+// Cache is a thread-safe sharded LRU over decoded block contents.
 type Cache struct {
+	shards [numShards]shard
+}
+
+// shard is one independent LRU partition.
+type shard struct {
 	mu       sync.Mutex
 	capacity int64
 	used     int64
@@ -39,85 +60,111 @@ type entry struct {
 
 // New returns a cache holding at most capacity bytes of block data.
 // capacity <= 0 yields a cache that stores nothing (all misses), which
-// callers may use instead of nil-checking.
+// callers may use instead of nil-checking. The budget splits evenly
+// across shards (rounded up, as in LevelDB).
 func New(capacity int64) *Cache {
-	return &Cache{
-		capacity: capacity,
-		lru:      list.New(),
-		items:    map[Key]*list.Element{},
+	perShard := (capacity + numShards - 1) / numShards
+	if capacity <= 0 {
+		perShard = 0
 	}
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i] = shard{
+			capacity: perShard,
+			lru:      list.New(),
+			items:    map[Key]*list.Element{},
+		}
+	}
+	return c
 }
 
 // Get returns the cached block and true on a hit, promoting the entry.
 func (c *Cache) Get(k Key) ([]byte, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[k]
+	s := &c.shards[shardOf(k)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[k]
 	if !ok {
-		c.misses++
+		s.misses++
 		return nil, false
 	}
-	c.hits++
-	c.lru.MoveToFront(el)
+	s.hits++
+	s.lru.MoveToFront(el)
 	return el.Value.(*entry).data, true
 }
 
-// Put inserts (or refreshes) a block, evicting LRU entries to stay within
-// capacity. Blocks larger than the whole capacity are not cached.
+// Put inserts (or refreshes) a block, evicting LRU entries of its shard
+// to stay within the shard's capacity. Blocks larger than a whole shard
+// are not cached.
 func (c *Cache) Put(k Key, data []byte) {
-	if int64(len(data)) > c.capacity {
+	s := &c.shards[shardOf(k)]
+	if int64(len(data)) > s.capacity {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[k]; ok {
-		c.used += int64(len(data)) - int64(len(el.Value.(*entry).data))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[k]; ok {
+		s.used += int64(len(data)) - int64(len(el.Value.(*entry).data))
 		el.Value.(*entry).data = data
-		c.lru.MoveToFront(el)
+		s.lru.MoveToFront(el)
 	} else {
-		c.items[k] = c.lru.PushFront(&entry{key: k, data: data})
-		c.used += int64(len(data))
+		s.items[k] = s.lru.PushFront(&entry{key: k, data: data})
+		s.used += int64(len(data))
 	}
-	for c.used > c.capacity {
-		oldest := c.lru.Back()
+	for s.used > s.capacity {
+		oldest := s.lru.Back()
 		if oldest == nil {
 			break
 		}
 		e := oldest.Value.(*entry)
-		c.used -= int64(len(e.data))
-		delete(c.items, e.key)
-		c.lru.Remove(oldest)
+		s.used -= int64(len(e.data))
+		delete(s.items, e.key)
+		s.lru.Remove(oldest)
 	}
 }
 
-// EvictTable drops every block of one table — called when a compaction
-// deletes the table, mirroring how address changes invalidate the OS
-// buffer cache (paper §5.2.2).
+// EvictTable drops every block of one table from every shard — called
+// when a compaction deletes the table, mirroring how address changes
+// invalidate the OS buffer cache (paper §5.2.2).
 func (c *Cache) EvictTable(table uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for el := c.lru.Front(); el != nil; {
-		next := el.Next()
-		e := el.Value.(*entry)
-		if e.key.Table == table {
-			c.used -= int64(len(e.data))
-			delete(c.items, e.key)
-			c.lru.Remove(el)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.lru.Front(); el != nil; {
+			next := el.Next()
+			e := el.Value.(*entry)
+			if e.key.Table == table {
+				s.used -= int64(len(e.data))
+				delete(s.items, e.key)
+				s.lru.Remove(el)
+			}
+			el = next
 		}
-		el = next
+		s.mu.Unlock()
 	}
 }
 
-// Stats returns hit/miss counters and current usage.
+// Stats returns hit/miss counters and current usage summed over shards.
 func (c *Cache) Stats() (hits, misses, usedBytes int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses, c.used
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		hits += s.hits
+		misses += s.misses
+		usedBytes += s.used
+		s.mu.Unlock()
+	}
+	return hits, misses, usedBytes
 }
 
-// Len returns the number of cached blocks.
+// Len returns the number of cached blocks across all shards.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.items)
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.items)
+		s.mu.Unlock()
+	}
+	return n
 }

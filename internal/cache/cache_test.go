@@ -7,6 +7,20 @@ import (
 
 func blk(n int) []byte { return make([]byte, n) }
 
+// sameShardKeys returns n distinct keys for table that all hash to one
+// shard, so LRU-order tests exercise a single partition deterministically.
+func sameShardKeys(table uint64, n int) []Key {
+	target := shardOf(Key{Table: table, Block: 0})
+	out := []Key{{Table: table, Block: 0}}
+	for b := 1; len(out) < n; b++ {
+		k := Key{Table: table, Block: b}
+		if shardOf(k) == target {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
 func TestGetPut(t *testing.T) {
 	c := New(1024)
 	k := Key{Table: 1, Block: 0}
@@ -25,17 +39,19 @@ func TestGetPut(t *testing.T) {
 }
 
 func TestLRUEviction(t *testing.T) {
-	c := New(300)
-	for i := 0; i < 4; i++ {
-		c.Put(Key{Table: 1, Block: i}, blk(100))
+	// 300 bytes per shard; four same-shard 100-byte blocks → the oldest
+	// of the shard must go.
+	c := New(300 * numShards)
+	keys := sameShardKeys(1, 4)
+	for _, k := range keys {
+		c.Put(k, blk(100))
 	}
-	// Capacity 300 holds 3 blocks; block 0 must be evicted.
-	if _, ok := c.Get(Key{Table: 1, Block: 0}); ok {
+	if _, ok := c.Get(keys[0]); ok {
 		t.Fatal("oldest block not evicted")
 	}
-	for i := 1; i < 4; i++ {
-		if _, ok := c.Get(Key{Table: 1, Block: i}); !ok {
-			t.Fatalf("block %d wrongly evicted", i)
+	for _, k := range keys[1:] {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("block %v wrongly evicted", k)
 		}
 	}
 	if c.Len() != 3 {
@@ -44,22 +60,35 @@ func TestLRUEviction(t *testing.T) {
 }
 
 func TestAccessPromotes(t *testing.T) {
-	c := New(300)
-	c.Put(Key{1, 0}, blk(100))
-	c.Put(Key{1, 1}, blk(100))
-	c.Put(Key{1, 2}, blk(100))
-	c.Get(Key{1, 0}) // promote the oldest
-	c.Put(Key{1, 3}, blk(100))
-	if _, ok := c.Get(Key{1, 0}); !ok {
+	c := New(300 * numShards)
+	keys := sameShardKeys(1, 4)
+	c.Put(keys[0], blk(100))
+	c.Put(keys[1], blk(100))
+	c.Put(keys[2], blk(100))
+	c.Get(keys[0]) // promote the oldest
+	c.Put(keys[3], blk(100))
+	if _, ok := c.Get(keys[0]); !ok {
 		t.Fatal("promoted block evicted")
 	}
-	if _, ok := c.Get(Key{1, 1}); ok {
+	if _, ok := c.Get(keys[1]); ok {
 		t.Fatal("LRU block survived")
 	}
 }
 
+func TestShardDistribution(t *testing.T) {
+	// Many blocks of one table must not collapse into a single shard.
+	shards := map[uint64]bool{}
+	for b := 0; b < 256; b++ {
+		shards[shardOf(Key{Table: 7, Block: b})] = true
+	}
+	if len(shards) < numShards/2 {
+		t.Fatalf("256 blocks landed in only %d shards", len(shards))
+	}
+}
+
 func TestOversizedBlockNotCached(t *testing.T) {
-	c := New(100)
+	// A block larger than one whole shard is not cached.
+	c := New(100 * numShards)
 	c.Put(Key{1, 0}, blk(200))
 	if _, ok := c.Get(Key{1, 0}); ok {
 		t.Fatal("oversized block cached")
@@ -70,7 +99,7 @@ func TestOversizedBlockNotCached(t *testing.T) {
 }
 
 func TestPutRefreshAdjustsUsage(t *testing.T) {
-	c := New(1000)
+	c := New(1000 * numShards)
 	c.Put(Key{1, 0}, blk(100))
 	c.Put(Key{1, 0}, blk(300))
 	if _, _, used := c.Stats(); used != 300 {

@@ -89,6 +89,17 @@ type Options struct {
 	// BlockCacheBytes enables an LRU block cache on the primary and
 	// index tables (0 = off, the paper's configuration).
 	BlockCacheBytes int64
+	// BackgroundCompaction moves flushes and compactions of the primary
+	// table and every index table to background goroutines (see
+	// lsm.Options.BackgroundCompaction). Off by default so the paper's
+	// experiments stay deterministic.
+	BackgroundCompaction bool
+	// LookupParallelism > 1 fans LOOKUP/RANGELOOKUP candidate work out
+	// over that many goroutines: per-SSTable probing in the Embedded
+	// index, and candidate validation in the Eager, Lazy and Composite
+	// indexes. 0 or 1 keeps the paper's sequential algorithms; results
+	// are identical either way.
+	LookupParallelism int
 
 	// DisableGetLite makes the Embedded index validate candidates with
 	// full GETs instead of the metadata-only GetLite probe (ablation;
@@ -194,17 +205,18 @@ func Open(dir string, opts Options) (*DB, error) {
 	attrs := append([]string(nil), opts.Attrs...)
 
 	primaryOpts := &lsm.Options{
-		MemTableBytes:       opts.MemTableBytes,
-		BlockSize:           opts.BlockSize,
-		BitsPerKey:          opts.BitsPerKey,
-		SecondaryBitsPerKey: opts.SecondaryBitsPerKey,
-		DisableCompression:  opts.DisableCompression,
-		L0CompactionTrigger: opts.L0CompactionTrigger,
-		BaseLevelBytes:      opts.BaseLevelBytes,
-		LevelMultiplier:     opts.LevelMultiplier,
-		MaxLevels:           opts.MaxLevels,
-		SyncWAL:             opts.SyncWAL,
-		BlockCacheBytes:     opts.BlockCacheBytes,
+		MemTableBytes:        opts.MemTableBytes,
+		BlockSize:            opts.BlockSize,
+		BitsPerKey:           opts.BitsPerKey,
+		SecondaryBitsPerKey:  opts.SecondaryBitsPerKey,
+		DisableCompression:   opts.DisableCompression,
+		L0CompactionTrigger:  opts.L0CompactionTrigger,
+		BaseLevelBytes:       opts.BaseLevelBytes,
+		LevelMultiplier:      opts.LevelMultiplier,
+		MaxLevels:            opts.MaxLevels,
+		SyncWAL:              opts.SyncWAL,
+		BlockCacheBytes:      opts.BlockCacheBytes,
+		BackgroundCompaction: opts.BackgroundCompaction,
 	}
 	if opts.Index == IndexEmbedded {
 		primaryOpts.SecondaryAttrs = attrs
@@ -223,16 +235,17 @@ func Open(dir string, opts Options) (*DB, error) {
 		db.indexes = make(map[string]*lsm.DB, len(attrs))
 		for _, attr := range attrs {
 			idxOpts := &lsm.Options{
-				MemTableBytes:       opts.MemTableBytes,
-				BlockSize:           opts.BlockSize,
-				BitsPerKey:          opts.BitsPerKey,
-				DisableCompression:  opts.DisableCompression,
-				L0CompactionTrigger: opts.L0CompactionTrigger,
-				BaseLevelBytes:      opts.BaseLevelBytes,
-				LevelMultiplier:     opts.LevelMultiplier,
-				MaxLevels:           opts.MaxLevels,
-				SyncWAL:             opts.SyncWAL,
-				BlockCacheBytes:     opts.BlockCacheBytes,
+				MemTableBytes:        opts.MemTableBytes,
+				BlockSize:            opts.BlockSize,
+				BitsPerKey:           opts.BitsPerKey,
+				DisableCompression:   opts.DisableCompression,
+				L0CompactionTrigger:  opts.L0CompactionTrigger,
+				BaseLevelBytes:       opts.BaseLevelBytes,
+				LevelMultiplier:      opts.LevelMultiplier,
+				MaxLevels:            opts.MaxLevels,
+				SyncWAL:              opts.SyncWAL,
+				BlockCacheBytes:      opts.BlockCacheBytes,
+				BackgroundCompaction: opts.BackgroundCompaction,
 			}
 			if opts.Index == IndexLazy {
 				idxOpts.WriteMerge = lazyWriteMerge
@@ -410,6 +423,21 @@ func (db *DB) Stats() Stats {
 		s.Index.CompactionReadBytes += is.CompactionReadBytes
 		s.Index.CompactionWrites += is.CompactionWrites
 		s.Index.CompactionWriteBytes += is.CompactionWriteBytes
+	}
+	return s
+}
+
+// BackgroundStats sums the background-pipeline counters of the primary
+// table and every index table; all zeros unless
+// Options.BackgroundCompaction is set.
+func (db *DB) BackgroundStats() lsm.BackgroundStats {
+	s := db.primary.BackgroundStats()
+	for _, idx := range db.indexes {
+		is := idx.BackgroundStats()
+		s.Flushes += is.Flushes
+		s.Compactions += is.Compactions
+		s.Slowdowns += is.Slowdowns
+		s.ThrottleWaits += is.ThrottleWaits
 	}
 	return s
 }

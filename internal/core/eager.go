@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"sync"
 
 	"leveldbpp/internal/lsm"
 	"leveldbpp/internal/postings"
@@ -115,6 +116,9 @@ func (db *DB) eagerRangeLookup(attr, lo, hi string, k int) ([]Entry, error) {
 // validates everything).
 func (db *DB) validateCandidates(cands []postings.Entry, attr, lo, hi string, k int, heap *topK) error {
 	sortPostingsBySeqDesc(cands)
+	if db.opts.LookupParallelism > 1 && len(cands) > 1 {
+		return db.validateCandidatesParallel(cands, attr, lo, hi, heap)
+	}
 	seen := map[string]bool{}
 	for _, c := range cands {
 		if seen[c.Key] {
@@ -138,6 +142,87 @@ func (db *DB) validateCandidates(cands []postings.Entry, attr, lo, hi string, k 
 		}
 	}
 	return nil
+}
+
+// validateCandidatesParallel processes the (sorted, newest-first)
+// candidates in chunks: each chunk's data-table validations run on
+// LookupParallelism goroutines, and the outcomes fold into the heap in
+// sequence order. The fold applies the same Worth/Full rules at the same
+// points as the sequential loop, so the returned top-K is identical; the
+// only difference is that up to one chunk of candidates past the
+// sequential stopping point may get validated (extra reads, same answer).
+func (db *DB) validateCandidatesParallel(cands []postings.Entry, attr, lo, hi string, heap *topK) error {
+	seen := map[string]bool{}
+	workers := db.opts.LookupParallelism
+	chunkSize := workers * 4
+
+	type outcome struct {
+		doc   []byte
+		valid bool
+		err   error
+	}
+	chunk := make([]postings.Entry, 0, chunkSize)
+
+	flush := func() (done bool, err error) {
+		if len(chunk) == 0 {
+			return false, nil
+		}
+		outcomes := make([]outcome, len(chunk))
+		next := make(chan int)
+		var wg sync.WaitGroup
+		n := workers
+		if n > len(chunk) {
+			n = len(chunk)
+		}
+		for w := 0; w < n; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					doc, valid, err := db.validate(chunk[i].Key, attr, lo, hi)
+					outcomes[i] = outcome{doc: doc, valid: valid, err: err}
+				}
+			}()
+		}
+		for i := range chunk {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+		for i, o := range outcomes {
+			if o.err != nil {
+				return false, o.err
+			}
+			if !o.valid || !heap.Worth(chunk[i].Seq) {
+				continue
+			}
+			heap.Add(Entry{Key: chunk[i].Key, Value: o.doc, Seq: chunk[i].Seq})
+			if heap.Full() {
+				return true, nil
+			}
+		}
+		chunk = chunk[:0]
+		return false, nil
+	}
+
+	for _, c := range cands {
+		if seen[c.Key] {
+			continue // an older posting for a key already decided
+		}
+		seen[c.Key] = true
+		if !heap.Worth(c.Seq) {
+			continue
+		}
+		chunk = append(chunk, c)
+		if len(chunk) >= chunkSize {
+			done, err := flush()
+			if err != nil || done {
+				return err
+			}
+		}
+	}
+	_, err := flush()
+	return err
 }
 
 func sortPostingsBySeqDesc(cands []postings.Entry) {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"sync"
 
 	"leveldbpp/internal/btree"
 	"leveldbpp/internal/ikey"
@@ -21,15 +22,20 @@ import (
 // of the strata above the candidate, touching disk only to confirm bloom
 // positives.
 
-// stratum is one time-ordered component of the store: the MemTable
-// (tables nil) or a set of SSTables (one table for an L0 stratum, a whole
-// level otherwise).
+// stratum is one time-ordered component of the store: the MemTable, the
+// frozen MemTable awaiting background flush (if any), or a set of
+// SSTables (one table for an L0 stratum, a whole level otherwise).
 type stratum struct {
 	isMem  bool
+	isImm  bool
+	memMax uint64 // max seq of a MemTable stratum (tables empty)
 	tables []*lsm.FileMeta
 }
 
 func (s stratum) maxSeq() uint64 {
+	if s.isMem || s.isImm {
+		return s.memMax
+	}
 	var m uint64
 	for _, fm := range s.tables {
 		if ms := fm.Table().MaxSeq(); ms > m {
@@ -39,9 +45,15 @@ func (s stratum) maxSeq() uint64 {
 	return m
 }
 
-// strataOf decomposes a view into newest-first strata.
+// strataOf decomposes a view into newest-first strata. The frozen
+// MemTable (background mode) sits between the MemTable and level 0; its
+// memMax matters for the early-exit check — without it a full heap would
+// wrongly conclude no remaining stratum can improve it.
 func strataOf(v *lsm.View) []stratum {
-	out := []stratum{{isMem: true}}
+	out := []stratum{{isMem: true, memMax: v.MemMaxSeq()}}
+	if v.HasImm() {
+		out = append(out, stratum{isImm: true, memMax: v.ImmMaxSeq()})
+	}
 	for _, fm := range v.L0() {
 		out = append(out, stratum{tables: []*lsm.FileMeta{fm}})
 	}
@@ -82,8 +94,12 @@ func (db *DB) embeddedScan(attr, lo, hi string, k int, useFilters bool) ([]Entry
 		}
 
 		for si, s := range strata {
-			if s.isMem {
-				if err := db.embeddedScanMem(v, attr, lo, hi, heap, useFilters); err != nil {
+			if s.isMem || s.isImm {
+				if err := db.embeddedScanMem(v, s.isImm, attr, lo, hi, heap, useFilters); err != nil {
+					return err
+				}
+			} else if db.opts.LookupParallelism > 1 && len(s.tables) > 1 && seen == nil {
+				if err := db.embeddedScanStratumParallel(v, strata, si, attr, lo, hi, heap, useFilters); err != nil {
 					return err
 				}
 			} else {
@@ -116,13 +132,29 @@ func (db *DB) embeddedScan(attr, lo, hi string, k int, useFilters bool) ([]Entry
 	return results, err
 }
 
-// embeddedScanMem collects MemTable matches: through the secondary B-tree
-// when the Embedded index is active, by direct scan for NoIndex. MemTable
-// candidates are validated against the MemTable itself — any newer
-// version of the key must live there too.
-func (db *DB) embeddedScanMem(v *lsm.View, attr, lo, hi string, heap *topK, useFilters bool) error {
+// embeddedScanMem collects matches from a MemTable stratum (the live
+// MemTable, or with imm set the frozen one): through the secondary B-tree
+// when the Embedded index is active, by direct scan for NoIndex.
+// Candidates are validated against the stratum itself — and, for the
+// frozen MemTable, against the live MemTable, whose every version is
+// newer.
+func (db *DB) embeddedScanMem(v *lsm.View, imm bool, attr, lo, hi string, heap *topK, useFilters bool) error {
+	get := v.MemGet
+	if imm {
+		get = v.ImmGet
+	}
+	shadowedByMem := func(pk []byte) bool {
+		if !imm {
+			return false
+		}
+		_, _, _, ok := v.MemGet(pk)
+		return ok
+	}
 	if useFilters {
 		tree := v.MemSecTree(attr)
+		if imm {
+			tree = v.ImmSecTree(attr)
+		}
 		if tree == nil {
 			return nil
 		}
@@ -131,9 +163,12 @@ func (db *DB) embeddedScanMem(v *lsm.View, attr, lo, hi string, heap *topK, useF
 				if !heap.Worth(p.Seq) {
 					continue
 				}
-				val, seq, deleted, ok := v.MemGet(p.Key)
+				val, seq, deleted, ok := get(p.Key)
 				if !ok || deleted || seq != p.Seq {
-					continue // superseded within the MemTable
+					continue // superseded within this MemTable
+				}
+				if shadowedByMem(p.Key) {
+					continue // live MemTable holds a newer version
 				}
 				heap.Add(Entry{Key: string(p.Key), Value: append([]byte(nil), val...), Seq: seq})
 			}
@@ -142,6 +177,12 @@ func (db *DB) embeddedScanMem(v *lsm.View, attr, lo, hi string, heap *topK, useF
 		return nil
 	}
 	it := v.MemIter()
+	if imm {
+		it = v.ImmIter()
+	}
+	if it == nil {
+		return nil
+	}
 	var prevUser []byte
 	for it.SeekToFirst(); it.Valid(); it.Next() {
 		ik := it.Key()
@@ -149,6 +190,9 @@ func (db *DB) embeddedScanMem(v *lsm.View, attr, lo, hi string, heap *topK, useF
 		newest := prevUser == nil || !bytes.Equal(prevUser, uk)
 		prevUser = append(prevUser[:0], uk...)
 		if !newest || ikey.KindOf(ik) == ikey.KindDelete {
+			continue
+		}
+		if shadowedByMem(uk) {
 			continue
 		}
 		av, ok := attrValue(it.Value(), attr)
@@ -252,6 +296,12 @@ func (db *DB) candidateValid(v *lsm.View, strata []stratum, si int, pk string, s
 			}
 			continue
 		}
+		if s.isImm {
+			if _, _, _, ok := v.ImmGet(pkb); ok {
+				return false, nil // any frozen-MemTable version is newer
+			}
+			continue
+		}
 		for _, fm := range s.tables {
 			tbl := fm.Table()
 			if !tbl.MayContainPrimary(pkb) {
@@ -269,4 +319,117 @@ func (db *DB) candidateValid(v *lsm.View, strata []stratum, si int, pk string, s
 		}
 	}
 	return true, nil
+}
+
+// embeddedScanStratumParallel is the LookupParallelism > 1 variant of the
+// per-stratum table loop: candidate collection and validity probing for
+// each SSTable run on their own goroutines, and the results fold into the
+// heap afterwards. Because the Worth pre-check only prunes validation
+// work (membership is decided by Add, on unique sequence numbers), the
+// final heap matches the sequential scan exactly — the parallel path may
+// just validate a few extra candidates.
+func (db *DB) embeddedScanStratumParallel(v *lsm.View, strata []stratum, si int,
+	attr, lo, hi string, heap *topK, useFilters bool) error {
+
+	tables := strata[si].tables
+	full, minSeq := heap.Full(), heap.MinSeq()
+	worth := func(seq uint64) bool { return !full || seq > minSeq }
+
+	workers := db.opts.LookupParallelism
+	if workers > len(tables) {
+		workers = len(tables)
+	}
+	results := make([][]Entry, len(tables))
+	errs := make([]error, len(tables))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range next {
+				fm := tables[ti]
+				if full && fm.Table().MaxSeq() <= minSeq {
+					continue // nothing here can improve the heap
+				}
+				results[ti], errs[ti] = db.embeddedCollectTable(v, strata, si, fm, attr, lo, hi, worth, useFilters)
+			}
+		}()
+	}
+	for ti := range tables {
+		next <- ti
+	}
+	close(next)
+	wg.Wait()
+	for ti := range tables {
+		if errs[ti] != nil {
+			return errs[ti]
+		}
+		for _, e := range results[ti] {
+			heap.Add(e)
+		}
+	}
+	return nil
+}
+
+// embeddedCollectTable is embeddedScanTable with the heap factored out:
+// it returns the table's validated candidates so a parallel caller can
+// fold them in after all workers finish. GetLite validation only (the
+// full-GET ablation path shares a seen map and stays sequential).
+func (db *DB) embeddedCollectTable(v *lsm.View, strata []stratum, si int, fm *lsm.FileMeta,
+	attr, lo, hi string, worth func(uint64) bool, useFilters bool) ([]Entry, error) {
+
+	tbl := fm.Table()
+	var candidates []int
+	if !useFilters {
+		candidates = make([]int, tbl.NumBlocks())
+		for i := range candidates {
+			candidates[i] = i
+		}
+	} else {
+		if !db.opts.DisableFileZoneMap {
+			if _, _, ok := tbl.FileZone(attr); !ok {
+				return nil, nil
+			}
+		}
+		if lo == hi {
+			candidates = tbl.SecondaryCandidates(attr, lo)
+		} else {
+			candidates = tbl.SecondaryRangeCandidates(attr, lo, hi)
+		}
+	}
+
+	var out []Entry
+	for _, bi := range candidates {
+		it, err := tbl.BlockIterator(bi, false)
+		if err != nil {
+			return nil, err
+		}
+		for it.Next() {
+			ik := it.Key()
+			if ikey.KindOf(ik) == ikey.KindDelete {
+				continue
+			}
+			av, ok := attrValue(it.Value(), attr)
+			if !ok || av < lo || av > hi {
+				continue
+			}
+			seq := ikey.Seq(ik)
+			if !worth(seq) {
+				continue
+			}
+			pk := string(ikey.UserKey(ik))
+			valid, err := db.candidateValid(v, strata, si, pk, seq, attr, lo, hi, nil)
+			if err != nil {
+				return nil, err
+			}
+			if valid {
+				out = append(out, Entry{Key: pk, Value: append([]byte(nil), it.Value()...), Seq: seq})
+			}
+		}
+		if err := it.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }

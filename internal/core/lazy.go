@@ -6,6 +6,7 @@ import (
 	"leveldbpp/internal/ikey"
 	"leveldbpp/internal/lsm"
 	"leveldbpp/internal/postings"
+	"leveldbpp/internal/skiplist"
 )
 
 // The Lazy index (paper §4.1.2) also keeps a stand-alone posting-list
@@ -58,6 +59,15 @@ func lazyFragments(v *lsm.View, value []byte, fn func(list postings.List) (bool,
 		}
 	} else if ok && deleted {
 		return nil // whole secondary key tombstoned
+	}
+	if v.HasImm() { // frozen MemTable stratum (background mode)
+		if data, _, deleted, ok := v.ImmGet(value); ok && !deleted {
+			if cont, err := step(data); err != nil || !cont {
+				return err
+			}
+		} else if ok && deleted {
+			return nil
+		}
 	}
 	for _, fm := range v.L0() {
 		ik, data, found, err := fm.Table().Get(value)
@@ -146,25 +156,37 @@ func (db *DB) lazyRangeLookup(attr, lo, hi string, k int) ([]Entry, error) {
 	err := idx.View(func(v *lsm.View) error {
 		loB, hiExcl := []byte(lo), upperBoundExclusive(hi)
 
-		// MemTable stratum.
-		it := v.MemIter()
-		var prevUser []byte
-		for it.SeekGE(ikey.SeekKey(loB)); it.Valid(); it.Next() {
-			ik := it.Key()
-			uk := ikey.UserKey(ik)
-			if bytes.Compare(uk, hiExcl) >= 0 {
-				break
+		// MemTable strata: the live MemTable, then the frozen one if a
+		// background flush is pending.
+		scanMem := func(it *skiplist.Iterator) error {
+			if it == nil {
+				return nil
 			}
-			newest := prevUser == nil || !bytes.Equal(prevUser, uk)
-			prevUser = append(prevUser[:0], uk...)
-			if !newest || ikey.KindOf(ik) == ikey.KindDelete {
-				continue
+			var prevUser []byte
+			for it.SeekGE(ikey.SeekKey(loB)); it.Valid(); it.Next() {
+				ik := it.Key()
+				uk := ikey.UserKey(ik)
+				if bytes.Compare(uk, hiExcl) >= 0 {
+					break
+				}
+				newest := prevUser == nil || !bytes.Equal(prevUser, uk)
+				prevUser = append(prevUser[:0], uk...)
+				if !newest || ikey.KindOf(ik) == ikey.KindDelete {
+					continue
+				}
+				list, err := postings.Decode(it.Value())
+				if err != nil {
+					return err
+				}
+				perKey[string(uk)] = append(perKey[string(uk)], list)
 			}
-			list, err := postings.Decode(it.Value())
-			if err != nil {
-				return err
-			}
-			perKey[string(uk)] = append(perKey[string(uk)], list)
+			return nil
+		}
+		if err := scanMem(v.MemIter()); err != nil {
+			return err
+		}
+		if err := scanMem(v.ImmIter()); err != nil {
+			return err
 		}
 
 		// Table strata: each L0 file, then each deeper level.

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"leveldbpp/internal/core"
+	"leveldbpp/internal/metrics"
+)
+
+// PipelineResult is one row of the write-pipeline experiment: the same
+// seeded ingest run with flushes and compactions inline (the paper's
+// deterministic configuration) versus in background goroutines.
+type PipelineResult struct {
+	Mode          string // "inline" or "background"
+	Kind          core.IndexKind
+	OpsPerSec     float64
+	MeanPutUs     float64
+	P99PutUs      float64
+	MaxPutUs      float64
+	CompactionIO  int64 // primary + index compaction block ops
+	Flushes       int64 // background pipeline counters (zero inline)
+	Compactions   int64
+	Slowdowns     int64
+	ThrottleWaits int64
+}
+
+// PipelineIngest measures what the background write pipeline buys: with
+// inline compaction a PUT that fills the MemTable pays for the flush — and
+// any triggered compaction cascade — before returning, producing the
+// stall spikes visible in MaxPutUs/P99PutUs; with BackgroundCompaction the
+// writer hands the frozen MemTable to the flusher and continues, paying at
+// most the L0 slowdown/stop throttle. Total compaction I/O is identical in
+// both modes (same data, same leveling policy) — only *who* pays for it
+// changes. Runs the None and Lazy kinds: the paper's baseline and its
+// write-optimised stand-alone index (each PUT also writes the index
+// table, doubling pipeline pressure).
+func PipelineIngest(c Config) ([]PipelineResult, error) {
+	c = c.withDefaults()
+	tweets := c.dataset()
+	c.printf("Write pipeline — %d tweets, inline vs background flush+compaction\n", len(tweets))
+	c.printf("%-12s %-10s %10s %10s %10s %10s %9s %8s %7s %7s\n",
+		"mode", "index", "ops/sec", "mean(us)", "p99(us)", "max(us)", "comp-io", "flushes", "compax", "stalls")
+
+	var out []PipelineResult
+	for _, kind := range []core.IndexKind{core.IndexNone, core.IndexLazy} {
+		for _, background := range []bool{false, true} {
+			mode := "inline"
+			if background {
+				mode = "background"
+			}
+			opts := dbOptions(kind)
+			opts.BackgroundCompaction = background
+			db, err := core.Open(filepath.Join(c.Dir, fmt.Sprintf("pipe-%s-%s", mode, kind)), opts)
+			if err != nil {
+				return nil, err
+			}
+			hist := metrics.NewHistogram(0)
+			start := time.Now()
+			if err := ingest(db, tweets, hist); err != nil {
+				db.Close()
+				return nil, err
+			}
+			elapsed := time.Since(start) // includes the final Flush drain
+			s := db.Stats()
+			bg := db.BackgroundStats()
+			r := PipelineResult{
+				Mode:          mode,
+				Kind:          kind,
+				OpsPerSec:     float64(len(tweets)) / elapsed.Seconds(),
+				MeanPutUs:     hist.Mean(),
+				P99PutUs:      hist.Quantile(0.99),
+				MaxPutUs:      hist.Max(),
+				CompactionIO:  s.Primary.CompactionIO() + s.Index.CompactionIO(),
+				Flushes:       bg.Flushes,
+				Compactions:   bg.Compactions,
+				Slowdowns:     bg.Slowdowns,
+				ThrottleWaits: bg.ThrottleWaits,
+			}
+			out = append(out, r)
+			c.printf("%-12s %s %10.0f %10.1f %10.1f %10.1f %9d %8d %7d %7d\n",
+				r.Mode, kindLabel(r.Kind), r.OpsPerSec, r.MeanPutUs, r.P99PutUs, r.MaxPutUs,
+				r.CompactionIO, r.Flushes, r.Compactions, r.Slowdowns+r.ThrottleWaits)
+			if err := db.Close(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	c.printf("\n")
+	return out, nil
+}
+
+// PipelineCSV renders PipelineIngest rows for WriteCSV.
+func PipelineCSV(rs []PipelineResult) ([]string, [][]string) {
+	header := []string{"mode", "index", "ops_per_sec", "mean_put_us", "p99_put_us", "max_put_us",
+		"compaction_io", "flushes", "compactions", "slowdowns", "throttle_waits"}
+	var rows [][]string
+	for _, r := range rs {
+		rows = append(rows, []string{
+			r.Mode, r.Kind.String(),
+			fmt.Sprintf("%.0f", r.OpsPerSec),
+			fmt.Sprintf("%.1f", r.MeanPutUs),
+			fmt.Sprintf("%.1f", r.P99PutUs),
+			fmt.Sprintf("%.1f", r.MaxPutUs),
+			strconv.FormatInt(r.CompactionIO, 10),
+			strconv.FormatInt(r.Flushes, 10),
+			strconv.FormatInt(r.Compactions, 10),
+			strconv.FormatInt(r.Slowdowns, 10),
+			strconv.FormatInt(r.ThrottleWaits, 10),
+		})
+	}
+	return header, rows
+}

@@ -1,0 +1,294 @@
+package lsm
+
+import (
+	"os"
+	"sync"
+	"time"
+
+	"leveldbpp/internal/wal"
+)
+
+// background holds the state of the concurrent write pipeline
+// (Options.BackgroundCompaction): one flusher goroutine that turns frozen
+// MemTables into L0 tables, and one compactor goroutine that restores the
+// tree shape. All fields except compactionMu and wg are guarded by db.mu;
+// db.cond is broadcast whenever any of them changes.
+type background struct {
+	wg         sync.WaitGroup
+	closing    bool  // Close in progress: drain, accept no new work
+	quit       bool  // goroutines must exit
+	compacting bool  // a compaction job is in flight
+	err        error // sticky first background failure; poisons writes
+
+	// compactionMu serializes the off-lock merge phase between the
+	// background compactor and manual CompactRange. Lock order:
+	// compactionMu before db.mu, never the reverse.
+	compactionMu sync.Mutex
+
+	flushes       int64 // background flushes completed
+	compactions   int64 // background compactions completed
+	slowdowns     int64 // writes delayed ~1ms by the L0 slowdown trigger
+	throttleWaits int64 // writes fully stalled by the L0 stop trigger
+}
+
+// BackgroundStats reports the pipeline's progress counters; all zeros in
+// inline mode.
+type BackgroundStats struct {
+	Flushes       int64
+	Compactions   int64
+	Slowdowns     int64
+	ThrottleWaits int64
+}
+
+// BackgroundStats returns the background pipeline counters.
+func (db *DB) BackgroundStats() BackgroundStats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.bg == nil {
+		return BackgroundStats{}
+	}
+	return BackgroundStats{
+		Flushes:       db.bg.flushes,
+		Compactions:   db.bg.compactions,
+		Slowdowns:     db.bg.slowdowns,
+		ThrottleWaits: db.bg.throttleWaits,
+	}
+}
+
+func (db *DB) startBackground() {
+	db.bg = &background{}
+	db.bg.wg.Add(2)
+	go db.flusher()
+	go db.compactor()
+}
+
+// stopBackground drains in-flight background work (the flusher finishes a
+// pending frozen MemTable; the compactor finishes its current job but
+// starts no new ones) and stops both goroutines. Writers arriving during
+// the drain receive ErrClosed.
+func (db *DB) stopBackground() error {
+	db.mu.Lock()
+	bg := db.bg
+	if bg == nil || db.closed {
+		db.mu.Unlock()
+		return nil
+	}
+	if !bg.closing {
+		bg.closing = true
+		db.cond.Broadcast()
+	}
+	for (db.imm != nil || bg.compacting) && bg.err == nil {
+		db.cond.Wait()
+	}
+	bg.quit = true
+	db.cond.Broadcast()
+	db.mu.Unlock()
+	bg.wg.Wait()
+	return nil
+}
+
+// failLocked records the first background failure and wakes everyone
+// blocked on the pipeline; subsequent writes and Flush return the error.
+func (bg *background) failLocked(db *DB, err error) {
+	if bg.err == nil {
+		bg.err = err
+	}
+	db.cond.Broadcast()
+}
+
+// throttleLocked applies LevelDB-style write control before a write is
+// accepted: a single ~1ms delay per write once L0 reaches the slowdown
+// trigger, and a full stall (condition wait) at the stop trigger so
+// writers degrade gracefully instead of racing compaction.
+func (db *DB) throttleLocked() error {
+	bg := db.bg
+	if bg.err != nil {
+		return bg.err
+	}
+	if bg.closing || db.closed {
+		return ErrClosed
+	}
+	stalled := false
+	for len(db.v.levels[0]) >= db.opts.L0StopTrigger && bg.err == nil && !bg.closing && !db.closed {
+		bg.throttleWaits++
+		stalled = true
+		db.cond.Wait()
+	}
+	if bg.err != nil {
+		return bg.err
+	}
+	if bg.closing || db.closed {
+		return ErrClosed
+	}
+	if !stalled && len(db.v.levels[0]) >= db.opts.L0SlowdownTrigger {
+		bg.slowdowns++
+		db.mu.Unlock()
+		time.Sleep(time.Millisecond)
+		db.mu.Lock()
+		if bg.err != nil {
+			return bg.err
+		}
+		if bg.closing || db.closed {
+			return ErrClosed
+		}
+	}
+	return nil
+}
+
+// freezeMemLocked atomically swaps in a fresh MemTable + WAL segment and
+// hands the frozen MemTable to the background flusher. At most one frozen
+// MemTable is outstanding; a second freeze waits for the slot. force
+// freezes a MemTable of any size (Flush); without it a freeze is skipped
+// when another writer already rotated while this one waited for the slot.
+func (db *DB) freezeMemLocked(force bool) error {
+	bg := db.bg
+	for db.imm != nil && bg.err == nil && !bg.closing && !db.closed {
+		db.cond.Wait()
+	}
+	if bg.err != nil {
+		return bg.err
+	}
+	if bg.closing || db.closed {
+		return ErrClosed
+	}
+	if db.mem.empty() {
+		return nil
+	}
+	if !force && db.mem.approximateBytes() < db.opts.MemTableBytes/2 {
+		return nil
+	}
+	if err := db.log.Close(); err != nil {
+		return err
+	}
+	db.walSeq++
+	seg := walSegmentPath(db.dir, db.walSeq)
+	log, err := wal.Create(seg)
+	if err != nil {
+		return err
+	}
+	db.imm = db.mem
+	db.immSeq = db.lastSeq
+	db.immWALs = db.memWALs
+	db.mem = newMemTable(db.opts.SecondaryAttrs)
+	db.memWALs = []string{seg}
+	db.log = log
+	db.cond.Broadcast() // wake the flusher
+	return nil
+}
+
+// waitPipelineIdleLocked blocks until the frozen MemTable (if any) is
+// flushed and the tree satisfies all shape invariants — the background
+// analogue of inline Flush's flush-then-compact-to-quiescence.
+func (db *DB) waitPipelineIdleLocked() error {
+	bg := db.bg
+	for (db.imm != nil || bg.compacting || db.needsCompactionLocked()) &&
+		bg.err == nil && !bg.closing && !db.closed {
+		db.cond.Wait()
+	}
+	if bg.err != nil {
+		return bg.err
+	}
+	if bg.closing || db.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// flusher is the background goroutine that builds an L0 table from each
+// frozen MemTable and installs it by version copy. On Close it drains a
+// pending frozen MemTable before exiting; on error it parks (the WAL
+// segments preserve the frozen contents for recovery).
+func (db *DB) flusher() {
+	bg := db.bg
+	defer bg.wg.Done()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for {
+		for db.imm == nil && !bg.quit {
+			db.cond.Wait()
+		}
+		if db.imm == nil {
+			return // quit with nothing pending
+		}
+		imm, immSeq, immWALs := db.imm, db.immSeq, db.immWALs
+		fileNum := db.allocFileNum()
+		hook := db.testBlockFlush
+		db.mu.Unlock()
+		if hook != nil {
+			<-hook
+		}
+		fm, err := db.buildMemTable(imm, fileNum)
+		db.mu.Lock()
+		if err != nil {
+			bg.failLocked(db, err)
+			return
+		}
+		nv := db.v.clone()
+		nv.levels[0] = append([]*FileMeta{fm}, nv.levels[0]...)
+		db.v = nv
+		db.flushedSeq = immSeq
+		if err := saveManifest(db.dir, db.v.toManifest(db.nextFileNum.Load(), db.flushedSeq)); err != nil {
+			bg.failLocked(db, err)
+			return
+		}
+		// The frozen MemTable is durable in the SSTable; its WAL segments
+		// are no longer needed (crash before this point replays them and
+		// skips records at or below the manifest floor).
+		db.imm = nil
+		db.immWALs = nil
+		bg.flushes++
+		for _, p := range immWALs {
+			os.Remove(p)
+		}
+		db.cond.Broadcast() // wake writers waiting for the imm slot, and the compactor
+	}
+}
+
+// compactor is the background goroutine that keeps the tree within shape
+// budgets: it picks a job under db.mu (same L0-first, round-robin policy
+// as inline mode), merges off-lock, and installs the result under db.mu.
+func (db *DB) compactor() {
+	bg := db.bg
+	defer bg.wg.Done()
+	for {
+		db.mu.Lock()
+		for !db.needsCompactionLocked() && !bg.quit && !bg.closing && bg.err == nil {
+			db.cond.Wait()
+		}
+		if bg.quit || bg.closing || bg.err != nil {
+			db.mu.Unlock()
+			return
+		}
+		db.mu.Unlock()
+
+		// Lock order: compactionMu first (see background.compactionMu).
+		bg.compactionMu.Lock()
+		db.mu.Lock()
+		job := db.pickCompactionLocked()
+		if job == nil {
+			db.mu.Unlock()
+			bg.compactionMu.Unlock()
+			continue
+		}
+		bg.compacting = true
+		db.mu.Unlock()
+
+		outputs, err := db.runCompactionMerge(job)
+
+		db.mu.Lock()
+		if err == nil {
+			err = db.installCompactionLocked(job, outputs)
+		}
+		bg.compacting = false
+		if err != nil {
+			bg.failLocked(db, err)
+			db.mu.Unlock()
+			bg.compactionMu.Unlock()
+			return
+		}
+		bg.compactions++
+		db.cond.Broadcast() // wake throttled writers and Flush waiters
+		db.mu.Unlock()
+		bg.compactionMu.Unlock()
+	}
+}

@@ -55,6 +55,11 @@ func (db *DB) ApplyWithSeq(b *Batch) (uint64, error) {
 	if db.closed {
 		return 0, ErrClosed
 	}
+	if db.bg != nil {
+		if err := db.throttleLocked(); err != nil {
+			return 0, err
+		}
+	}
 	// WriteMerge must run before logging: the WAL stores post-merge
 	// values so replay reconstructs the MemTable without re-merging.
 	// Records later in the batch merge against earlier ones too.
@@ -98,10 +103,9 @@ func (db *DB) ApplyWithSeq(b *Batch) (uint64, error) {
 		db.ingestBytes += int64(len(r.Key) + len(r.Value))
 	}
 	if db.mem.approximateBytes() >= db.opts.MemTableBytes {
-		if err := db.flushLocked(); err != nil {
+		if err := db.rotateMemLocked(); err != nil {
 			return 0, err
 		}
-		return firstSeq, db.maybeCompactLocked()
 	}
 	return firstSeq, nil
 }

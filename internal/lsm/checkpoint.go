@@ -57,9 +57,19 @@ func (db *DB) Checkpoint(destDir string) error {
 			}
 		}
 	}
-	if _, err := os.Stat(db.walFile()); err == nil {
-		if err := copyFile(db.walFile(), filepath.Join(destDir, "WAL")); err != nil {
-			return fmt.Errorf("lsm: checkpoint WAL: %w", err)
+	// Copy every WAL file backing the live and frozen MemTables under its
+	// original basename; replay at open visits them all. Inline mode has
+	// exactly the single legacy "WAL" file here.
+	copied := map[string]bool{}
+	for _, p := range append(append([]string(nil), db.immWALs...), db.memWALs...) {
+		if copied[p] {
+			continue
+		}
+		copied[p] = true
+		if _, err := os.Stat(p); err == nil {
+			if err := copyFile(p, filepath.Join(destDir, filepath.Base(p))); err != nil {
+				return fmt.Errorf("lsm: checkpoint WAL %s: %w", filepath.Base(p), err)
+			}
 		}
 	}
 	if _, err := os.Stat(manifestPath(db.dir)); err == nil {

@@ -21,6 +21,12 @@ func openSSTable(r io.ReaderAt, size int64, stats *metrics.IOStats, c *cache.Cac
 // maxTableBytes is the target SSTable size (LevelDB's 2 MB).
 const maxTableBytes = 2 << 20
 
+// allocFileNum hands out the next SSTable file number. Atomic so the
+// background flusher and compactor can allocate without holding db.mu.
+func (db *DB) allocFileNum() uint64 {
+	return db.nextFileNum.Add(1) - 1
+}
+
 // maxBytesForLevel returns the size threshold that triggers compaction out
 // of level l (l ≥ 1): BaseLevelBytes · LevelMultiplier^(l-1).
 func (db *DB) maxBytesForLevel(l int) int64 {
@@ -31,19 +37,17 @@ func (db *DB) maxBytesForLevel(l int) int64 {
 	return n
 }
 
-// flushLocked writes the MemTable to a new level-0 SSTable, persists the
-// manifest, and truncates the WAL. Caller holds db.mu.
-func (db *DB) flushLocked() error {
-	fileNum := db.nextFileNum
-	db.nextFileNum++
-
+// buildMemTable writes mem's contents to a new SSTable and opens it. It
+// takes no locks and touches no mutable DB state, so the background
+// flusher runs it off-lock on a frozen MemTable.
+func (db *DB) buildMemTable(mem *memTable, fileNum uint64) (*FileMeta, error) {
 	path := tablePath(db.dir, fileNum)
 	f, err := os.Create(path)
 	if err != nil {
-		return fmt.Errorf("lsm: create sstable: %w", err)
+		return nil, fmt.Errorf("lsm: create sstable: %w", err)
 	}
 	builder := sstable.NewBuilder(f, db.opts.tableOptions(false))
-	it := db.mem.iter()
+	it := mem.iter()
 	var prevUser []byte
 	for it.SeekToFirst(); it.Valid(); it.Next() {
 		ik, val := it.Key(), it.Value()
@@ -62,38 +66,64 @@ func (db *DB) flushLocked() error {
 		}
 		if err := builder.Add(ik, val, attrs); err != nil {
 			f.Close()
-			return err
+			return nil, err
 		}
 	}
 	size, err := builder.Finish()
 	if err != nil {
 		f.Close()
-		return err
+		return nil, err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		return err
+		return nil, err
 	}
 	if err := f.Close(); err != nil {
-		return err
+		return nil, err
 	}
+	return db.openTable(fileRecord{Num: fileNum, Size: size})
+}
 
-	fm, err := db.openTable(fileRecord{Num: fileNum, Size: size})
+// flushLocked writes the MemTable to a new level-0 SSTable, persists the
+// manifest, and restarts the WAL. Caller holds db.mu. In background mode
+// this runs only with the pipeline drained (no frozen MemTable
+// outstanding), from CompactRange.
+func (db *DB) flushLocked() error {
+	fm, err := db.buildMemTable(db.mem, db.allocFileNum())
 	if err != nil {
 		return err
 	}
-	// Newest first in level 0.
-	db.v.levels[0] = append([]*FileMeta{fm}, db.v.levels[0]...)
+	// Newest first in level 0; install by copy so concurrent readers
+	// holding the old version keep a stable view.
+	nv := db.v.clone()
+	nv.levels[0] = append([]*FileMeta{fm}, nv.levels[0]...)
+	db.v = nv
+	db.flushedSeq = db.lastSeq
 
-	if err := saveManifest(db.dir, db.v.toManifest(db.nextFileNum, db.lastSeq)); err != nil {
+	if err := saveManifest(db.dir, db.v.toManifest(db.nextFileNum.Load(), db.flushedSeq)); err != nil {
 		return err
 	}
 
-	// The MemTable is durable in the SSTable; restart the WAL.
+	// The MemTable is durable in the SSTable; restart the WAL. Any
+	// leftover background segments backing it are obsolete too.
 	if err := db.log.Close(); err != nil {
 		return err
 	}
-	db.log, err = wal.Create(db.walFile())
+	for _, p := range db.memWALs {
+		if p != db.walFile() {
+			os.Remove(p)
+		}
+	}
+	if db.bg != nil {
+		os.Remove(db.walFile())
+		db.walSeq++
+		seg := walSegmentPath(db.dir, db.walSeq)
+		db.log, err = wal.Create(seg)
+		db.memWALs = []string{seg}
+	} else {
+		db.log, err = wal.Create(db.walFile())
+		db.memWALs = []string{db.walFile()}
+	}
 	if err != nil {
 		return err
 	}
@@ -101,36 +131,66 @@ func (db *DB) flushLocked() error {
 	return nil
 }
 
+// needsCompactionLocked reports whether any shape invariant is violated.
+func (db *DB) needsCompactionLocked() bool {
+	if len(db.v.levels[0]) >= db.opts.L0CompactionTrigger {
+		return true
+	}
+	for l := 1; l < db.opts.MaxLevels-1; l++ {
+		if db.v.levelBytes(l) > db.maxBytesForLevel(l) {
+			return true
+		}
+	}
+	return false
+}
+
 // maybeCompactLocked runs compactions until the tree satisfies all shape
-// invariants. Caller holds db.mu.
+// invariants. Caller holds db.mu. (Inline mode only.)
 func (db *DB) maybeCompactLocked() error {
 	for {
-		if len(db.v.levels[0]) >= db.opts.L0CompactionTrigger {
-			if err := db.compactL0Locked(); err != nil {
-				return err
-			}
-			continue
-		}
-		compacted := false
-		for l := 1; l < db.opts.MaxLevels-1; l++ {
-			if db.v.levelBytes(l) > db.maxBytesForLevel(l) {
-				if err := db.compactLevelLocked(l); err != nil {
-					return err
-				}
-				compacted = true
-				break
-			}
-		}
-		if !compacted {
+		job := db.pickCompactionLocked()
+		if job == nil {
 			return nil
+		}
+		if err := db.runCompactionInlineLocked(job); err != nil {
+			return err
 		}
 	}
 }
 
-// compactL0Locked merges every level-0 file with the overlapping files of
-// level 1.
-func (db *DB) compactL0Locked() error {
+// compactionJob is one picked compaction: inputs from level, overlapping
+// files from level+1, and the pick-time version (stable until install,
+// since only one compaction runs at a time) for tombstone base checks.
+type compactionJob struct {
+	level  int
+	inputs []*FileMeta
+	next   []*FileMeta
+	base   *version
+}
+
+// pickCompactionLocked chooses the next compaction with the same policy
+// inline mode applies: L0 first (merge all of L0 with overlapping L1),
+// then the shallowest over-budget level, one file round-robin (LevelDB's
+// compaction pointer, paper §4.2). Returns nil when the tree is in shape.
+func (db *DB) pickCompactionLocked() *compactionJob {
+	if len(db.v.levels[0]) >= db.opts.L0CompactionTrigger {
+		return db.pickL0Locked()
+	}
+	for l := 1; l < db.opts.MaxLevels-1; l++ {
+		if db.v.levelBytes(l) > db.maxBytesForLevel(l) {
+			return db.pickLevelLocked(l)
+		}
+	}
+	return nil
+}
+
+// pickL0Locked builds the job that merges every level-0 file with the
+// overlapping files of level 1.
+func (db *DB) pickL0Locked() *compactionJob {
 	inputs := append([]*FileMeta(nil), db.v.levels[0]...)
+	if len(inputs) == 0 {
+		return nil
+	}
 	var lo, hi []byte
 	for _, fm := range inputs {
 		s, l := ikey.UserKey(fm.Smallest), ikey.UserKey(fm.Largest)
@@ -142,13 +202,12 @@ func (db *DB) compactL0Locked() error {
 		}
 	}
 	next := db.v.overlappingFiles(1, lo, hi)
-	return db.runCompactionLocked(0, inputs, next)
+	return &compactionJob{level: 0, inputs: inputs, next: next, base: db.v}
 }
 
-// compactLevelLocked picks one file of level l round-robin (LevelDB's
-// compaction pointer, paper §4.2) and merges it with the overlapping
-// files of level l+1.
-func (db *DB) compactLevelLocked(l int) error {
+// pickLevelLocked picks one file of level l round-robin and the
+// overlapping files of level l+1, advancing the compaction pointer.
+func (db *DB) pickLevelLocked(l int) *compactionJob {
 	files := db.v.levels[l]
 	if len(files) == 0 {
 		return nil
@@ -164,7 +223,18 @@ func (db *DB) compactLevelLocked(l int) error {
 	}
 	db.compactPtr[l] = append([]byte(nil), ikey.UserKey(pick.Largest)...)
 	next := db.v.overlappingFiles(l+1, ikey.UserKey(pick.Smallest), ikey.UserKey(pick.Largest))
-	return db.runCompactionLocked(l, []*FileMeta{pick}, next)
+	return &compactionJob{level: l, inputs: []*FileMeta{pick}, next: next, base: db.v}
+}
+
+// runCompactionInlineLocked merges and installs a job on the calling
+// goroutine with db.mu held throughout — the inline-mode path, and
+// CompactRange's path in both modes.
+func (db *DB) runCompactionInlineLocked(job *compactionJob) error {
+	outputs, err := db.runCompactionMerge(job)
+	if err != nil {
+		return err
+	}
+	return db.installCompactionLocked(job, outputs)
 }
 
 // mergeSource is one input iterator of a compaction.
@@ -186,12 +256,15 @@ func (h *mergeHeap) Pop() interface{} {
 	return x
 }
 
-// runCompactionLocked merges inputs (from level) and next (from level+1)
-// into new tables at level+1, installs the new version, and removes
-// obsolete files.
-func (db *DB) runCompactionLocked(level int, inputs, next []*FileMeta) error {
-	target := level + 1
-	all := append(append([]*FileMeta(nil), inputs...), next...)
+// runCompactionMerge merges job.inputs (from job.level) and job.next
+// (from job.level+1) into new tables for job.level+1 and returns them. It
+// reads only the job and immutable DB state, so the background compactor
+// runs it without holding db.mu: input tables are immutable files, and
+// job.base stays valid because at most one compaction mutates levels at a
+// time (background.compactionMu).
+func (db *DB) runCompactionMerge(job *compactionJob) ([]*FileMeta, error) {
+	target := job.level + 1
+	all := append(append([]*FileMeta(nil), job.inputs...), job.next...)
 
 	var h mergeHeap
 	for _, fm := range all {
@@ -199,7 +272,7 @@ func (db *DB) runCompactionLocked(level int, inputs, next []*FileMeta) error {
 		if it.Next() {
 			heap.Push(&h, &mergeSource{it: it})
 		} else if err := it.Err(); err != nil {
-			return err
+			return nil, err
 		}
 	}
 
@@ -209,8 +282,7 @@ func (db *DB) runCompactionLocked(level int, inputs, next []*FileMeta) error {
 	var curNum uint64
 
 	startOutput := func() error {
-		curNum = db.nextFileNum
-		db.nextFileNum++
+		curNum = db.allocFileNum()
 		f, err := os.Create(tablePath(db.dir, curNum))
 		if err != nil {
 			return err
@@ -277,7 +349,7 @@ func (db *DB) runCompactionLocked(level int, inputs, next []*FileMeta) error {
 			groupValues = groupValues[:0]
 			groupKinds = groupKinds[:0]
 		}()
-		bottom := db.v.isBaseLevelForKey(target, groupKey)
+		bottom := job.base.isBaseLevelForKey(target, groupKey)
 
 		if db.opts.Merge != nil {
 			// Collect live values down to (not past) the newest tombstone.
@@ -328,7 +400,7 @@ func (db *DB) runCompactionLocked(level int, inputs, next []*FileMeta) error {
 		uk := ikey.UserKey(ik)
 		if groupKey == nil || !bytes.Equal(groupKey, uk) {
 			if err := flushGroup(); err != nil {
-				return err
+				return nil, err
 			}
 			groupKey = append([]byte(nil), uk...)
 		}
@@ -340,32 +412,43 @@ func (db *DB) runCompactionLocked(level int, inputs, next []*FileMeta) error {
 			heap.Fix(&h, 0)
 		} else {
 			if err := src.it.Err(); err != nil {
-				return err
+				return nil, err
 			}
 			heap.Pop(&h)
 		}
 	}
 	if err := flushGroup(); err != nil {
-		return err
+		return nil, err
 	}
 	if err := finishOutput(); err != nil {
-		return err
+		return nil, err
 	}
+	return outputs, nil
+}
 
-	// Install the new version.
+// installCompactionLocked swaps in a version with the job's inputs
+// replaced by its outputs, persists the manifest, and removes the input
+// files. It filters dead files against the *current* version, so L0
+// tables flushed while the merge ran off-lock survive. Caller holds
+// db.mu; readers hold RLock for their whole operation, so nothing reads
+// the inputs once the exclusive section completes.
+func (db *DB) installCompactionLocked(job *compactionJob, outputs []*FileMeta) error {
+	target := job.level + 1
+	all := append(append([]*FileMeta(nil), job.inputs...), job.next...)
 	dead := map[uint64]bool{}
 	for _, fm := range all {
 		dead[fm.Num] = true
 	}
+	nv := db.v.clone()
 	var keepL []*FileMeta
-	for _, fm := range db.v.levels[level] {
+	for _, fm := range nv.levels[job.level] {
 		if !dead[fm.Num] {
 			keepL = append(keepL, fm)
 		}
 	}
-	db.v.levels[level] = keepL
+	nv.levels[job.level] = keepL
 	var keepT []*FileMeta
-	for _, fm := range db.v.levels[target] {
+	for _, fm := range nv.levels[target] {
 		if !dead[fm.Num] {
 			keepT = append(keepT, fm)
 		}
@@ -374,9 +457,10 @@ func (db *DB) runCompactionLocked(level int, inputs, next []*FileMeta) error {
 	// and target-level survivors don't overlap them).
 	merged := append(keepT, outputs...)
 	sortFilesBySmallest(merged)
-	db.v.levels[target] = merged
+	nv.levels[target] = merged
+	db.v = nv
 
-	if err := saveManifest(db.dir, db.v.toManifest(db.nextFileNum, db.lastSeq)); err != nil {
+	if err := saveManifest(db.dir, db.v.toManifest(db.nextFileNum.Load(), db.flushedSeq)); err != nil {
 		return err
 	}
 	for _, fm := range all {
@@ -400,12 +484,33 @@ func sortFilesBySmallest(files []*FileMeta) {
 // CompactRange forces the user-key range [lo, hi] (nil = unbounded) down
 // the tree until every level except the deepest non-empty one is clear of
 // it — LevelDB's manual compaction. Useful for tests, space reclamation
-// after bulk deletes, and read-optimizing a cold dataset.
+// after bulk deletes, and read-optimizing a cold dataset. In background
+// mode it excludes the background compactor for its duration and drains
+// the frozen MemTable first.
 func (db *DB) CompactRange(lo, hi []byte) error {
+	if db.bg != nil {
+		// Lock order: compactionMu before db.mu (see background).
+		db.bg.compactionMu.Lock()
+		defer db.bg.compactionMu.Unlock()
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
 		return ErrClosed
+	}
+	if db.bg != nil {
+		// Wait out any in-flight flush; the compactor cannot start (we
+		// hold compactionMu), so after this loop we mutate levels alone.
+		bg := db.bg
+		for db.imm != nil && bg.err == nil && !bg.closing && !db.closed {
+			db.cond.Wait()
+		}
+		if bg.err != nil {
+			return bg.err
+		}
+		if bg.closing || db.closed {
+			return ErrClosed
+		}
 	}
 	if !db.mem.empty() {
 		if err := db.flushLocked(); err != nil {
@@ -413,8 +518,10 @@ func (db *DB) CompactRange(lo, hi []byte) error {
 		}
 	}
 	if len(db.v.levels[0]) > 0 {
-		if err := db.compactL0Locked(); err != nil {
-			return err
+		if job := db.pickL0Locked(); job != nil {
+			if err := db.runCompactionInlineLocked(job); err != nil {
+				return err
+			}
 		}
 	}
 	for l := 1; l < db.opts.MaxLevels-1; l++ {
@@ -436,7 +543,8 @@ func (db *DB) CompactRange(lo, hi []byte) error {
 			}
 			pick := overlapping[0]
 			next := db.v.overlappingFiles(l+1, ikey.UserKey(pick.Smallest), ikey.UserKey(pick.Largest))
-			if err := db.runCompactionLocked(l, []*FileMeta{pick}, next); err != nil {
+			job := &compactionJob{level: l, inputs: []*FileMeta{pick}, next: next, base: db.v}
+			if err := db.runCompactionInlineLocked(job); err != nil {
 				return err
 			}
 		}

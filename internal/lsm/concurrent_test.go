@@ -1,0 +1,417 @@
+package lsm
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+func bgOpts() *Options {
+	o := smallOpts()
+	o.BackgroundCompaction = true
+	return o
+}
+
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= want {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines did not drain: have %d, want <= %d", runtime.NumGoroutine(), want)
+}
+
+// TestBackgroundBasic drives a background-mode DB through many flushes
+// and compactions, then reopens the directory in inline mode to prove the
+// on-disk formats (manifest, WAL segments, tables) are mode-independent.
+func TestBackgroundBasic(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, bgOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		mustPut(t, db, fmt.Sprintf("key-%05d", i), fmt.Sprintf("value-%05d", i))
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := db.BackgroundStats()
+	if st.Flushes == 0 {
+		t.Fatalf("no background flushes ran: %+v", st)
+	}
+	for i := 0; i < n; i += 97 {
+		k := fmt.Sprintf("key-%05d", i)
+		if v, ok := mustGet(t, db, k); !ok || v != fmt.Sprintf("value-%05d", i) {
+			t.Fatalf("Get(%s) = %q %v", k, v, ok)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cross-mode reopen: inline.
+	inline, err := Open(dir, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inline.Close()
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%05d", i)
+		if v, ok := mustGet(t, inline, k); !ok || v != fmt.Sprintf("value-%05d", i) {
+			t.Fatalf("after inline reopen, Get(%s) = %q %v", k, v, ok)
+		}
+	}
+	if rep, err := inline.Verify(); err != nil || len(rep.Problems) > 0 {
+		t.Fatalf("verify after reopen: %v %v", err, rep.Problems)
+	}
+}
+
+// TestBackgroundFrozenMemtableVisible checks the read paths while a
+// frozen MemTable is parked behind the blocked flusher: Get and Scan must
+// see its records, and newer live-MemTable versions must shadow it.
+func TestBackgroundFrozenMemtableVisible(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, bgOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	block := make(chan struct{})
+	db.mu.Lock()
+	db.testBlockFlush = block
+	db.mu.Unlock()
+
+	i := 0
+	for {
+		mustPut(t, db, fmt.Sprintf("key-%05d", i), fmt.Sprintf("value-%05d", i))
+		i++
+		db.mu.RLock()
+		frozen := db.imm != nil
+		db.mu.RUnlock()
+		if frozen {
+			break
+		}
+		if i > 100000 {
+			t.Fatal("memtable never froze")
+		}
+	}
+	// Overwrite one frozen key in the live MemTable.
+	mustPut(t, db, "key-00000", "newer")
+
+	if v, ok := mustGet(t, db, "key-00000"); !ok || v != "newer" {
+		t.Fatalf("Get(key-00000) = %q %v, want newer", v, ok)
+	}
+	if v, ok := mustGet(t, db, "key-00001"); !ok || v != "value-00001" {
+		t.Fatalf("Get(key-00001) = %q %v", v, ok)
+	}
+	got := map[string]string{}
+	err = db.Scan(nil, nil, func(k, v []byte, _ uint64) bool {
+		got[string(k)] = string(v)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != i {
+		t.Fatalf("scan saw %d keys, want %d", len(got), i)
+	}
+	if got["key-00000"] != "newer" {
+		t.Fatalf("scan saw %q for overwritten key", got["key-00000"])
+	}
+	close(block)
+	db.mu.Lock()
+	db.testBlockFlush = nil
+	db.mu.Unlock()
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBackgroundCrashRecovery freezes a MemTable, blocks its flush, and
+// copies the directory — a crash image with an unflushed frozen MemTable
+// and a live MemTable, each backed only by WAL segments. Reopening the
+// copy must replay every acknowledged write.
+func TestBackgroundCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, bgOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	block := make(chan struct{})
+	db.mu.Lock()
+	db.testBlockFlush = block
+	db.mu.Unlock()
+
+	want := map[string]string{}
+	i := 0
+	for {
+		k, v := fmt.Sprintf("key-%05d", i), fmt.Sprintf("value-%05d", i)
+		mustPut(t, db, k, v)
+		want[k] = v
+		i++
+		db.mu.RLock()
+		frozen := db.imm != nil
+		db.mu.RUnlock()
+		if frozen {
+			break
+		}
+		if i > 100000 {
+			t.Fatal("memtable never froze")
+		}
+	}
+	// A few more writes land in the fresh MemTable + new WAL segment.
+	for j := 0; j < 50; j++ {
+		k, v := fmt.Sprintf("post-%05d", j), fmt.Sprintf("pv-%05d", j)
+		mustPut(t, db, k, v)
+		want[k] = v
+	}
+
+	// Crash image: copy the directory while the flusher is still blocked
+	// (the frozen MemTable exists nowhere but its WAL segments).
+	crash := t.TempDir()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.mu.RLock() // exclude concurrent manifest writes while copying
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(crash, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.mu.RUnlock()
+	close(block)
+
+	re, err := Open(crash, bgOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	for k, v := range want {
+		if got, ok := mustGet(t, re, k); !ok || got != v {
+			t.Fatalf("after crash recovery, Get(%s) = %q %v, want %q", k, got, ok, v)
+		}
+	}
+}
+
+// TestBackgroundCloseDrains proves Close waits for in-flight background
+// work and leaves no goroutines behind, and that a reopen loses nothing.
+func TestBackgroundCloseDrains(t *testing.T) {
+	base := runtime.NumGoroutine()
+	dir := t.TempDir()
+	db, err := Open(dir, bgOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		mustPut(t, db, fmt.Sprintf("key-%05d", i), fmt.Sprintf("value-%05d", i))
+	}
+	// Close immediately: a frozen MemTable may be mid-flush and the
+	// compactor mid-merge; both must drain.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitGoroutines(t, base)
+
+	re, err := Open(dir, bgOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%05d", i)
+		if v, ok := mustGet(t, re, k); !ok || v != fmt.Sprintf("value-%05d", i) {
+			t.Fatalf("after reopen, Get(%s) = %q %v", k, v, ok)
+		}
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitGoroutines(t, base)
+
+	// Closing twice is fine; writes after Close fail.
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Put([]byte("x"), []byte("y")); err != ErrClosed {
+		t.Fatalf("Put after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestBackgroundConcurrentStress runs writers, point readers and scanners
+// against the background pipeline at once — the race-detector workout for
+// the MemTable handoff, version install-by-copy, and throttle paths.
+func TestBackgroundConcurrentStress(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, bgOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers = 4
+		perW    = 800
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				k := fmt.Sprintf("w%d-key-%05d", w, i)
+				if err := db.Put([]byte(k), []byte(fmt.Sprintf("val-%d-%d", w, i))); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%7 == 0 {
+					if err := db.Delete([]byte(fmt.Sprintf("w%d-key-%05d", w, i/2))); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	// Readers: point gets and scans on whatever exists.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, _, err := db.Get([]byte(fmt.Sprintf("w%d-key-%05d", r, i%perW))); err != nil && err != ErrClosed {
+					t.Error(err)
+					return
+				}
+				if i%50 == 0 {
+					err := db.Scan([]byte("w0"), []byte("w1"), func(_, _ []byte, _ uint64) bool { return true })
+					if err != nil && err != ErrClosed {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	// One manual compaction mid-stream exercises the compactionMu path.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(50 * time.Millisecond)
+		if err := db.CompactRange(nil, nil); err != nil && err != ErrClosed {
+			t.Error(err)
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	// Writers finish first; then stop the readers.
+	for {
+		select {
+		case <-done:
+		default:
+		}
+		var writersAlive bool
+		db.mu.RLock()
+		writersAlive = db.lastSeq < uint64(writers*perW) // lower bound incl. deletes
+		db.mu.RUnlock()
+		if !writersAlive {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(stop)
+	<-done
+
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Every key that wasn't deleted must be present with its final value.
+	for w := 0; w < writers; w++ {
+		for i := perW / 2; i < perW; i++ { // indices never targeted by deletes
+			k := fmt.Sprintf("w%d-key-%05d", w, i)
+			if v, ok := mustGet(t, db, k); !ok || v != fmt.Sprintf("val-%d-%d", w, i) {
+				t.Fatalf("Get(%s) = %q %v", k, v, ok)
+			}
+		}
+	}
+	if rep, err := db.Verify(); err != nil || len(rep.Problems) > 0 {
+		t.Fatalf("verify: %v %v", err, rep.Problems)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBackgroundCheckpoint takes a checkpoint while the pipeline is busy
+// and verifies the copy opens and contains everything acknowledged before
+// the call.
+func TestBackgroundCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, bgOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	const n = 1500
+	for i := 0; i < n; i++ {
+		mustPut(t, db, fmt.Sprintf("key-%05d", i), fmt.Sprintf("value-%05d", i))
+	}
+	ckpt := filepath.Join(t.TempDir(), "ckpt")
+	if err := db.Checkpoint(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(ckpt, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%05d", i)
+		if v, ok := mustGet(t, re, k); !ok || v != fmt.Sprintf("value-%05d", i) {
+			t.Fatalf("checkpoint Get(%s) = %q %v", k, v, ok)
+		}
+	}
+}
+
+// TestInlineUnaffected guards the determinism contract: with
+// BackgroundCompaction off, the new machinery must not run at all.
+func TestInlineUnaffected(t *testing.T) {
+	db, _ := openTestDB(t, smallOpts())
+	for i := 0; i < 2000; i++ {
+		mustPut(t, db, fmt.Sprintf("key-%05d", i), fmt.Sprintf("value-%05d", i))
+	}
+	if db.bg != nil {
+		t.Fatal("inline DB has background state")
+	}
+	db.mu.RLock()
+	imm := db.imm
+	db.mu.RUnlock()
+	if imm != nil {
+		t.Fatal("inline DB froze a memtable")
+	}
+	if st := db.BackgroundStats(); st != (BackgroundStats{}) {
+		t.Fatalf("inline BackgroundStats = %+v", st)
+	}
+}

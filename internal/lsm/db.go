@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"leveldbpp/internal/btree"
 	"leveldbpp/internal/cache"
@@ -19,22 +21,41 @@ import (
 // ErrClosed is returned by operations on a closed DB.
 var ErrClosed = errors.New("lsm: database is closed")
 
-// DB is a single-node LSM key-value store. Writes are serialized; flushes
-// and compactions run inline on the writing goroutine (see package doc).
+// DB is a single-node LSM key-value store. Writes are serialized. By
+// default flushes and compactions run inline on the writing goroutine
+// (see package doc); with Options.BackgroundCompaction they move to
+// dedicated goroutines and the writer only swaps MemTables.
 type DB struct {
 	dir  string
 	opts Options
 
 	mu          sync.RWMutex
+	cond        *sync.Cond // signals imm-slot free, L0 drained, background done
 	mem         *memTable
+	imm         *memTable // frozen MemTable awaiting background flush (nil inline)
 	log         *wal.Writer
+	memWALs     []string // WAL files backing mem (active segment last)
+	immWALs     []string // WAL files backing imm; deleted after its flush
+	immSeq      uint64   // highest seq in imm (manifest floor for its flush)
+	walSeq      uint64   // next background WAL segment number
 	v           *version
-	nextFileNum uint64
 	lastSeq     uint64
+	flushedSeq  uint64   // highest seq durable in SSTables (manifest LastSeq)
 	compactPtr  [][]byte // per-level round-robin compaction cursor (user key)
 	blockCache  *cache.Cache
 	ingestBytes int64 // user key+value bytes accepted, for WAMF
 	closed      bool
+
+	// nextFileNum is atomic so the background compactor can allocate
+	// output numbers while rolling tables without holding db.mu.
+	nextFileNum atomic.Uint64
+
+	bg *background // non-nil iff Options.BackgroundCompaction
+
+	// testBlockFlush, when non-nil, is received from by the background
+	// flusher before it builds a table — lets crash tests freeze a DB with
+	// an unflushed immutable MemTable outstanding.
+	testBlockFlush chan struct{}
 }
 
 // Open creates or recovers a DB in dir.
@@ -44,13 +65,14 @@ func Open(dir string, o *Options) (*DB, error) {
 		return nil, fmt.Errorf("lsm: create dir: %w", err)
 	}
 	db := &DB{
-		dir:         dir,
-		opts:        opts,
-		mem:         newMemTable(opts.SecondaryAttrs),
-		v:           newVersion(opts.MaxLevels),
-		nextFileNum: 1,
-		compactPtr:  make([][]byte, opts.MaxLevels),
+		dir:        dir,
+		opts:       opts,
+		mem:        newMemTable(opts.SecondaryAttrs),
+		v:          newVersion(opts.MaxLevels),
+		compactPtr: make([][]byte, opts.MaxLevels),
 	}
+	db.cond = sync.NewCond(&db.mu)
+	db.nextFileNum.Store(1)
 	if opts.BlockCacheBytes > 0 {
 		db.blockCache = cache.New(opts.BlockCacheBytes)
 	}
@@ -60,8 +82,9 @@ func Open(dir string, o *Options) (*DB, error) {
 		return nil, err
 	}
 	if found {
-		db.nextFileNum = m.NextFileNum
+		db.nextFileNum.Store(m.NextFileNum)
 		db.lastSeq = m.LastSeq
+		db.flushedSeq = m.LastSeq
 		for l, files := range m.Levels {
 			if l >= opts.MaxLevels {
 				return nil, fmt.Errorf("lsm: manifest has %d levels, MaxLevels is %d", len(m.Levels), opts.MaxLevels)
@@ -77,28 +100,87 @@ func Open(dir string, o *Options) (*DB, error) {
 	}
 
 	// Replay the WAL: records newer than the manifest's sequence were in
-	// the MemTable at crash/close time.
+	// a MemTable at crash/close time. Background mode writes numbered
+	// segments alongside the legacy single file, so replay visits them
+	// all (record seqs are unique, so segment order is immaterial).
 	replayFloor := db.lastSeq
-	err = wal.Replay(db.walFile(), func(r wal.Record) error {
-		if r.Seq <= replayFloor {
-			return nil // already durable in an SSTable
+	segments := walSegments(dir)
+	replayFiles := append([]string{db.walFile()}, segments...)
+	for _, path := range replayFiles {
+		err = wal.Replay(path, func(r wal.Record) error {
+			if r.Seq <= replayFloor {
+				return nil // already durable in an SSTable
+			}
+			db.mem.add(r.Seq, ikey.Kind(r.Kind), r.Key, r.Value, opts.Extract)
+			if r.Seq > db.lastSeq {
+				db.lastSeq = r.Seq
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		db.mem.add(r.Seq, ikey.Kind(r.Kind), r.Key, r.Value, opts.Extract)
-		if r.Seq > db.lastSeq {
-			db.lastSeq = r.Seq
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
 
-	db.log, err = wal.Append(db.walFile())
-	if err != nil {
-		return nil, err
+	if opts.BackgroundCompaction {
+		// Start a fresh segment; every pre-existing WAL file still backs
+		// the recovered MemTable and is deleted only after its flush.
+		db.walSeq = nextWALSeq(segments) + 1
+		seg := walSegmentPath(dir, db.walSeq)
+		db.log, err = wal.Create(seg)
+		if err != nil {
+			return nil, err
+		}
+		if _, statErr := os.Stat(db.walFile()); statErr == nil {
+			db.memWALs = append(db.memWALs, db.walFile())
+		}
+		db.memWALs = append(db.memWALs, segments...)
+		db.memWALs = append(db.memWALs, seg)
+	} else {
+		db.log, err = wal.Append(db.walFile())
+		if err != nil {
+			return nil, err
+		}
+		db.memWALs = append(append([]string{}, segments...), db.walFile())
 	}
 	db.removeOrphanTables()
+	if opts.BackgroundCompaction {
+		db.startBackground()
+	}
 	return db, nil
+}
+
+// walSegmentPath names background-mode WAL segment n.
+func walSegmentPath(dir string, n uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("WAL-%06d", n))
+}
+
+// walSegments lists existing numbered WAL segments, oldest first.
+func walSegments(dir string) []string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "WAL-") && len(name) > 4 {
+			out = append(out, filepath.Join(dir, name))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func nextWALSeq(segments []string) uint64 {
+	var maxN uint64
+	for _, s := range segments {
+		var n uint64
+		if _, err := fmt.Sscanf(filepath.Base(s), "WAL-%d", &n); err == nil && n > maxN {
+			maxN = n
+		}
+	}
+	return maxN
 }
 
 // removeOrphanTables deletes .sst files not referenced by the manifest —
@@ -178,6 +260,11 @@ func (db *DB) write(kind ikey.Kind, key, value []byte) (uint64, error) {
 	if db.closed {
 		return 0, ErrClosed
 	}
+	if db.bg != nil {
+		if err := db.throttleLocked(); err != nil {
+			return 0, err
+		}
+	}
 	if db.opts.WriteMerge != nil && kind == ikey.KindSet {
 		if existing, _, k, ok := db.mem.get(key); ok && k == ikey.KindSet {
 			value = db.opts.WriteMerge(existing, value)
@@ -198,14 +285,24 @@ func (db *DB) write(kind ikey.Kind, key, value []byte) (uint64, error) {
 	db.ingestBytes += int64(len(key) + len(value))
 
 	if db.mem.approximateBytes() >= db.opts.MemTableBytes {
-		if err := db.flushLocked(); err != nil {
-			return 0, err
-		}
-		if err := db.maybeCompactLocked(); err != nil {
+		if err := db.rotateMemLocked(); err != nil {
 			return 0, err
 		}
 	}
 	return seq, nil
+}
+
+// rotateMemLocked handles a full MemTable: inline mode flushes and
+// compacts on the calling goroutine; background mode freezes the
+// MemTable and hands it to the flusher.
+func (db *DB) rotateMemLocked() error {
+	if db.bg != nil {
+		return db.freezeMemLocked(false)
+	}
+	if err := db.flushLocked(); err != nil {
+		return err
+	}
+	return db.maybeCompactLocked()
 }
 
 // Get returns the newest live value for key, reading the MemTable, then
@@ -225,6 +322,14 @@ func (db *DB) getLocked(key []byte) ([]byte, bool, error) {
 			return nil, false, nil
 		}
 		return value, true, nil
+	}
+	if db.imm != nil { // frozen MemTable: newer than any SSTable
+		if value, _, kind, ok := db.imm.get(key); ok {
+			if kind == ikey.KindDelete {
+				return nil, false, nil
+			}
+			return value, true, nil
+		}
 	}
 	for _, fm := range db.v.levels[0] { // newest first
 		ik, val, ok, err := fm.tbl.Get(key)
@@ -258,12 +363,22 @@ func (db *DB) getLocked(key []byte) ([]byte, bool, error) {
 }
 
 // Flush forces the MemTable to level 0 and runs any pending compactions.
-// Useful in tests and at the end of bulk loads.
+// In background mode it blocks until the background pipeline has drained
+// (frozen MemTable flushed, tree shape within budget). Useful in tests
+// and at the end of bulk loads.
 func (db *DB) Flush() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
 		return ErrClosed
+	}
+	if db.bg != nil {
+		if !db.mem.empty() {
+			if err := db.freezeMemLocked(true); err != nil {
+				return err
+			}
+		}
+		return db.waitPipelineIdleLocked()
 	}
 	if db.mem.empty() {
 		return nil
@@ -275,14 +390,21 @@ func (db *DB) Flush() error {
 }
 
 // Close flushes nothing (the WAL preserves the MemTable) and releases file
-// handles.
+// handles. In background mode it first drains in-flight background work
+// and stops the flusher and compactor goroutines.
 func (db *DB) Close() error {
+	if db.bg != nil {
+		if err := db.stopBackground(); err != nil {
+			return err
+		}
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
 		return nil
 	}
 	db.closed = true
+	db.cond.Broadcast()
 	var firstErr error
 	if err := db.log.Close(); err != nil {
 		firstErr = err
@@ -310,8 +432,15 @@ func (db *DB) DiskUsage() (int64, error) {
 			total += fm.Size
 		}
 	}
-	if fi, err := os.Stat(db.walFile()); err == nil {
-		total += fi.Size()
+	seen := map[string]bool{}
+	for _, p := range append(append([]string(nil), db.memWALs...), db.immWALs...) {
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		if fi, err := os.Stat(p); err == nil {
+			total += fi.Size()
+		}
 	}
 	return total, nil
 }
@@ -373,6 +502,7 @@ func (db *DB) LastSeq() uint64 {
 type View struct {
 	db     *DB
 	mem    *memTable
+	imm    *memTable // frozen MemTable (background mode), nil otherwise
 	levels [][]*FileMeta
 }
 
@@ -385,7 +515,7 @@ func (db *DB) View(fn func(*View) error) error {
 	if db.closed {
 		return ErrClosed
 	}
-	return fn(&View{db: db, mem: db.mem, levels: db.v.levels})
+	return fn(&View{db: db, mem: db.mem, imm: db.imm, levels: db.v.levels})
 }
 
 // Get performs a standard newest-wins point read inside the view.
@@ -403,6 +533,50 @@ func (v *View) MemIter() *skiplist.Iterator { return v.mem.iter() }
 // MemSecTree returns the MemTable-side secondary B-tree for attr (nil when
 // the attribute is not embedded-indexed).
 func (v *View) MemSecTree(attr string) *btree.Tree { return v.mem.secTree(attr) }
+
+// MemMaxSeq returns the highest sequence number in the MemTable (0 when
+// empty) — the upper bound lookup algorithms use for stratum pruning.
+func (v *View) MemMaxSeq() uint64 { return v.mem.maxSeq }
+
+// HasImm reports whether a frozen MemTable stratum exists (background
+// mode, flush pending). It sits between the MemTable and level 0 in
+// newest-first order.
+func (v *View) HasImm() bool { return v.imm != nil }
+
+// ImmGet returns the newest frozen-MemTable record for key.
+func (v *View) ImmGet(key []byte) (value []byte, seq uint64, deleted bool, ok bool) {
+	if v.imm == nil {
+		return nil, 0, false, false
+	}
+	val, seq, kind, ok := v.imm.get(key)
+	return val, seq, kind == ikey.KindDelete, ok
+}
+
+// ImmIter iterates the frozen MemTable in internal-key order (nil when
+// there is none).
+func (v *View) ImmIter() *skiplist.Iterator {
+	if v.imm == nil {
+		return nil
+	}
+	return v.imm.iter()
+}
+
+// ImmSecTree returns the frozen MemTable's secondary B-tree for attr.
+func (v *View) ImmSecTree(attr string) *btree.Tree {
+	if v.imm == nil {
+		return nil
+	}
+	return v.imm.secTree(attr)
+}
+
+// ImmMaxSeq returns the highest sequence number in the frozen MemTable
+// (0 when there is none).
+func (v *View) ImmMaxSeq() uint64 {
+	if v.imm == nil {
+		return 0
+	}
+	return v.imm.maxSeq
+}
 
 // L0 returns the level-0 files, newest first.
 func (v *View) L0() []*FileMeta { return v.levels[0] }
@@ -436,11 +610,14 @@ func (v *View) OverlappingFiles(l int, loUser, hiUser []byte) []*FileMeta {
 }
 
 // NumStrata reports how many time-ordered strata the view has: the
-// MemTable, each L0 file, and each deeper level (paper's "levels"; our L0
-// decomposition preserves the one-run-per-stratum property the lookup
-// algorithms rely on).
+// MemTable, the frozen MemTable if present, each L0 file, and each deeper
+// level (paper's "levels"; our L0 decomposition preserves the
+// one-run-per-stratum property the lookup algorithms rely on).
 func (v *View) NumStrata() int {
 	n := 1 + len(v.levels[0])
+	if v.imm != nil {
+		n++
+	}
 	for l := 1; l < len(v.levels); l++ {
 		if len(v.levels[l]) > 0 {
 			n++
@@ -456,6 +633,9 @@ func (db *DB) DebugString() string {
 	defer db.mu.RUnlock()
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "memtable: %d entries, %d bytes\n", db.mem.list.Len(), db.mem.approximateBytes())
+	if db.imm != nil {
+		fmt.Fprintf(&sb, "immutable memtable: %d entries, %d bytes\n", db.imm.list.Len(), db.imm.approximateBytes())
+	}
 	for l, files := range db.v.levels {
 		if len(files) == 0 {
 			continue

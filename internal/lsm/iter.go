@@ -62,7 +62,7 @@ func (db *DB) Scan(lo, hiExcl []byte, fn func(key, value []byte, seq uint64) boo
 	if db.closed {
 		return ErrClosed
 	}
-	return scanView(&View{db: db, mem: db.mem, levels: db.v.levels}, lo, hiExcl, fn)
+	return scanView(&View{db: db, mem: db.mem, imm: db.imm, levels: db.v.levels}, lo, hiExcl, fn)
 }
 
 // Scan is the View-scoped variant of DB.Scan.
@@ -82,6 +82,13 @@ func scanView(v *View, lo, hiExcl []byte, fn func(key, value []byte, seq uint64)
 	mi.SeekGE(seekKey)
 	if mi.Valid() {
 		add(&memIterAdapter{it: mi, started: true})
+	}
+	if v.imm != nil { // frozen MemTable stratum (background mode)
+		ii := v.imm.iter()
+		ii.SeekGE(seekKey)
+		if ii.Valid() {
+			add(&memIterAdapter{it: ii, started: true})
+		}
 	}
 	seekTable := func(fm *FileMeta) error {
 		it := fm.tbl.NewIterator(false)

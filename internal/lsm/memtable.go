@@ -13,8 +13,9 @@ import (
 // value to postings (paper §3: "For lookup in the MemTable, we maintain an
 // in-memory B-tree on the secondary attribute(s)").
 type memTable struct {
-	list *skiplist.List
-	sec  map[string]*btree.Tree // attr name → value → postings
+	list   *skiplist.List
+	sec    map[string]*btree.Tree // attr name → value → postings
+	maxSeq uint64                 // highest sequence number added
 }
 
 func newMemTable(secondaryAttrs []string) *memTable {
@@ -32,6 +33,9 @@ func newMemTable(secondaryAttrs []string) *memTable {
 func (m *memTable) add(seq uint64, kind ikey.Kind, userKey, value []byte, extract AttrExtractor) {
 	ik := ikey.Make(userKey, seq, kind)
 	m.list.Insert(ik, value)
+	if seq > m.maxSeq {
+		m.maxSeq = seq
+	}
 	if m.sec != nil && kind == ikey.KindSet && extract != nil {
 		for _, av := range extract(userKey, value) {
 			if tree, ok := m.sec[av.Attr]; ok {

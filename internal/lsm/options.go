@@ -79,6 +79,22 @@ type Options struct {
 	// SyncWAL forces an fsync per write. Off by default (the paper's
 	// throughput experiments run LevelDB in its default async mode).
 	SyncWAL bool
+	// BackgroundCompaction decouples ingestion from merge work: on
+	// memtable-full the writer swaps in a fresh MemTable + WAL segment and
+	// hands the frozen one to a background flusher, while a dedicated
+	// goroutine runs compactions and installs new versions under the DB
+	// lock. Off by default — the paper's experiments require the inline,
+	// single-threaded mode for determinism and exact I/O attribution
+	// (DESIGN.md §5 "Concurrency modes").
+	BackgroundCompaction bool
+	// L0SlowdownTrigger is the level-0 file count at which background-mode
+	// writers are delayed ~1ms per write so compaction can keep up.
+	// Default 8. Ignored in inline mode.
+	L0SlowdownTrigger int
+	// L0StopTrigger is the level-0 file count at which background-mode
+	// writers block until compaction brings L0 back under the limit.
+	// Default 12. Ignored in inline mode.
+	L0StopTrigger int
 	// BlockCacheBytes enables an LRU block cache of the given capacity.
 	// 0 disables caching — the paper's configuration ("No block cache
 	// was used"), keeping measured block I/O purely algorithmic.
@@ -115,6 +131,15 @@ func (o *Options) withDefaults() Options {
 	}
 	if opts.MaxLevels <= 1 {
 		opts.MaxLevels = 7
+	}
+	if opts.L0SlowdownTrigger <= 0 {
+		opts.L0SlowdownTrigger = 8
+	}
+	if opts.L0StopTrigger <= 0 {
+		opts.L0StopTrigger = 12
+	}
+	if opts.L0StopTrigger <= opts.L0SlowdownTrigger {
+		opts.L0StopTrigger = opts.L0SlowdownTrigger + 4
 	}
 	if opts.Stats == nil {
 		opts.Stats = &metrics.IOStats{}

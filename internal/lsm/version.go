@@ -51,6 +51,19 @@ func newVersion(maxLevels int) *version {
 	return &version{levels: make([][]*FileMeta, maxLevels)}
 }
 
+// clone returns a version whose level slices are fresh copies, so edits
+// install by copy: a reader (or an off-lock compaction) holding the old
+// version keeps a stable view while the writer swaps in the clone.
+func (v *version) clone() *version {
+	nv := &version{levels: make([][]*FileMeta, len(v.levels))}
+	for l, files := range v.levels {
+		if len(files) > 0 {
+			nv.levels[l] = append([]*FileMeta(nil), files...)
+		}
+	}
+	return nv
+}
+
 // levelBytes sums file sizes in a level.
 func (v *version) levelBytes(level int) int64 {
 	var n int64
