@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race short bench experiments clean
+.PHONY: all build vet test race short bench bench-json verify experiments clean
 
 all: vet build test
 
@@ -24,6 +24,18 @@ short:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Run the restart-format block benchmarks (linear v1 vs restart-seek v2 at
+# 4K/16K/64K blocks) and emit machine-readable results for the PR record.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkTableGet|BenchmarkSeekGE' -benchmem \
+		./internal/sstable/ | $(GO) run ./cmd/benchjson > BENCH_pr2.json
+	@echo wrote BENCH_pr2.json
+
+# Fast correctness gate for the read-path packages: static checks plus a
+# race-detector pass over the sstable block format and the lsm engine.
+verify: vet build
+	$(GO) test -race ./internal/sstable/... ./internal/lsm/...
 
 # Regenerate the paper's evaluation at the default reduced scale.
 experiments:

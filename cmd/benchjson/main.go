@@ -1,0 +1,84 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a JSON array of benchmark records, one per result line.
+// Standard metrics (ns/op, B/op, allocs/op) and custom b.ReportMetric
+// units (e.g. decodes/get) all become entries in the "metrics" map:
+//
+//	go test -bench . ./internal/sstable/ | benchjson > BENCH_pr2.json
+//
+// Lines that are not benchmark results (goos/pkg headers, PASS, ok) are
+// preserved under "env" when recognised, otherwise ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type record struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type output struct {
+	Env        map[string]string `json:"env"`
+	Benchmarks []record          `json:"benchmarks"`
+}
+
+func main() {
+	out := output{Env: map[string]string{}, Benchmarks: []record{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || line == "PASS" || strings.HasPrefix(line, "ok "), strings.HasPrefix(line, "ok\t"):
+			continue
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"), strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			out.Env[k] = strings.TrimSpace(v)
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			_, v, _ := strings.Cut(line, ":")
+			pkg = strings.TrimSpace(v)
+			out.Env["pkg"] = pkg
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		// Result shape: Name Iterations (value unit)+
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		rec := record{Name: fields[0], Package: pkg, Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			rec.Metrics[fields[i+1]] = val
+		}
+		out.Benchmarks = append(out.Benchmarks, rec)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: encode:", err)
+		os.Exit(1)
+	}
+}

@@ -7,7 +7,7 @@
 //	lsmbench -exp all   -scale 20000 -queries 100
 //
 // Experiments: fig2 fig7 fig8a fig8b fig8c fig9 fig10 fig11 fig12 fig13
-// fig14 fig15 table3 table5 c1 c2 ablation cache concurrency pipeline
+// fig14 fig15 table3 table5 c1 c2 ablation cache seek concurrency pipeline
 // ycsb all. Figures 12–15 share the
 // Mixed-workload driver: fig12 runs all three mixes; fig13/14/15 run the
 // write-, read- and update-heavy mixes individually.
@@ -143,6 +143,7 @@ func main() {
 			return err
 		},
 		"cache": func() error { _, err := experiments.CacheEffects(cfg); return err },
+		"seek":  func() error { _, err := experiments.SeekProfile(cfg); return err },
 		"ycsb":  func() error { _, err := experiments.YCSBBench(cfg, nil); return err },
 		"concurrency": func() error {
 			_, err := experiments.ConcurrentReaders(cfg, nil)
@@ -159,7 +160,7 @@ func main() {
 	}
 
 	order := []string{"fig7", "fig2", "fig8a", "fig8b", "fig8c", "fig9", "fig10", "fig11",
-		"fig12", "table3", "table5", "c1", "c2", "ablation", "cache", "concurrency", "pipeline", "ycsb"}
+		"fig12", "table3", "table5", "c1", "c2", "ablation", "cache", "seek", "concurrency", "pipeline", "ycsb"}
 
 	if *exp == "all" {
 		for _, name := range order {

@@ -86,6 +86,10 @@ type Options struct {
 	LevelMultiplier     int
 	MaxLevels           int
 	SyncWAL             bool
+	// RestartInterval sets the SSTable restart-point spacing for both the
+	// primary and index tables (see lsm.Options.RestartInterval): 0 is the
+	// v2 default, negative writes legacy v1 linear-scan blocks.
+	RestartInterval int
 	// BlockCacheBytes enables an LRU block cache on the primary and
 	// index tables (0 = off, the paper's configuration).
 	BlockCacheBytes int64
@@ -215,6 +219,7 @@ func Open(dir string, opts Options) (*DB, error) {
 		LevelMultiplier:      opts.LevelMultiplier,
 		MaxLevels:            opts.MaxLevels,
 		SyncWAL:              opts.SyncWAL,
+		RestartInterval:      opts.RestartInterval,
 		BlockCacheBytes:      opts.BlockCacheBytes,
 		BackgroundCompaction: opts.BackgroundCompaction,
 	}
@@ -244,6 +249,7 @@ func Open(dir string, opts Options) (*DB, error) {
 				LevelMultiplier:      opts.LevelMultiplier,
 				MaxLevels:            opts.MaxLevels,
 				SyncWAL:              opts.SyncWAL,
+				RestartInterval:      opts.RestartInterval,
 				BlockCacheBytes:      opts.BlockCacheBytes,
 				BackgroundCompaction: opts.BackgroundCompaction,
 			}
@@ -423,6 +429,11 @@ func (db *DB) Stats() Stats {
 		s.Index.CompactionReadBytes += is.CompactionReadBytes
 		s.Index.CompactionWrites += is.CompactionWrites
 		s.Index.CompactionWriteBytes += is.CompactionWriteBytes
+		s.Index.CacheHits += is.CacheHits
+		s.Index.CacheMisses += is.CacheMisses
+		s.Index.PointGets += is.PointGets
+		s.Index.EntriesDecoded += is.EntriesDecoded
+		s.Index.BlockSeeks += is.BlockSeeks
 	}
 	return s
 }

@@ -7,6 +7,7 @@ import (
 	"leveldbpp/internal/btree"
 	"leveldbpp/internal/ikey"
 	"leveldbpp/internal/lsm"
+	"leveldbpp/internal/sstable"
 )
 
 // The Embedded index (paper §3) keeps no separate table: every SSTable of
@@ -289,6 +290,7 @@ func (db *DB) candidateValid(v *lsm.View, strata []stratum, si int, pk string, s
 	}
 
 	pkb := []byte(pk)
+	var sc sstable.GetScratch // reused across every bloom-positive probe
 	for _, s := range strata[:si] {
 		if s.isMem {
 			if _, _, _, ok := v.MemGet(pkb); ok {
@@ -309,7 +311,7 @@ func (db *DB) candidateValid(v *lsm.View, strata []stratum, si int, pk string, s
 			}
 			// Bloom positive: confirm with a real read so a false
 			// positive cannot wrongly invalidate the candidate.
-			_, _, found, err := tbl.Get(pkb)
+			_, _, found, err := tbl.GetWith(&sc, pkb)
 			if err != nil {
 				return false, err
 			}

@@ -7,6 +7,7 @@ import (
 	"leveldbpp/internal/lsm"
 	"leveldbpp/internal/postings"
 	"leveldbpp/internal/skiplist"
+	"leveldbpp/internal/sstable"
 )
 
 // The Lazy index (paper §4.1.2) also keeps a stand-alone posting-list
@@ -69,8 +70,11 @@ func lazyFragments(v *lsm.View, value []byte, fn func(list postings.List) (bool,
 			return nil
 		}
 	}
+	// One scratch across every index-table probe; fragment bytes alias
+	// stable block contents, only the internal key is scratch-backed.
+	var sc sstable.GetScratch
 	for _, fm := range v.L0() {
-		ik, data, found, err := fm.Table().Get(value)
+		ik, data, found, err := fm.Table().GetWith(&sc, value)
 		if err != nil {
 			return err
 		}
@@ -89,7 +93,7 @@ func lazyFragments(v *lsm.View, value []byte, fn func(list postings.List) (bool,
 		if fm == nil {
 			continue
 		}
-		ik, data, found, err := fm.Table().Get(value)
+		ik, data, found, err := fm.Table().GetWith(&sc, value)
 		if err != nil {
 			return err
 		}

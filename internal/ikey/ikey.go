@@ -42,6 +42,19 @@ func Make(userKey []byte, seq uint64, kind Kind) []byte {
 // userKey, suitable as a lower bound for forward scans.
 func SeekKey(userKey []byte) []byte { return Make(userKey, MaxSeq, KindSet) }
 
+// AppendSeek appends SeekKey(userKey) to dst and returns the extended
+// slice — the allocation-free variant for hot read paths that reuse a
+// scratch buffer.
+func AppendSeek(dst, userKey []byte) []byte {
+	dst = append(dst, userKey...)
+	return binary.BigEndian.AppendUint64(dst, MaxSeq<<8|uint64(KindSet))
+}
+
+// Valid reports whether ik is long enough to carry the 8-byte trailer;
+// the accessors below panic on anything shorter, so untrusted inputs
+// must be checked first.
+func Valid(ik []byte) bool { return len(ik) >= trailerLen }
+
 // UserKey extracts the user key portion. It panics on malformed keys.
 func UserKey(ik []byte) []byte {
 	if len(ik) < trailerLen {

@@ -15,6 +15,7 @@ import (
 	"leveldbpp/internal/ikey"
 	"leveldbpp/internal/metrics"
 	"leveldbpp/internal/skiplist"
+	"leveldbpp/internal/sstable"
 	"leveldbpp/internal/wal"
 )
 
@@ -331,8 +332,12 @@ func (db *DB) getLocked(key []byte) ([]byte, bool, error) {
 			return value, true, nil
 		}
 	}
+	// One scratch serves every table probed by this GET; the returned
+	// value aliases immutable block contents (like the MemTable paths
+	// alias arena memory), so no per-hit copies are made.
+	var sc sstable.GetScratch
 	for _, fm := range db.v.levels[0] { // newest first
-		ik, val, ok, err := fm.tbl.Get(key)
+		ik, val, ok, err := fm.tbl.GetWith(&sc, key)
 		if err != nil {
 			return nil, false, err
 		}
@@ -348,7 +353,7 @@ func (db *DB) getLocked(key []byte) ([]byte, bool, error) {
 		if fm == nil {
 			continue
 		}
-		ik, val, ok, err := fm.tbl.Get(key)
+		ik, val, ok, err := fm.tbl.GetWith(&sc, key)
 		if err != nil {
 			return nil, false, err
 		}

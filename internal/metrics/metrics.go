@@ -27,6 +27,9 @@ type IOStats struct {
 	CompactionWriteBytes atomic.Int64
 	CacheHits            atomic.Int64 // block reads served from the block cache
 	CacheMisses          atomic.Int64
+	PointGets            atomic.Int64 // sstable point reads (Table.Get calls)
+	EntriesDecoded       atomic.Int64 // block entries decoded on the point-read path
+	BlockSeeks           atomic.Int64 // in-block restart-array binary searches
 }
 
 // Snapshot is a point-in-time copy of IOStats.
@@ -36,6 +39,18 @@ type Snapshot struct {
 	CompactionReads, CompactionReadBytes   int64
 	CompactionWrites, CompactionWriteBytes int64
 	CacheHits, CacheMisses                 int64
+	PointGets, EntriesDecoded, BlockSeeks  int64
+}
+
+// EntriesDecodedPerGet returns the mean number of block entries decoded
+// per point read — the cost the restart-point block format (DESIGN.md
+// §5.2) cuts from a half-block linear scan to at most one restart
+// interval. 0 when no point reads were recorded.
+func (sn Snapshot) EntriesDecodedPerGet() float64 {
+	if sn.PointGets == 0 {
+		return 0
+	}
+	return float64(sn.EntriesDecoded) / float64(sn.PointGets)
 }
 
 // Snapshot returns a consistent-enough copy for reporting (fields are read
@@ -52,6 +67,9 @@ func (s *IOStats) Snapshot() Snapshot {
 		CompactionWriteBytes: s.CompactionWriteBytes.Load(),
 		CacheHits:            s.CacheHits.Load(),
 		CacheMisses:          s.CacheMisses.Load(),
+		PointGets:            s.PointGets.Load(),
+		EntriesDecoded:       s.EntriesDecoded.Load(),
+		BlockSeeks:           s.BlockSeeks.Load(),
 	}
 }
 
@@ -77,6 +95,9 @@ func (sn Snapshot) Sub(other Snapshot) Snapshot {
 		CompactionWriteBytes: sn.CompactionWriteBytes - other.CompactionWriteBytes,
 		CacheHits:            sn.CacheHits - other.CacheHits,
 		CacheMisses:          sn.CacheMisses - other.CacheMisses,
+		PointGets:            sn.PointGets - other.PointGets,
+		EntriesDecoded:       sn.EntriesDecoded - other.EntriesDecoded,
+		BlockSeeks:           sn.BlockSeeks - other.BlockSeeks,
 	}
 }
 

@@ -5,6 +5,13 @@
 // per-block bloom filter plus per-block and per-file zone maps for every
 // indexed secondary attribute. All filters and maps are memory resident
 // once a table is opened; disk is touched only for data blocks.
+//
+// Two block formats coexist (DESIGN.md §5.2). Format v1 (the seed) is a
+// plain prefix-compressed entry stream, searchable only by linear scan.
+// Format v2 adds LevelDB's restart array: every RestartInterval-th entry
+// is written with a full (non-shared) key, and the block ends with the
+// byte offsets of those restart entries plus their count. Point reads and
+// seeks binary-search the restart points and decode at most one interval.
 package sstable
 
 import (
@@ -14,6 +21,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
+	"sort"
+
+	"leveldbpp/internal/ikey"
 )
 
 // Compression selects the per-block compression codec. The paper uses
@@ -28,6 +39,10 @@ const (
 	FlateCompression Compression = 1
 )
 
+// DefaultRestartInterval is the v2 block restart spacing: one full
+// (non-shared) key every this many entries (LevelDB's constant).
+const DefaultRestartInterval = 16
+
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // blockBuilder accumulates entries for one data block with LevelDB-style
@@ -35,11 +50,18 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // that differs from the previous entry's key.
 // Entry wire format: varint(sharedLen) varint(unsharedLen) varint(valLen)
 // unsharedKeyBytes value.
+// With restartInterval > 0 (format v2) every restartInterval-th entry is
+// stored with sharedLen 0 and its offset recorded; finish appends the
+// restart offsets and their count — both big-endian uint32 — after the
+// entries, inside the compressed/checksummed payload.
 type blockBuilder struct {
-	buf     bytes.Buffer
-	scratch [3 * binary.MaxVarintLen64]byte
-	prevKey []byte
-	count   int
+	buf             bytes.Buffer
+	scratch         [3 * binary.MaxVarintLen64]byte
+	prevKey         []byte
+	count           int
+	restartInterval int // <=0 writes v1 blocks with no restart trailer
+	restarts        []uint32
+	sinceRestart    int
 }
 
 func sharedPrefixLen(a, b []byte) int {
@@ -55,7 +77,14 @@ func sharedPrefixLen(a, b []byte) int {
 }
 
 func (b *blockBuilder) add(key, value []byte) {
-	shared := sharedPrefixLen(b.prevKey, key)
+	shared := 0
+	if b.restartInterval > 0 && b.sinceRestart%b.restartInterval == 0 {
+		b.restarts = append(b.restarts, uint32(b.buf.Len()))
+		b.sinceRestart = 0
+	} else {
+		shared = sharedPrefixLen(b.prevKey, key)
+	}
+	b.sinceRestart++
 	n := binary.PutUvarint(b.scratch[:], uint64(shared))
 	n += binary.PutUvarint(b.scratch[n:], uint64(len(key)-shared))
 	n += binary.PutUvarint(b.scratch[n:], uint64(len(value)))
@@ -66,20 +95,42 @@ func (b *blockBuilder) add(key, value []byte) {
 	b.count++
 }
 
-func (b *blockBuilder) sizeEstimate() int { return b.buf.Len() }
+// sizeEstimate includes the pending restart trailer so block cutting
+// accounts for the real on-disk payload; v1 blocks keep the seed's
+// entries-only estimate so legacy tables cut at identical boundaries.
+func (b *blockBuilder) sizeEstimate() int {
+	if b.restartInterval > 0 {
+		return b.buf.Len() + 4*len(b.restarts) + 4
+	}
+	return b.buf.Len()
+}
 func (b *blockBuilder) empty() bool       { return b.count == 0 }
 
 func (b *blockBuilder) reset() {
 	b.buf.Reset()
 	b.prevKey = b.prevKey[:0]
 	b.count = 0
+	b.restarts = b.restarts[:0]
+	b.sinceRestart = 0
 }
 
 // finish returns the physical block: payload, a codec byte, and a CRC32C
-// of payload+codec. The payload is compressed only when that actually
-// shrinks it (LevelDB applies the same rule).
+// of payload+codec. For v2 the payload is entries + restart trailer; the
+// CRC therefore covers the restart array too. The payload is compressed
+// only when that actually shrinks it (LevelDB applies the same rule).
 func (b *blockBuilder) finish(c Compression) ([]byte, error) {
 	raw := b.buf.Bytes()
+	if b.restartInterval > 0 {
+		if b.buf.Len() > math.MaxUint32 {
+			return nil, fmt.Errorf("sstable: block of %d bytes exceeds restart-offset range", b.buf.Len())
+		}
+		trailer := make([]byte, 0, 4*len(b.restarts)+4)
+		for _, r := range b.restarts {
+			trailer = binary.BigEndian.AppendUint32(trailer, r)
+		}
+		trailer = binary.BigEndian.AppendUint32(trailer, uint32(len(b.restarts)))
+		raw = append(raw, trailer...)
+	}
 	payload := raw
 	codec := NoCompression
 	if c == FlateCompression {
@@ -108,7 +159,7 @@ func (b *blockBuilder) finish(c Compression) ([]byte, error) {
 }
 
 // decodeBlock verifies the CRC and decompresses a physical block into its
-// raw entry stream.
+// raw payload (entry stream, plus the restart trailer for v2 blocks).
 func decodeBlock(phys []byte) ([]byte, error) {
 	if len(phys) < 5 {
 		return nil, fmt.Errorf("sstable: block too short (%d bytes)", len(phys))
@@ -135,16 +186,75 @@ func decodeBlock(phys []byte) ([]byte, error) {
 }
 
 // BlockIter walks the decoded entries of one block in order,
-// reconstructing prefix-compressed keys.
+// reconstructing prefix-compressed keys. On v2 blocks SeekGE
+// binary-searches the restart array instead of decoding from the start.
+// An iterator may be re-initialised over successive blocks; its key
+// buffer is retained across resets so steady-state iteration and point
+// reads allocate nothing.
 type BlockIter struct {
-	data []byte
-	off  int
-	key  []byte
-	val  []byte
-	err  error
+	data        []byte // entry stream only (restart trailer stripped)
+	restarts    []byte // 4 bytes per restart offset, big-endian
+	numRestarts int
+	off         int
+	key         []byte
+	val         []byte
+	err         error
+	decoded     int
 }
 
-func newBlockIter(raw []byte) *BlockIter { return &BlockIter{data: raw} }
+func newBlockIter(raw []byte) *BlockIter {
+	it := &BlockIter{}
+	it.initV1(raw)
+	return it
+}
+
+// initV1 resets the iterator over a v1 payload: the whole payload is the
+// entry stream and there are no restart points.
+func (it *BlockIter) initV1(raw []byte) {
+	it.data = raw
+	it.restarts, it.numRestarts = nil, 0
+	it.off = 0
+	it.key = it.key[:0]
+	it.val = nil
+	it.err = nil
+	it.decoded = 0
+}
+
+// initV2 resets the iterator over a v2 payload, splitting off and
+// validating the restart trailer. A malformed trailer is reported as an
+// error rather than risking out-of-range restart jumps later.
+func (it *BlockIter) initV2(raw []byte) error {
+	it.initV1(raw)
+	if len(raw) == 0 { // an empty block has no trailer
+		return nil
+	}
+	if len(raw) < 4 {
+		return it.fail(fmt.Errorf("sstable: v2 block of %d bytes lacks a restart count", len(raw)))
+	}
+	n := int(binary.BigEndian.Uint32(raw[len(raw)-4:]))
+	trailer := 4 + 4*n
+	if n < 0 || trailer > len(raw) {
+		return it.fail(fmt.Errorf("sstable: restart count %d exceeds block of %d bytes", n, len(raw)))
+	}
+	entriesEnd := len(raw) - trailer
+	it.data = raw[:entriesEnd]
+	it.restarts = raw[entriesEnd : len(raw)-4]
+	it.numRestarts = n
+	prev := -1
+	for i := 0; i < n; i++ {
+		off := int(binary.BigEndian.Uint32(it.restarts[4*i:]))
+		if off >= entriesEnd || off <= prev {
+			return it.fail(fmt.Errorf("sstable: restart offset %d (entry %d) outside entries [0,%d) or non-increasing", off, i, entriesEnd))
+		}
+		prev = off
+	}
+	return nil
+}
+
+func (it *BlockIter) fail(err error) error {
+	it.err = err
+	return err
+}
 
 // Next advances to the following entry, returning false at the end or on
 // corruption (check Err).
@@ -184,8 +294,89 @@ func (it *BlockIter) Next() bool {
 	it.key = append(it.key[:shared], it.data[it.off:it.off+int(unshared)]...)
 	it.val = it.data[it.off+int(unshared) : end]
 	it.off = end
+	it.decoded++
 	return true
 }
+
+// restartKey decodes the full key stored at restart point i without
+// touching the iterator's position or key buffer.
+func (it *BlockIter) restartKey(i int) ([]byte, error) {
+	off := int(binary.BigEndian.Uint32(it.restarts[4*i:]))
+	shared, n := binary.Uvarint(it.data[off:])
+	if n <= 0 || shared != 0 {
+		return nil, fmt.Errorf("sstable: restart %d at offset %d has shared prefix %d", i, off, shared)
+	}
+	off += n
+	unshared, n := binary.Uvarint(it.data[off:])
+	if n <= 0 {
+		return nil, fmt.Errorf("sstable: corrupt restart %d key length", i)
+	}
+	off += n
+	_, n = binary.Uvarint(it.data[off:])
+	if n <= 0 {
+		return nil, fmt.Errorf("sstable: corrupt restart %d value length", i)
+	}
+	off += n
+	end := off + int(unshared)
+	if int(unshared) < 0 || end > len(it.data) || end < off {
+		return nil, fmt.Errorf("sstable: restart %d key overruns block", i)
+	}
+	k := it.data[off:end]
+	if !ikey.Valid(k) {
+		return nil, fmt.Errorf("sstable: restart %d key too short (%d bytes)", i, len(k))
+	}
+	return k, nil
+}
+
+// SeekGE positions the iterator at the first entry with internal key >=
+// target and returns true, or returns false when no such entry exists
+// (or on corruption — check Err). On v2 blocks it binary-searches the
+// restart points and linearly decodes at most one restart interval; v1
+// blocks fall back to a linear scan from the block start.
+func (it *BlockIter) SeekGE(target []byte) bool {
+	if it.err != nil {
+		return false
+	}
+	start := 0
+	if it.numRestarts > 0 {
+		// First restart whose (full) key is strictly greater than target;
+		// the interval to scan starts at the restart before it.
+		i := sort.Search(it.numRestarts, func(i int) bool {
+			if it.err != nil {
+				return true
+			}
+			k, err := it.restartKey(i)
+			if err != nil {
+				it.err = err
+				return true
+			}
+			return ikey.Compare(k, target) > 0
+		})
+		if it.err != nil {
+			return false
+		}
+		if i > 0 {
+			start = int(binary.BigEndian.Uint32(it.restarts[4*(i-1):]))
+		}
+	}
+	it.off = start
+	it.key = it.key[:0]
+	it.val = nil
+	for it.Next() {
+		if !ikey.Valid(it.key) {
+			it.err = fmt.Errorf("sstable: entry key too short (%d bytes) at offset %d", len(it.key), it.off)
+			return false
+		}
+		if ikey.Compare(it.key, target) >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Decoded returns the number of entries decoded so far (metrics: the
+// per-GET decode counter quantifies the restart-seek win).
+func (it *BlockIter) Decoded() int { return it.decoded }
 
 // Err reports any corruption hit while iterating.
 func (it *BlockIter) Err() error { return it.err }

@@ -22,6 +22,13 @@ type Options struct {
 	SecondaryBitsPerKey int
 	// Compression selects the block codec.
 	Compression Compression
+	// RestartInterval is the spacing of full (non-shared) keys in each
+	// data block — the v2 restart-point format that makes in-block seeks
+	// a binary search instead of a linear decode. 0 means
+	// DefaultRestartInterval (16). A negative value disables restarts and
+	// writes the legacy v1 block format and footer, byte-identical to the
+	// seed builder (used by format-compatibility tests and ablations).
+	RestartInterval int
 	// SecondaryAttrs lists the attributes for which embedded bloom
 	// filters and zone maps are built (paper §3). May be empty.
 	SecondaryAttrs []string
@@ -42,7 +49,19 @@ func (o Options) withDefaults() Options {
 	if o.SecondaryBitsPerKey <= 0 {
 		o.SecondaryBitsPerKey = o.BitsPerKey
 	}
+	if o.RestartInterval == 0 {
+		o.RestartInterval = DefaultRestartInterval
+	}
 	return o
+}
+
+// formatVersion returns the table format the options produce: 2 with a
+// restart array, 1 (the seed format) when restarts are disabled.
+func (o Options) formatVersion() int {
+	if o.RestartInterval > 0 {
+		return formatV2
+	}
+	return formatV1
 }
 
 // AttrValue carries one indexed secondary attribute value for an entry
@@ -132,6 +151,9 @@ func NewBuilder(w io.Writer, opts Options) *Builder {
 		attrValues: map[string][]string{},
 		attrZone:   map[string]*zone{},
 		attrs:      map[string]*secAttrMeta{},
+	}
+	if opts.RestartInterval > 0 {
+		b.block.restartInterval = opts.RestartInterval
 	}
 	for _, a := range opts.SecondaryAttrs {
 		b.attrs[a] = &secAttrMeta{name: a}
@@ -233,9 +255,19 @@ func (b *Builder) flushBlock() error {
 }
 
 const (
-	footerLen   = 24
+	// footerLen is the legacy v1 footer: metaOff(8) metaLen(8) magic(8).
+	footerLen = 24
+	// footerLenV2 adds one format-version byte between metaLen and the
+	// (new) magic: metaOff(8) metaLen(8) version(1) magicV2(8). A distinct
+	// magic keeps the two footers unambiguous — readers sniff the last 8
+	// bytes and parse accordingly, so v1 tables written by the seed
+	// builder open byte-for-byte unchanged.
+	footerLenV2 = 25
 	tableMagic  = 0x4c534d2b2b474f21 // "LSM++GO!"
+	tableMagic2 = 0x4c534d2b2b474f32 // "LSM++GO2"
 	metaVersion = 1
+	formatV1    = 1
+	formatV2    = 2
 )
 
 // Finish flushes the pending block, writes the meta section and footer,
@@ -265,14 +297,21 @@ func (b *Builder) Finish() (int64, error) {
 		}
 	}
 
-	var footer [footerLen]byte
+	var footer [footerLenV2]byte
 	binary.BigEndian.PutUint64(footer[0:8], metaOff)
 	binary.BigEndian.PutUint64(footer[8:16], uint64(len(meta)))
-	binary.BigEndian.PutUint64(footer[16:24], tableMagic)
-	if _, err := b.w.Write(footer[:]); err != nil {
+	n := footerLen
+	if b.opts.formatVersion() >= formatV2 {
+		footer[16] = formatV2
+		binary.BigEndian.PutUint64(footer[17:25], tableMagic2)
+		n = footerLenV2
+	} else {
+		binary.BigEndian.PutUint64(footer[16:24], tableMagic)
+	}
+	if _, err := b.w.Write(footer[:n]); err != nil {
 		return 0, fmt.Errorf("sstable: write footer: %w", err)
 	}
-	b.offset += footerLen
+	b.offset += uint64(n)
 	return int64(b.offset), nil
 }
 

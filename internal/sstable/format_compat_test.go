@@ -1,0 +1,166 @@
+package sstable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"leveldbpp/internal/ikey"
+	"leveldbpp/internal/metrics"
+)
+
+func buildFormatTable(t *testing.T, restartInterval int, stats *metrics.IOStats) ([]byte, *Table) {
+	t.Helper()
+	var buf bytes.Buffer
+	b := NewBuilder(&buf, Options{
+		BlockSize:       512,
+		BitsPerKey:      10,
+		Compression:     NoCompression,
+		RestartInterval: restartInterval,
+	})
+	for i := 0; i < 500; i++ {
+		ik := ikey.Make([]byte(fmt.Sprintf("user%06d", i)), uint64(i+1), ikey.KindSet)
+		if err := b.Add(ik, []byte(fmt.Sprintf("payload-%06d", i)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	size, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := OpenTable(bytes.NewReader(buf.Bytes()), size, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), tbl
+}
+
+// TestV1FooterUnchanged pins the legacy wire format: RestartInterval < 0
+// must produce a table whose trailing 24 bytes are the seed's v1 footer —
+// old readers depend on finding tableMagic at exactly size-8.
+func TestV1FooterUnchanged(t *testing.T) {
+	data, tbl := buildFormatTable(t, -1, nil)
+	if got := binary.BigEndian.Uint64(data[len(data)-8:]); got != tableMagic {
+		t.Fatalf("v1 magic = %#x, want %#x", got, uint64(tableMagic))
+	}
+	if tbl.FormatVersion() != formatV1 {
+		t.Fatalf("FormatVersion = %d, want %d", tbl.FormatVersion(), formatV1)
+	}
+	// v1 blocks must carry no restart trailer: the iterator sees zero
+	// restart points and GETs fall back to the linear scan.
+	var it BlockIter
+	raw, err := tbl.readBlock(0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.initBlockIter(&it, raw); err != nil {
+		t.Fatal(err)
+	}
+	if it.numRestarts != 0 {
+		t.Fatalf("v1 block has %d restarts", it.numRestarts)
+	}
+}
+
+func TestV2FooterAndMagic(t *testing.T) {
+	data, tbl := buildFormatTable(t, 0, nil)
+	if got := binary.BigEndian.Uint64(data[len(data)-8:]); got != tableMagic2 {
+		t.Fatalf("v2 magic = %#x, want %#x", got, uint64(tableMagic2))
+	}
+	if v := data[len(data)-9]; v != formatV2 {
+		t.Fatalf("version byte = %d, want %d", v, formatV2)
+	}
+	if tbl.FormatVersion() != formatV2 {
+		t.Fatalf("FormatVersion = %d, want %d", tbl.FormatVersion(), formatV2)
+	}
+}
+
+// TestFormatsReadIdentically verifies both formats expose exactly the same
+// logical contents through Get and through full iteration, and that the v1
+// path never charges BlockSeeks while the v2 path does.
+func TestFormatsReadIdentically(t *testing.T) {
+	var s1, s2 metrics.IOStats
+	_, t1 := buildFormatTable(t, -1, &s1)
+	_, t2 := buildFormatTable(t, 0, &s2)
+
+	for i := 0; i < 500; i++ {
+		key := []byte(fmt.Sprintf("user%06d", i))
+		k1, v1, ok1, err1 := t1.Get(key)
+		k2, v2, ok2, err2 := t2.Get(key)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("get %d: %v / %v", i, err1, err2)
+		}
+		if !ok1 || !ok2 {
+			t.Fatalf("get %d: ok %v / %v", i, ok1, ok2)
+		}
+		if !bytes.Equal(k1, k2) || !bytes.Equal(v1, v2) {
+			t.Fatalf("get %d: contents differ between formats", i)
+		}
+	}
+	if _, _, ok, _ := t1.Get([]byte("zzz-missing")); ok {
+		t.Fatal("v1 found a missing key")
+	}
+	if _, _, ok, _ := t2.Get([]byte("zzz-missing")); ok {
+		t.Fatal("v2 found a missing key")
+	}
+
+	i1, i2 := t1.NewIterator(true), t2.NewIterator(true)
+	n := 0
+	for i1.Next() {
+		if !i2.Next() {
+			t.Fatalf("v2 iterator ended early at %d", n)
+		}
+		if !bytes.Equal(i1.Key(), i2.Key()) || !bytes.Equal(i1.Value(), i2.Value()) {
+			t.Fatalf("iteration diverges at entry %d", n)
+		}
+		n++
+	}
+	if i2.Next() {
+		t.Fatal("v2 iterator has extra entries")
+	}
+	if err := i1.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := i2.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 500 {
+		t.Fatalf("iterated %d entries, want 500", n)
+	}
+
+	if got := s1.Snapshot().BlockSeeks; got != 0 {
+		t.Fatalf("v1 charged %d BlockSeeks", got)
+	}
+	if got := s2.Snapshot().BlockSeeks; got == 0 {
+		t.Fatal("v2 charged no BlockSeeks")
+	}
+}
+
+// TestSeekGELoadErrorSurfaces pins the satellite fix: a SeekGE that lands
+// on a block which fails to load must report the error, not silently step
+// to the next block.
+func TestSeekGELoadErrorSurfaces(t *testing.T) {
+	data, tbl := buildFormatTable(t, 0, nil)
+	// Corrupt the first data block's CRC so loading it fails.
+	corrupt := append([]byte(nil), data...)
+	corrupt[0] ^= 0xff
+	bad, err := OpenTable(bytes.NewReader(corrupt), int64(len(corrupt)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := bad.NewIterator(true)
+	if it.SeekGE(ikey.SeekKey([]byte("user000000"))) {
+		t.Fatal("SeekGE succeeded on a corrupt block")
+	}
+	if it.Err() == nil {
+		t.Fatal("SeekGE swallowed the block-load error")
+	}
+	// The intact table seeks fine past the end: no entry, no error.
+	it2 := tbl.NewIterator(true)
+	if it2.SeekGE(ikey.SeekKey([]byte("zzzz"))) {
+		t.Fatal("SeekGE past the last key returned an entry")
+	}
+	if err := it2.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

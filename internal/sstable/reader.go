@@ -26,6 +26,7 @@ var tableIDCounter atomic.Uint64
 type Table struct {
 	r          io.ReaderAt
 	id         uint64
+	format     int // formatV1: linear blocks; formatV2: restart arrays
 	blocks     []blockMeta
 	attrs      map[string]*secAttrMeta
 	entryCount int
@@ -46,16 +47,41 @@ func OpenTableCached(r io.ReaderAt, size int64, stats *metrics.IOStats, blockCac
 	if size < footerLen {
 		return nil, fmt.Errorf("sstable: file too small (%d bytes)", size)
 	}
-	var footer [footerLen]byte
-	if _, err := r.ReadAt(footer[:], size-footerLen); err != nil {
+	// Sniff the trailing magic to pick the footer layout: the seed's
+	// 24-byte v1 footer, or the 25-byte v2 footer carrying a
+	// format-version byte (restart-point blocks).
+	flen := int64(footerLen)
+	if size >= footerLenV2 {
+		flen = footerLenV2
+	}
+	var fbuf [footerLenV2]byte
+	footer := fbuf[footerLenV2-flen:]
+	if _, err := r.ReadAt(footer, size-flen); err != nil {
 		return nil, fmt.Errorf("sstable: read footer: %w", err)
 	}
-	if magic := binary.BigEndian.Uint64(footer[16:24]); magic != tableMagic {
+	format := formatV1
+	var metaOff, metaLen uint64
+	switch magic := binary.BigEndian.Uint64(footer[len(footer)-8:]); magic {
+	case tableMagic:
+		f := footer[len(footer)-footerLen:]
+		metaOff = binary.BigEndian.Uint64(f[0:8])
+		metaLen = binary.BigEndian.Uint64(f[8:16])
+		flen = footerLen
+	case tableMagic2:
+		if int64(len(footer)) < footerLenV2 {
+			return nil, fmt.Errorf("sstable: file too small for v2 footer (%d bytes)", size)
+		}
+		metaOff = binary.BigEndian.Uint64(footer[0:8])
+		metaLen = binary.BigEndian.Uint64(footer[8:16])
+		if v := int(footer[16]); v != formatV2 {
+			return nil, fmt.Errorf("sstable: unsupported table format version %d", v)
+		}
+		format = formatV2
+		flen = footerLenV2
+	default:
 		return nil, fmt.Errorf("sstable: bad magic %016x", magic)
 	}
-	metaOff := binary.BigEndian.Uint64(footer[0:8])
-	metaLen := binary.BigEndian.Uint64(footer[8:16])
-	if int64(metaOff)+int64(metaLen) > size-footerLen {
+	if int64(metaOff)+int64(metaLen) > size-flen {
 		return nil, fmt.Errorf("sstable: meta section out of bounds")
 	}
 	meta := make([]byte, metaLen)
@@ -63,11 +89,12 @@ func OpenTableCached(r io.ReaderAt, size int64, stats *metrics.IOStats, blockCac
 		return nil, fmt.Errorf("sstable: read meta: %w", err)
 	}
 	t := &Table{
-		r:     r,
-		id:    tableIDCounter.Add(1),
-		attrs: map[string]*secAttrMeta{},
-		stats: stats,
-		cache: blockCache,
+		r:      r,
+		id:     tableIDCounter.Add(1),
+		format: format,
+		attrs:  map[string]*secAttrMeta{},
+		stats:  stats,
+		cache:  blockCache,
 	}
 	if err := t.decodeMeta(meta); err != nil {
 		return nil, err
@@ -264,11 +291,51 @@ func (t *Table) MayContainPrimary(userKey []byte) bool {
 	return false
 }
 
+// FormatVersion reports the table's block format: 1 (seed, linear-only
+// blocks) or 2 (restart arrays).
+func (t *Table) FormatVersion() int { return t.format }
+
+// initBlockIter resets it over raw according to the table's format.
+func (t *Table) initBlockIter(it *BlockIter, raw []byte) error {
+	if t.format >= formatV2 {
+		return it.initV2(raw)
+	}
+	it.initV1(raw)
+	return nil
+}
+
+// GetScratch carries the reusable buffers of the point-read path: the
+// block iterator (whose key buffer survives across blocks and calls) and
+// the seek-key buffer. A zero value is ready to use; reusing one scratch
+// across a sequence of Gets makes the steady state allocation-free.
+type GetScratch struct {
+	bi   BlockIter
+	seek []byte
+}
+
 // Get returns the newest record for userKey in this table: its internal
 // key and value. ok is false if the key is absent. A tombstone is returned
 // like any record (callers inspect the kind).
 func (t *Table) Get(userKey []byte) (internalKey, value []byte, ok bool, err error) {
+	var sc GetScratch
+	return t.GetWith(&sc, userKey)
+}
+
+// GetWith is Get with caller-provided scratch buffers. The returned
+// internal key aliases sc and is valid only until sc's next use; the
+// returned value aliases the (immutable) block contents and remains valid
+// while the table is open. Neither may be modified.
+//
+// On v2 tables the in-block search is a restart-array binary search that
+// decodes at most one restart interval; v1 tables fall back to the seed's
+// linear scan. Stats (when attached) record PointGets, BlockSeeks and
+// EntriesDecoded, whose ratio is the per-GET decode cost.
+func (t *Table) GetWith(sc *GetScratch, userKey []byte) (internalKey, value []byte, ok bool, err error) {
+	if t.stats != nil {
+		t.stats.PointGets.Add(1)
+	}
 	lo, hi := t.candidateBlocks(userKey)
+	var seek []byte
 	for i := lo; i < hi; i++ {
 		if !t.blocks[i].primaryBloom.MayContain(userKey) {
 			continue
@@ -277,15 +344,46 @@ func (t *Table) Get(userKey []byte) (internalKey, value []byte, ok bool, err err
 		if err != nil {
 			return nil, nil, false, err
 		}
-		it := newBlockIter(raw)
-		for it.Next() {
-			if bytes.Equal(ikey.UserKey(it.key), userKey) {
-				// Entries are ordered newest-first within a user key.
-				return append([]byte(nil), it.key...), append([]byte(nil), it.val...), true, nil
+		it := &sc.bi
+		if err := t.initBlockIter(it, raw); err != nil {
+			return nil, nil, false, err
+		}
+		if it.numRestarts > 0 {
+			if seek == nil {
+				sc.seek = ikey.AppendSeek(sc.seek[:0], userKey)
+				seek = sc.seek
+			}
+			if t.stats != nil {
+				t.stats.BlockSeeks.Add(1)
+			}
+			// SeekKey sorts before every version of userKey, so the first
+			// entry at or after it is the newest version iff user keys match.
+			if it.SeekGE(seek) && bytes.Equal(ikey.UserKey(it.key), userKey) {
+				if t.stats != nil {
+					t.stats.EntriesDecoded.Add(int64(it.decoded))
+				}
+				return it.key, it.val, true, nil
+			}
+		} else {
+			for it.Next() {
+				c := bytes.Compare(ikey.UserKey(it.key), userKey)
+				if c == 0 {
+					// Entries are ordered newest-first within a user key.
+					if t.stats != nil {
+						t.stats.EntriesDecoded.Add(int64(it.decoded))
+					}
+					return it.key, it.val, true, nil
+				}
+				if c > 0 {
+					break // sorted: userKey cannot appear later in the block
+				}
 			}
 		}
 		if err := it.Err(); err != nil {
 			return nil, nil, false, err
+		}
+		if t.stats != nil {
+			t.stats.EntriesDecoded.Add(int64(it.decoded))
 		}
 	}
 	return nil, nil, false, nil
@@ -361,7 +459,8 @@ type Iterator struct {
 	t          *Table
 	compaction bool
 	blockIdx   int
-	bi         *BlockIter
+	bi         *BlockIter // nil when unpositioned / between blocks
+	biStore    BlockIter  // backing store: key buffer reused across blocks
 	err        error
 }
 
@@ -379,7 +478,11 @@ func (t *Table) BlockIterator(i int, compaction bool) (*BlockIter, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newBlockIter(raw), nil
+	bi := new(BlockIter)
+	if err := t.initBlockIter(bi, raw); err != nil {
+		return nil, err
+	}
+	return bi, nil
 }
 
 func (it *Iterator) loadBlock(i int) bool {
@@ -393,8 +496,13 @@ func (it *Iterator) loadBlock(i int) bool {
 		it.bi = nil
 		return false
 	}
+	if err := it.t.initBlockIter(&it.biStore, raw); err != nil {
+		it.err = err
+		it.bi = nil
+		return false
+	}
 	it.blockIdx = i
-	it.bi = newBlockIter(raw)
+	it.bi = &it.biStore
 	return true
 }
 
@@ -423,7 +531,9 @@ func (it *Iterator) Next() bool {
 }
 
 // SeekGE positions at the first entry with internal key >= target;
-// returns false if no such entry exists.
+// returns false if no such entry exists or a block failed to load (the
+// two are distinguished by Err — callers must not treat a false return
+// with a pending error as "past the end").
 func (it *Iterator) SeekGE(target []byte) bool {
 	if it.err != nil {
 		return false
@@ -432,13 +542,28 @@ func (it *Iterator) SeekGE(target []byte) bool {
 		return ikey.Compare(it.t.blocks[i].lastKey, target) >= 0
 	})
 	it.bi = nil
-	it.blockIdx = idx - 1
-	for it.Next() {
-		if ikey.Compare(it.bi.key, target) >= 0 {
-			return true
-		}
+	it.blockIdx = idx
+	if idx >= len(it.t.blocks) {
+		return false
 	}
-	return false
+	// Load the candidate block directly: a failed load must surface as an
+	// error, not silently fall through to iterating unrelated blocks.
+	if !it.loadBlock(idx) {
+		return false
+	}
+	if it.t.stats != nil && it.bi.numRestarts > 0 && !it.compaction {
+		it.t.stats.BlockSeeks.Add(1)
+	}
+	if it.bi.SeekGE(target) {
+		return true
+	}
+	if err := it.bi.Err(); err != nil {
+		it.err = err
+		return false
+	}
+	// target <= lastKey guarantees an in-block hit on well-formed tables;
+	// advancing covers an empty decoded block without masking errors.
+	return it.Next()
 }
 
 // Key returns the current internal key (valid until the next call).

@@ -429,27 +429,6 @@ func TestQuickRoundTripArbitraryEntries(t *testing.T) {
 	}
 }
 
-func BenchmarkTableGet(b *testing.B) {
-	var buf bytes.Buffer
-	tb := NewBuilder(&buf, Options{BlockSize: 4096, BitsPerKey: 10})
-	const n = 10000
-	for i := 0; i < n; i++ {
-		ik := ikey.Make([]byte(fmt.Sprintf("t%08d", i)), uint64(i+1), ikey.KindSet)
-		if err := tb.Add(ik, bytes.Repeat([]byte("v"), 100), nil); err != nil {
-			b.Fatal(err)
-		}
-	}
-	size, _ := tb.Finish()
-	tbl, err := OpenTable(bytes.NewReader(buf.Bytes()), size, nil)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		tbl.Get([]byte(fmt.Sprintf("t%08d", i%n)))
-	}
-}
-
 func TestTableAccessors(t *testing.T) {
 	tbl, _ := buildTable(t, 300, defaultOpts())
 	if tbl.ID() == 0 {
