@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race short bench bench-json verify experiments clean
+.PHONY: all build vet test race short bench bench-json verify experiments ci clean
 
 all: vet build test
 
@@ -36,6 +36,12 @@ bench-json:
 # race-detector pass over the sstable block format and the lsm engine.
 verify: vet build
 	$(GO) test -race ./internal/sstable/... ./internal/lsm/...
+
+# The full pre-merge gate: static checks, a race-detector pass over every
+# package, and a 10-second fuzz smoke of the sstable block round-trip.
+ci: vet build
+	$(GO) test -race ./...
+	$(GO) test -fuzz=FuzzBlockRoundTrip -fuzztime=10s ./internal/sstable/
 
 # Regenerate the paper's evaluation at the default reduced scale.
 experiments:

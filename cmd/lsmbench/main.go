@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"leveldbpp/internal/experiments"
+	"leveldbpp/internal/metrics"
 )
 
 func main() {
@@ -29,6 +30,7 @@ func main() {
 		seed    = flag.Int64("seed", 2018, "dataset RNG seed")
 		dir     = flag.String("dir", "", "scratch directory (default: temp)")
 		csvDir  = flag.String("csv", "", "also write results as CSV files into this directory")
+		trace   = flag.Bool("trace", false, "trace every operation and print a phase-time breakdown per experiment")
 	)
 	flag.Parse()
 
@@ -38,6 +40,9 @@ func main() {
 		Seed:    *seed,
 		Dir:     *dir,
 		Out:     os.Stdout,
+	}
+	if *trace {
+		cfg.Tracer = metrics.NewTracer(1, metrics.DefaultTraceRing)
 	}
 	if cfg.Dir == "" {
 		tmp, err := os.MkdirTemp("", "lsmbench-")
@@ -168,6 +173,9 @@ func main() {
 			if err := runners[name](); err != nil {
 				fatal(fmt.Errorf("%s: %w", name, err))
 			}
+			if cfg.Tracer != nil {
+				experiments.PrintBreakdown(os.Stdout, cfg.Tracer)
+			}
 		}
 		return
 	}
@@ -177,6 +185,9 @@ func main() {
 	}
 	if err := run(); err != nil {
 		fatal(err)
+	}
+	if cfg.Tracer != nil {
+		experiments.PrintBreakdown(os.Stdout, cfg.Tracer)
 	}
 }
 

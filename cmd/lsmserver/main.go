@@ -12,6 +12,8 @@
 //	GET  /scan?lo=&hi=&limit=
 //	POST /batch
 //	GET  /stats   POST /flush   GET /check
+//	GET  /healthz   GET /metrics   GET /events   GET /trace/slow
+//	GET  /debug/pprof/*   (only with -pprof)
 package main
 
 import (
@@ -25,16 +27,21 @@ import (
 	"syscall"
 
 	"leveldbpp/internal/core"
+	"leveldbpp/internal/metrics"
 	"leveldbpp/internal/server"
 )
 
 func main() {
 	var (
-		dir   = flag.String("db", "", "database directory (required)")
-		index = flag.String("index", "lazy", "index kind: none|embedded|eager|lazy|composite")
-		attrs = flag.String("attrs", "UserID,CreationTime", "comma-separated indexed attributes")
-		addr  = flag.String("addr", ":8080", "listen address")
-		cache = flag.Int64("cache-mb", 0, "block cache size in MiB (0 = off, the paper's config)")
+		dir       = flag.String("db", "", "database directory (required)")
+		index     = flag.String("index", "lazy", "index kind: none|embedded|eager|lazy|composite")
+		attrs     = flag.String("attrs", "UserID,CreationTime", "comma-separated indexed attributes")
+		addr      = flag.String("addr", ":8080", "listen address")
+		cache     = flag.Int64("cache-mb", 0, "block cache size in MiB (0 = off, the paper's config)")
+		metricsOn = flag.Bool("metrics", true, "expose Prometheus text format at GET /metrics")
+		pprofOn   = flag.Bool("pprof", false, "expose Go profiling at /debug/pprof/")
+		traceRate = flag.Float64("trace-sample", 0, "fraction of operations to trace (0 disables, 1 traces all)")
+		eventsOut = flag.String("events-jsonl", "", "append lifecycle events as JSON lines to this file")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -46,17 +53,36 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lsmserver:", err)
 		os.Exit(1)
 	}
+
+	// The JSONL sink (if any) attaches as a secondary event sink behind the
+	// DB's in-memory ring; it is flushed and closed on shutdown so the tail
+	// of the event stream survives a SIGTERM.
+	var jsonl *metrics.JSONLSink
+	var events metrics.EventSink
+	if *eventsOut != "" {
+		f, err := os.OpenFile(*eventsOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lsmserver:", err)
+			os.Exit(1)
+		}
+		jsonl = metrics.NewJSONLSink(f)
+		events = jsonl
+	}
+
 	db, err := core.Open(*dir, core.Options{
 		Index:           kind,
 		Attrs:           strings.Split(*attrs, ","),
 		BlockCacheBytes: *cache << 20,
+		TraceSampleRate: *traceRate,
+		Events:          events,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lsmserver:", err)
 		os.Exit(1)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: server.New(db)}
+	handler := server.NewWith(db, server.Config{Metrics: *metricsOn, Pprof: *pprofOn})
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -65,10 +91,16 @@ func main() {
 		srv.Close()
 	}()
 
-	log.Printf("lsmserver: %s index on %s, serving %s", kind, *attrs, *addr)
+	log.Printf("lsmserver: %s index on %s, serving %s (metrics=%v pprof=%v trace-sample=%g)",
+		kind, *attrs, *addr, *metricsOn, *pprofOn, *traceRate)
 	err = srv.ListenAndServe()
 	if closeErr := db.Close(); closeErr != nil {
 		log.Println("close:", closeErr)
+	}
+	if jsonl != nil {
+		if err := jsonl.Close(); err != nil {
+			log.Println("events-jsonl:", err)
+		}
 	}
 	if err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)

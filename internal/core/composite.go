@@ -1,6 +1,7 @@
 package core
 
 import (
+	"leveldbpp/internal/metrics"
 	"leveldbpp/internal/postings"
 )
 
@@ -57,24 +58,25 @@ func (db *DB) compositeDelete(key string, oldValue []byte) error {
 // attrValue ∥ 0x00. The merged scan inherently visits all levels (unlike
 // Lazy there is no per-level early exit); candidates are then validated
 // newest-first against the data table.
-func (db *DB) compositeLookup(attr, value string, k int) ([]Entry, error) {
+func (db *DB) compositeLookup(attr, value string, k int, tr *metrics.Trace) ([]Entry, error) {
 	lo := compositeKey(value, "")
 	hiExcl := append([]byte(value), compositeSep+1)
-	return db.compositeCollect(attr, value, value, lo, hiExcl, k)
+	return db.compositeCollect(attr, value, value, lo, hiExcl, k, tr)
 }
 
 // compositeRangeLookup is Algorithm 7: the prefix scan widens to every
 // composite key whose secondary component lies in [lo, hi].
-func (db *DB) compositeRangeLookup(attr, lo, hi string, k int) ([]Entry, error) {
+func (db *DB) compositeRangeLookup(attr, lo, hi string, k int, tr *metrics.Trace) ([]Entry, error) {
 	loK := compositeKey(lo, "")
 	hiExcl := append([]byte(hi), compositeSep+1)
-	return db.compositeCollect(attr, lo, hi, loK, hiExcl, k)
+	return db.compositeCollect(attr, lo, hi, loK, hiExcl, k, tr)
 }
 
-func (db *DB) compositeCollect(attr, lo, hi string, loK, hiExcl []byte, k int) ([]Entry, error) {
+func (db *DB) compositeCollect(attr, lo, hi string, loK, hiExcl []byte, k int, tr *metrics.Trace) ([]Entry, error) {
 	idx := db.indexes[attr]
 	heap := newTopK(k)
 	var candidates []postings.Entry
+	t0 := tr.Now()
 	err := idx.Scan(loK, hiExcl, func(key, _ []byte, seq uint64) bool {
 		av, pk, ok := splitCompositeKey(key)
 		if !ok || av < lo || av > hi {
@@ -83,10 +85,11 @@ func (db *DB) compositeCollect(attr, lo, hi string, loK, hiExcl []byte, k int) (
 		candidates = append(candidates, postings.Entry{Key: pk, Seq: seq})
 		return true
 	})
+	tr.Since(metrics.PhaseIndexProbe, t0)
 	if err != nil {
 		return nil, err
 	}
-	if err := db.validateCandidates(candidates, attr, lo, hi, k, heap); err != nil {
+	if err := db.validateCandidates(candidates, attr, lo, hi, k, heap, tr); err != nil {
 		return nil, err
 	}
 	return heap.Results(), nil

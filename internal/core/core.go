@@ -28,6 +28,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"leveldbpp/internal/lsm"
 	"leveldbpp/internal/metrics"
@@ -112,6 +113,25 @@ type Options struct {
 	// DisableFileZoneMap makes the Embedded index skip the file-level
 	// zone map check and consult only per-block structures (ablation).
 	DisableFileZoneMap bool
+
+	// TraceSampleRate samples that fraction (0..1] of operations for
+	// per-phase tracing (DESIGN.md §5.3). 0 disables tracing; sampling is
+	// period-based (one in round(1/rate) operations), so rate 1 traces
+	// everything. Ignored when Tracer is set.
+	TraceSampleRate float64
+	// SlowTraceThreshold keeps only traces at least this long in the
+	// recent-trace ring (the /trace/slow endpoint); 0 keeps every sampled
+	// trace. Aggregate per-phase breakdowns always include every sample.
+	SlowTraceThreshold time.Duration
+	// Tracer, when set, replaces the DB-owned tracer — lsmbench shares one
+	// tracer across DBs to print a single breakdown per experiment.
+	Tracer *metrics.Tracer
+	// Events, when set, receives every engine lifecycle event in addition
+	// to the DB-owned in-memory EventLog (e.g. a metrics.JSONLSink).
+	Events metrics.EventSink
+	// EventBufferSize caps the in-memory event ring
+	// (0 = metrics.DefaultEventRing).
+	EventBufferSize int
 }
 
 // Entry is one LOOKUP/RANGELOOKUP result: the record's primary key, its
@@ -134,6 +154,13 @@ type DB struct {
 	// index-table sequence number, which must follow primary insertion
 	// order (paper §4.2).
 	writeMu sync.Mutex
+
+	// Observability (DESIGN.md §5.3): per-operation phase tracing,
+	// always-on per-op latency histograms, and the lifecycle event log
+	// shared by the primary table and every index table.
+	tracer *metrics.Tracer
+	ops    *metrics.OpStats
+	events *metrics.EventLog
 }
 
 // ErrUnknownAttr is returned by lookups on attributes that were not
@@ -208,7 +235,18 @@ func Open(dir string, opts Options) (*DB, error) {
 	}
 	attrs := append([]string(nil), opts.Attrs...)
 
+	tracer := opts.Tracer
+	if tracer == nil {
+		tracer = metrics.NewTracer(opts.TraceSampleRate, 0)
+	}
+	if opts.SlowTraceThreshold > 0 {
+		tracer.SetSlowThreshold(opts.SlowTraceThreshold)
+	}
+	events := metrics.NewEventLog(opts.EventBufferSize)
+	events.Attach(opts.Events)
+
 	primaryOpts := &lsm.Options{
+		Events:               events.Named("primary"),
 		MemTableBytes:        opts.MemTableBytes,
 		BlockSize:            opts.BlockSize,
 		BitsPerKey:           opts.BitsPerKey,
@@ -233,13 +271,15 @@ func Open(dir string, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := &DB{opts: opts, primary: primary}
+	db := &DB{opts: opts, primary: primary,
+		tracer: tracer, ops: metrics.NewOpStats(), events: events}
 
 	switch opts.Index {
 	case IndexEager, IndexLazy, IndexComposite:
 		db.indexes = make(map[string]*lsm.DB, len(attrs))
 		for _, attr := range attrs {
 			idxOpts := &lsm.Options{
+				Events:               events.Named("index-" + attr),
 				MemTableBytes:        opts.MemTableBytes,
 				BlockSize:            opts.BlockSize,
 				BitsPerKey:           opts.BitsPerKey,
@@ -276,61 +316,95 @@ func (db *DB) Kind() IndexKind { return db.opts.Index }
 
 // Get retrieves the document stored under key (Table 1: GET).
 func (db *DB) Get(key string) ([]byte, bool, error) {
-	return db.primary.Get([]byte(key))
+	t0 := time.Now()
+	tr := db.tracer.Start(metrics.OpGet)
+	value, ok, err := db.primary.GetTraced([]byte(key), tr)
+	tr.Finish()
+	db.ops.Observe(metrics.OpGet, time.Since(t0))
+	return value, ok, err
 }
 
 // Put writes (or overwrites) the document under key and maintains the
 // secondary indexes per the configured technique (Table 1: PUT).
 func (db *DB) Put(key string, value []byte) error {
+	t0 := time.Now()
+	tr := db.tracer.Start(metrics.OpPut)
+	err := db.putTraced(key, value, tr)
+	tr.Finish()
+	db.ops.Observe(metrics.OpPut, time.Since(t0))
+	return err
+}
+
+func (db *DB) putTraced(key string, value []byte, tr *metrics.Trace) error {
 	db.writeMu.Lock()
 	defer db.writeMu.Unlock()
-	seq, err := db.primary.PutWithSeq([]byte(key), value)
+	seq, err := db.primary.PutWithSeqTraced([]byte(key), value, tr)
 	if err != nil {
 		return err
 	}
+	tI := tr.Now()
 	switch db.opts.Index {
 	case IndexEager:
-		return db.eagerPut(key, value, seq)
+		err = db.eagerPut(key, value, seq)
 	case IndexLazy:
-		return db.lazyPut(key, value, seq)
+		err = db.lazyPut(key, value, seq)
 	case IndexComposite:
-		return db.compositePut(key, value, seq)
+		err = db.compositePut(key, value, seq)
+	default:
+		return nil
 	}
-	return nil
+	tr.Since(metrics.PhaseIndexUpdate, tI)
+	return err
 }
 
 // Delete removes the document under key (Table 1: DEL). For stand-alone
 // indexes the old document is read first so its posting entries can be
 // marked deleted.
 func (db *DB) Delete(key string) error {
+	t0 := time.Now()
+	tr := db.tracer.Start(metrics.OpDelete)
+	err := db.deleteTraced(key, tr)
+	tr.Finish()
+	db.ops.Observe(metrics.OpDelete, time.Since(t0))
+	return err
+}
+
+func (db *DB) deleteTraced(key string, tr *metrics.Trace) error {
 	db.writeMu.Lock()
 	defer db.writeMu.Unlock()
 	var old []byte
 	if db.indexes != nil {
+		tI := tr.Now()
 		v, ok, err := db.primary.Get([]byte(key))
+		tr.Since(metrics.PhaseIndexUpdate, tI)
 		if err != nil {
 			return err
 		}
 		if !ok {
 			// Nothing indexed for this key; the primary tombstone is all
 			// that is needed.
-			return db.primary.Delete([]byte(key))
+			_, err := db.primary.DeleteWithSeqTraced([]byte(key), tr)
+			return err
 		}
 		old = v
 	}
-	seq, err := db.primary.DeleteWithSeq([]byte(key))
+	seq, err := db.primary.DeleteWithSeqTraced([]byte(key), tr)
 	if err != nil {
 		return err
 	}
+	tI := tr.Now()
 	switch db.opts.Index {
 	case IndexEager:
-		return db.eagerDelete(key, old, seq)
+		err = db.eagerDelete(key, old, seq)
 	case IndexLazy:
-		return db.lazyDelete(key, old, seq)
+		err = db.lazyDelete(key, old, seq)
 	case IndexComposite:
-		return db.compositeDelete(key, old)
+		err = db.compositeDelete(key, old)
+	default:
+		return nil
 	}
-	return nil
+	tr.Since(metrics.PhaseIndexUpdate, tI)
+	return err
 }
 
 // Lookup returns the k most recent records whose attr equals value
@@ -339,17 +413,27 @@ func (db *DB) Lookup(attr, value string, k int) ([]Entry, error) {
 	if !db.indexed(attr) {
 		return nil, ErrUnknownAttr
 	}
+	t0 := time.Now()
+	tr := db.tracer.Start(metrics.OpLookup)
+	tr.SetDetail(attr + "=" + value)
+	out, err := db.lookupTraced(attr, value, k, tr)
+	tr.Finish()
+	db.ops.Observe(metrics.OpLookup, time.Since(t0))
+	return out, err
+}
+
+func (db *DB) lookupTraced(attr, value string, k int, tr *metrics.Trace) ([]Entry, error) {
 	switch db.opts.Index {
 	case IndexEmbedded:
-		return db.embeddedLookup(attr, value, k)
+		return db.embeddedLookup(attr, value, k, tr)
 	case IndexEager:
-		return db.eagerLookup(attr, value, k)
+		return db.eagerLookup(attr, value, k, tr)
 	case IndexLazy:
-		return db.lazyLookup(attr, value, k)
+		return db.lazyLookup(attr, value, k, tr)
 	case IndexComposite:
-		return db.compositeLookup(attr, value, k)
+		return db.compositeLookup(attr, value, k, tr)
 	default:
-		return db.scanLookup(attr, value, value, k)
+		return db.scanLookup(attr, value, value, k, tr)
 	}
 }
 
@@ -362,17 +446,27 @@ func (db *DB) RangeLookup(attr, lo, hi string, k int) ([]Entry, error) {
 	if hi < lo {
 		return nil, nil
 	}
+	t0 := time.Now()
+	tr := db.tracer.Start(metrics.OpRangeLookup)
+	tr.SetDetail(attr + "=[" + lo + "," + hi + "]")
+	out, err := db.rangeLookupTraced(attr, lo, hi, k, tr)
+	tr.Finish()
+	db.ops.Observe(metrics.OpRangeLookup, time.Since(t0))
+	return out, err
+}
+
+func (db *DB) rangeLookupTraced(attr, lo, hi string, k int, tr *metrics.Trace) ([]Entry, error) {
 	switch db.opts.Index {
 	case IndexEmbedded:
-		return db.embeddedRangeLookup(attr, lo, hi, k)
+		return db.embeddedRangeLookup(attr, lo, hi, k, tr)
 	case IndexEager:
-		return db.eagerRangeLookup(attr, lo, hi, k)
+		return db.eagerRangeLookup(attr, lo, hi, k, tr)
 	case IndexLazy:
-		return db.lazyRangeLookup(attr, lo, hi, k)
+		return db.lazyRangeLookup(attr, lo, hi, k, tr)
 	case IndexComposite:
-		return db.compositeRangeLookup(attr, lo, hi, k)
+		return db.compositeRangeLookup(attr, lo, hi, k, tr)
 	default:
-		return db.scanLookup(attr, lo, hi, k)
+		return db.scanLookup(attr, lo, hi, k, tr)
 	}
 }
 
@@ -496,6 +590,15 @@ func (db *DB) validate(pk, attr, lo, hi string) ([]byte, bool, error) {
 	return value, true, nil
 }
 
+// validateTraced is validate with its whole cost (primary GET + attribute
+// re-check) attributed to the validate phase. tr may be nil.
+func (db *DB) validateTraced(pk, attr, lo, hi string, tr *metrics.Trace) ([]byte, bool, error) {
+	t0 := tr.Now()
+	value, valid, err := db.validate(pk, attr, lo, hi)
+	tr.Since(metrics.PhaseValidate, t0)
+	return value, valid, err
+}
+
 // lazyWriteMerge coalesces posting fragments inside the MemTable so each
 // level holds at most one fragment per secondary key.
 func lazyWriteMerge(existing, incoming []byte) []byte {
@@ -569,6 +672,42 @@ func indent(s string) string {
 
 // LastSeq returns the primary table's most recent sequence number.
 func (db *DB) LastSeq() uint64 { return db.primary.LastSeq() }
+
+// Tracer returns the DB's operation tracer (never nil; disabled unless
+// Options.TraceSampleRate or Options.Tracer was set).
+func (db *DB) Tracer() *metrics.Tracer { return db.tracer }
+
+// OpStats returns the always-on per-operation latency histograms.
+func (db *DB) OpStats() *metrics.OpStats { return db.ops }
+
+// EventLog returns the in-memory lifecycle event log shared by the
+// primary table and every index table.
+func (db *DB) EventLog() *metrics.EventLog { return db.events }
+
+// Health reports the first unhealthy condition across the primary table
+// and every index table (lsm.ErrClosed, lsm.ErrStalled, or a sticky
+// background-pipeline error), or nil when all tables serve normally.
+func (db *DB) Health() error {
+	if err := db.primary.Health(); err != nil {
+		return err
+	}
+	for _, idx := range db.indexes {
+		if err := idx.Health(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LevelShapes returns the per-level shape of every table, keyed by table
+// name ("primary", "index-<attr>") — the tree gauges served at /metrics.
+func (db *DB) LevelShapes() map[string][]lsm.LevelInfo {
+	out := map[string][]lsm.LevelInfo{"primary": db.primary.LevelShape()}
+	for attr, idx := range db.indexes {
+		out["index-"+attr] = idx.LevelShape()
+	}
+	return out
+}
 
 // WriteAmplification reports measured write amplification. primary is
 // the primary table's physical WAMF. index maps each stand-alone index

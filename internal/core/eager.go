@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"leveldbpp/internal/lsm"
+	"leveldbpp/internal/metrics"
 	"leveldbpp/internal/postings"
 )
 
@@ -56,19 +57,24 @@ func (db *DB) eagerUpdate(idx *lsm.DB, attrValue, key string, seq uint64, del bo
 // eagerLookup is Algorithm 2: one GET on the index table retrieves the
 // complete, newest-first posting list; candidates are validated with GETs
 // on the data table until K valid results are found.
-func (db *DB) eagerLookup(attr, value string, k int) ([]Entry, error) {
+func (db *DB) eagerLookup(attr, value string, k int, tr *metrics.Trace) ([]Entry, error) {
 	idx := db.indexes[attr]
+	t0 := tr.Now()
 	data, found, err := idx.Get([]byte(value))
+	tr.Since(metrics.PhaseIndexProbe, t0)
 	if err != nil || !found {
 		return nil, err
 	}
+	t0 = tr.Now()
 	list, err := postings.Decode(data)
 	if err != nil {
 		return nil, err
 	}
+	live := postings.Live(list) // newest first already
+	tr.Since(metrics.PhasePostingMerge, t0)
 	var out []Entry
-	for _, e := range postings.Live(list) { // newest first already
-		doc, valid, err := db.validate(e.Key, attr, value, value)
+	for _, e := range live {
+		doc, valid, err := db.validateTraced(e.Key, attr, value, value, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -87,25 +93,32 @@ func (db *DB) eagerLookup(attr, value string, k int) ([]Entry, error) {
 // over [lo, hi]; each matching attribute value contributes its newest
 // posting list; a global min-heap on sequence numbers selects the top-K
 // across values.
-func (db *DB) eagerRangeLookup(attr, lo, hi string, k int) ([]Entry, error) {
+func (db *DB) eagerRangeLookup(attr, lo, hi string, k int, tr *metrics.Trace) ([]Entry, error) {
 	idx := db.indexes[attr]
 	heap := newTopK(k)
 
 	// Gather candidates cheaply first (index I/O), then validate in
-	// recency order (data-table I/O) until K valid results stand.
+	// recency order (data-table I/O) until K valid results stand. The
+	// mark alternates the trace between index_probe (scan advance) and
+	// posting_merge (list decode) with no overlap.
 	var candidates []postings.Entry
+	mark := tr.Now()
 	err := idx.Scan([]byte(lo), upperBoundExclusive(hi), func(key, value []byte, _ uint64) bool {
+		tr.Since(metrics.PhaseIndexProbe, mark)
+		tD := tr.Now()
 		list, err := postings.Decode(value)
-		if err != nil {
-			return true // skip undecodable lists rather than abort
-		}
-		candidates = append(candidates, postings.Live(list)...)
+		if err == nil {
+			candidates = append(candidates, postings.Live(list)...)
+		} // else: skip undecodable lists rather than abort
+		tr.Since(metrics.PhasePostingMerge, tD)
+		mark = tr.Now()
 		return true
 	})
+	tr.Since(metrics.PhaseIndexProbe, mark)
 	if err != nil {
 		return nil, err
 	}
-	if err := db.validateCandidates(candidates, attr, lo, hi, k, heap); err != nil {
+	if err := db.validateCandidates(candidates, attr, lo, hi, k, heap, tr); err != nil {
 		return nil, err
 	}
 	return heap.Results(), nil
@@ -114,10 +127,17 @@ func (db *DB) eagerRangeLookup(attr, lo, hi string, k int) ([]Entry, error) {
 // validateCandidates sorts candidates newest-first and validates them
 // against the data table until k valid entries are collected (k <= 0
 // validates everything).
-func (db *DB) validateCandidates(cands []postings.Entry, attr, lo, hi string, k int, heap *topK) error {
+func (db *DB) validateCandidates(cands []postings.Entry, attr, lo, hi string, k int, heap *topK, tr *metrics.Trace) error {
+	t0 := tr.Now()
 	sortPostingsBySeqDesc(cands)
+	tr.Since(metrics.PhasePostingMerge, t0)
 	if db.opts.LookupParallelism > 1 && len(cands) > 1 {
-		return db.validateCandidatesParallel(cands, attr, lo, hi, heap)
+		// Workers carry no trace (a Trace is single-goroutine); the whole
+		// fan-out is attributed to validate from this side.
+		t0 = tr.Now()
+		err := db.validateCandidatesParallel(cands, attr, lo, hi, heap)
+		tr.Since(metrics.PhaseValidate, t0)
+		return err
 	}
 	seen := map[string]bool{}
 	for _, c := range cands {
@@ -128,7 +148,7 @@ func (db *DB) validateCandidates(cands []postings.Entry, attr, lo, hi string, k 
 		if !heap.Worth(c.Seq) {
 			continue
 		}
-		doc, valid, err := db.validate(c.Key, attr, lo, hi)
+		doc, valid, err := db.validateTraced(c.Key, attr, lo, hi, tr)
 		if err != nil {
 			return err
 		}

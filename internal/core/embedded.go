@@ -7,6 +7,7 @@ import (
 	"leveldbpp/internal/btree"
 	"leveldbpp/internal/ikey"
 	"leveldbpp/internal/lsm"
+	"leveldbpp/internal/metrics"
 	"leveldbpp/internal/sstable"
 )
 
@@ -66,21 +67,21 @@ func strataOf(v *lsm.View) []stratum {
 	return out
 }
 
-func (db *DB) embeddedLookup(attr, value string, k int) ([]Entry, error) {
-	return db.embeddedScan(attr, value, value, k, true)
+func (db *DB) embeddedLookup(attr, value string, k int, tr *metrics.Trace) ([]Entry, error) {
+	return db.embeddedScan(attr, value, value, k, true, tr)
 }
 
-func (db *DB) embeddedRangeLookup(attr, lo, hi string, k int) ([]Entry, error) {
-	return db.embeddedScan(attr, lo, hi, k, true)
+func (db *DB) embeddedRangeLookup(attr, lo, hi string, k int, tr *metrics.Trace) ([]Entry, error) {
+	return db.embeddedScan(attr, lo, hi, k, true, tr)
 }
 
 // scanLookup is the NoIndex baseline: the identical traversal with every
 // data block a candidate and no MemTable B-tree.
-func (db *DB) scanLookup(attr, lo, hi string, k int) ([]Entry, error) {
-	return db.embeddedScan(attr, lo, hi, k, false)
+func (db *DB) scanLookup(attr, lo, hi string, k int, tr *metrics.Trace) ([]Entry, error) {
+	return db.embeddedScan(attr, lo, hi, k, false, tr)
 }
 
-func (db *DB) embeddedScan(attr, lo, hi string, k int, useFilters bool) ([]Entry, error) {
+func (db *DB) embeddedScan(attr, lo, hi string, k int, useFilters bool, tr *metrics.Trace) ([]Entry, error) {
 	var results []Entry
 	err := db.primary.View(func(v *lsm.View) error {
 		strata := strataOf(v)
@@ -94,24 +95,41 @@ func (db *DB) embeddedScan(attr, lo, hi string, k int, useFilters bool) ([]Entry
 			seen = map[string]bool{}
 		}
 
+		// Phase attribution is per stratum: MemTable strata to
+		// mem_probe/imm_probe, SSTable strata — including the interleaved
+		// GetLite validity probes — to index_probe, with block_load /
+		// cache_hit sub-phases from the traced block reads.
 		for si, s := range strata {
 			if s.isMem || s.isImm {
-				if err := db.embeddedScanMem(v, s.isImm, attr, lo, hi, heap, useFilters); err != nil {
+				t0 := tr.Now()
+				err := db.embeddedScanMem(v, s.isImm, attr, lo, hi, heap, useFilters)
+				phase := metrics.PhaseMemProbe
+				if s.isImm {
+					phase = metrics.PhaseImmProbe
+				}
+				tr.Since(phase, t0)
+				if err != nil {
 					return err
 				}
 			} else if db.opts.LookupParallelism > 1 && len(s.tables) > 1 && seen == nil {
-				if err := db.embeddedScanStratumParallel(v, strata, si, attr, lo, hi, heap, useFilters); err != nil {
+				t0 := tr.Now()
+				err := db.embeddedScanStratumParallel(v, strata, si, attr, lo, hi, heap, useFilters)
+				tr.Since(metrics.PhaseIndexProbe, t0)
+				if err != nil {
 					return err
 				}
 			} else {
+				t0 := tr.Now()
 				for _, fm := range s.tables {
 					if heap.Full() && fm.Table().MaxSeq() <= heap.MinSeq() {
 						continue // nothing here can improve the heap
 					}
-					if err := db.embeddedScanTable(v, strata, si, fm, attr, lo, hi, heap, useFilters, seen); err != nil {
+					if err := db.embeddedScanTable(v, strata, si, fm, attr, lo, hi, heap, useFilters, seen, tr); err != nil {
+						tr.Since(metrics.PhaseIndexProbe, t0)
 						return err
 					}
 				}
+				tr.Since(metrics.PhaseIndexProbe, t0)
 			}
 			// Paper: scan to the end of a level before deciding; stop once
 			// no remaining stratum can hold a newer match.
@@ -208,7 +226,7 @@ func (db *DB) embeddedScanMem(v *lsm.View, imm bool, attr, lo, hi string, heap *
 // embeddedScanTable reads the candidate blocks of one table and offers
 // matches to the heap after a validity check against the strata above.
 func (db *DB) embeddedScanTable(v *lsm.View, strata []stratum, si int, fm *lsm.FileMeta,
-	attr, lo, hi string, heap *topK, useFilters bool, seen map[string]bool) error {
+	attr, lo, hi string, heap *topK, useFilters bool, seen map[string]bool, tr *metrics.Trace) error {
 
 	tbl := fm.Table()
 	var candidates []int
@@ -231,7 +249,7 @@ func (db *DB) embeddedScanTable(v *lsm.View, strata []stratum, si int, fm *lsm.F
 	}
 
 	for _, bi := range candidates {
-		it, err := tbl.BlockIterator(bi, false)
+		it, err := tbl.BlockIteratorTraced(bi, false, tr)
 		if err != nil {
 			return err
 		}

@@ -5,6 +5,7 @@ import (
 
 	"leveldbpp/internal/ikey"
 	"leveldbpp/internal/lsm"
+	"leveldbpp/internal/metrics"
 	"leveldbpp/internal/postings"
 	"leveldbpp/internal/skiplist"
 	"leveldbpp/internal/sstable"
@@ -114,10 +115,14 @@ func lazyFragments(v *lsm.View, value []byte, fn func(list postings.List) (bool,
 // level holds at most one fragment; validate candidates against the data
 // table; stop at a level boundary once K valid results are held (deeper
 // fragments are older).
-func (db *DB) lazyLookup(attr, value string, k int) ([]Entry, error) {
+func (db *DB) lazyLookup(attr, value string, k int, tr *metrics.Trace) ([]Entry, error) {
 	idx := db.indexes[attr]
 	heap := newTopK(k)
 	seen := map[string]bool{}
+	// The mark closes an index_probe interval (stratum walk + fragment
+	// decode) whenever a validation starts, and reopens it after, so the
+	// two phases tile the traversal without overlap.
+	mark := tr.Now()
 	err := idx.View(func(v *lsm.View) error {
 		return lazyFragments(v, []byte(value), func(list postings.List) (bool, error) {
 			for _, e := range list {
@@ -128,7 +133,9 @@ func (db *DB) lazyLookup(attr, value string, k int) ([]Entry, error) {
 				if e.Del || !heap.Worth(e.Seq) {
 					continue
 				}
-				doc, valid, err := db.validate(e.Key, attr, value, value)
+				tr.Since(metrics.PhaseIndexProbe, mark)
+				doc, valid, err := db.validateTraced(e.Key, attr, value, value, tr)
+				mark = tr.Now()
 				if err != nil {
 					return false, err
 				}
@@ -142,6 +149,7 @@ func (db *DB) lazyLookup(attr, value string, k int) ([]Entry, error) {
 			return !heap.Full(), nil
 		})
 	})
+	tr.Since(metrics.PhaseIndexProbe, mark)
 	if err != nil {
 		return nil, err
 	}
@@ -152,11 +160,12 @@ func (db *DB) lazyLookup(attr, value string, k int) ([]Entry, error) {
 // for *different* keys are not time-ordered across levels, so every level
 // must be visited (paper §4.1.2); all fragments merge into one candidate
 // pool which is validated newest-first.
-func (db *DB) lazyRangeLookup(attr, lo, hi string, k int) ([]Entry, error) {
+func (db *DB) lazyRangeLookup(attr, lo, hi string, k int, tr *metrics.Trace) ([]Entry, error) {
 	idx := db.indexes[attr]
 	heap := newTopK(k)
 	perKey := map[string][]postings.List{} // secondary key → fragments, newest first
 
+	t0 := tr.Now()
 	err := idx.View(func(v *lsm.View) error {
 		loB, hiExcl := []byte(lo), upperBoundExclusive(hi)
 
@@ -230,17 +239,20 @@ func (db *DB) lazyRangeLookup(attr, lo, hi string, k int) ([]Entry, error) {
 		}
 		return nil
 	})
+	tr.Since(metrics.PhaseIndexProbe, t0)
 	if err != nil {
 		return nil, err
 	}
 
 	// Merge each key's fragments (newest fragment first within a key is
 	// irrelevant to Merge, which keeps max-seq per primary key), then pool.
+	t0 = tr.Now()
 	var candidates []postings.Entry
 	for _, frags := range perKey {
 		candidates = append(candidates, postings.Merge(frags, true)...)
 	}
-	if err := db.validateCandidates(candidates, attr, lo, hi, k, heap); err != nil {
+	tr.Since(metrics.PhasePostingMerge, t0)
+	if err := db.validateCandidates(candidates, attr, lo, hi, k, heap, tr); err != nil {
 		return nil, err
 	}
 	return heap.Results(), nil

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"leveldbpp/internal/metrics"
+)
+
+func openTraced(t *testing.T, kind IndexKind) *DB {
+	t.Helper()
+	db, err := Open(t.TempDir(), Options{
+		Index:           kind,
+		Attrs:           []string{"UserID", "CreationTime"},
+		MemTableBytes:   32 << 10,
+		TraceSampleRate: 1, // trace everything; threshold 0 records all
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func fillTraced(t *testing.T, db *DB, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		doc := fmt.Sprintf(`{"UserID":"u%02d","CreationTime":"%010d","pad":"xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"}`, i%5, i)
+		if err := db.Put(fmt.Sprintf("t%05d", i), []byte(doc)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// A second wave stays in the MemTable so lookups cross mem and table
+	// strata alike.
+	for i := n; i < n+n/10; i++ {
+		doc := fmt.Sprintf(`{"UserID":"u%02d","CreationTime":"%010d"}`, i%5, i)
+		if err := db.Put(fmt.Sprintf("t%05d", i), []byte(doc)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// lastTrace returns the most recent recorded trace for op.
+func lastTrace(t *testing.T, db *DB, op string) metrics.TraceRecord {
+	t.Helper()
+	recs := db.Tracer().Slow()
+	for i := len(recs) - 1; i >= 0; i-- {
+		if recs[i].Op == op {
+			return recs[i]
+		}
+	}
+	t.Fatalf("no %s trace recorded (have %d records)", op, len(recs))
+	return metrics.TraceRecord{}
+}
+
+// TestLookupTraceCoverage is the acceptance check for the phase taxonomy:
+// on every index kind, a traced LOOKUP attributes at least 95% of its wall
+// time to named top-level phases. The op validates hundreds of candidates,
+// so its wall time dwarfs the untraced bookkeeping between phases; a few
+// attempts are allowed to ride out scheduler preemption, which can charge
+// an arbitrary pause to the gap between two phases.
+func TestLookupTraceCoverage(t *testing.T) {
+	for _, kind := range []IndexKind{IndexEager, IndexLazy, IndexComposite, IndexEmbedded} {
+		t.Run(kind.String(), func(t *testing.T) {
+			db := openTraced(t, kind)
+			fillTraced(t, db, 2000)
+
+			best := 0.0
+			var rec metrics.TraceRecord
+			for attempt := 0; attempt < 5 && best < 0.95; attempt++ {
+				if _, err := db.Lookup("UserID", "u01", 0); err != nil {
+					t.Fatal(err)
+				}
+				r := lastTrace(t, db, "lookup")
+				if r.Coverage > best {
+					best, rec = r.Coverage, r
+				}
+			}
+			if best < 0.95 {
+				t.Fatalf("lookup coverage %.3f < 0.95; trace: %+v", best, rec)
+			}
+			if len(rec.Phases) == 0 {
+				t.Fatal("trace has no phases")
+			}
+			for _, p := range rec.Phases {
+				if p.Phase == "unknown" {
+					t.Fatalf("unnamed phase in trace: %+v", rec)
+				}
+			}
+			if rec.Detail != "UserID=u01" {
+				t.Fatalf("lookup detail = %q", rec.Detail)
+			}
+		})
+	}
+}
+
+// TestRangeLookupTraceCoverage repeats the coverage check for RANGELOOKUP,
+// whose scan paths use the mark-alternation pattern.
+func TestRangeLookupTraceCoverage(t *testing.T) {
+	for _, kind := range []IndexKind{IndexEager, IndexLazy, IndexComposite, IndexEmbedded} {
+		t.Run(kind.String(), func(t *testing.T) {
+			db := openTraced(t, kind)
+			fillTraced(t, db, 2000)
+
+			best := 0.0
+			for attempt := 0; attempt < 5 && best < 0.9; attempt++ {
+				if _, err := db.RangeLookup("CreationTime", "0000000000", "0000001000", 0); err != nil {
+					t.Fatal(err)
+				}
+				if r := lastTrace(t, db, "rangelookup"); r.Coverage > best {
+					best = r.Coverage
+				}
+			}
+			if best < 0.9 {
+				t.Fatalf("rangelookup coverage %.3f < 0.9", best)
+			}
+		})
+	}
+}
+
+// TestTracePutPhases checks the write path names its phases too.
+func TestTracePutPhases(t *testing.T) {
+	db := openTraced(t, IndexLazy)
+	fillTraced(t, db, 500)
+	rec := lastTrace(t, db, "put")
+	if len(rec.Phases) == 0 {
+		t.Fatalf("put trace has no phases: %+v", rec)
+	}
+	names := map[string]bool{}
+	for _, p := range rec.Phases {
+		names[p.Phase] = true
+	}
+	for _, want := range []string{"wal", "mem_insert", "index_update"} {
+		if !names[want] {
+			t.Fatalf("put trace missing phase %q: %+v", want, rec.Phases)
+		}
+	}
+}
+
+// TestTracingDisabledByDefault: with no sample rate the tracer never
+// samples, Slow stays empty, and operations still record OpStats latency.
+func TestTracingDisabledByDefault(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{Index: IndexLazy, Attrs: []string{"UserID"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Put("k1", []byte(`{"UserID":"u1"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.Get("k1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Lookup("UserID", "u1", 0); err != nil {
+		t.Fatal(err)
+	}
+	if recs := db.Tracer().Slow(); len(recs) != 0 {
+		t.Fatalf("disabled tracer recorded %d traces", len(recs))
+	}
+	if bd := db.Tracer().Breakdown(); len(bd) != 0 {
+		t.Fatalf("disabled tracer aggregated %d ops", len(bd))
+	}
+	for _, op := range []metrics.Op{metrics.OpGet, metrics.OpPut, metrics.OpLookup} {
+		if db.OpStats().Hist(op).Count() == 0 {
+			t.Fatalf("OpStats missing %s observations with tracing off", op)
+		}
+	}
+}
+
+// TestBreakdownAccumulates: the tracer's cumulative per-op aggregates
+// cover all traced operations and reset cleanly between experiments.
+func TestBreakdownAccumulates(t *testing.T) {
+	db := openTraced(t, IndexLazy)
+	fillTraced(t, db, 300)
+	if _, err := db.Lookup("UserID", "u01", 5); err != nil {
+		t.Fatal(err)
+	}
+	bds := db.Tracer().Breakdown()
+	seen := map[string]bool{}
+	for _, b := range bds {
+		seen[b.Op] = true
+		if b.Count <= 0 || b.TotalUS <= 0 {
+			t.Fatalf("degenerate breakdown row: %+v", b)
+		}
+	}
+	for _, want := range []string{"put", "lookup"} {
+		if !seen[want] {
+			t.Fatalf("breakdown missing op %q: %+v", want, bds)
+		}
+	}
+	db.Tracer().ResetBreakdown()
+	if bds := db.Tracer().Breakdown(); len(bds) != 0 {
+		t.Fatalf("breakdown not reset: %+v", bds)
+	}
+}

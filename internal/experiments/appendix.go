@@ -36,7 +36,7 @@ func AppendixC1BloomBits(c Config, bitsSweep []int) ([]C1Result, error) {
 	for _, bits := range bitsSweep {
 		opts := dbOptions(core.IndexEmbedded)
 		opts.SecondaryBitsPerKey = bits
-		db, err := core.Open(filepath.Join(c.Dir, fmt.Sprintf("c1-%d", bits)), opts)
+		db, err := c.open(filepath.Join(c.Dir, fmt.Sprintf("c1-%d", bits)), opts)
 		if err != nil {
 			return nil, err
 		}
@@ -95,7 +95,7 @@ func AppendixC2Compression(c Config) ([]C2Result, error) {
 		for _, compressed := range []bool{true, false} {
 			opts := dbOptions(kind)
 			opts.DisableCompression = !compressed
-			db, err := core.Open(filepath.Join(c.Dir, fmt.Sprintf("c2-%s-%v", kind, compressed)), opts)
+			db, err := c.open(filepath.Join(c.Dir, fmt.Sprintf("c2-%s-%v", kind, compressed)), opts)
 			if err != nil {
 				return nil, err
 			}
@@ -166,7 +166,7 @@ func EmbeddedAblations(c Config) ([]AblationResult, error) {
 	for _, cfg := range configs {
 		opts := dbOptions(core.IndexEmbedded)
 		cfg.mutate(&opts)
-		db, err := core.Open(filepath.Join(c.Dir, "abl-"+cfg.name), opts)
+		db, err := c.open(filepath.Join(c.Dir, "abl-"+cfg.name), opts)
 		if err != nil {
 			return nil, err
 		}

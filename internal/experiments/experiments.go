@@ -31,6 +31,10 @@ type Config struct {
 	Seed int64
 	// Queries is the number of query operations per measurement point.
 	Queries int
+	// Tracer, when non-nil, is injected into every database an experiment
+	// opens, so one tracer accumulates the phase-time breakdown across all
+	// variants of a run (cmd/lsmbench -trace).
+	Tracer *metrics.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -84,7 +88,35 @@ func dbOptions(kind core.IndexKind) core.Options {
 }
 
 func (c Config) openDB(name string, kind core.IndexKind) (*core.DB, error) {
-	return core.Open(filepath.Join(c.Dir, name), dbOptions(kind))
+	return c.open(filepath.Join(c.Dir, name), dbOptions(kind))
+}
+
+// open is core.Open plus injection of the run-wide tracer; every
+// experiment opens its databases through it.
+func (c Config) open(dir string, opts core.Options) (*core.DB, error) {
+	if opts.Tracer == nil {
+		opts.Tracer = c.Tracer
+	}
+	return core.Open(dir, opts)
+}
+
+// PrintBreakdown renders the tracer's cumulative per-operation phase
+// table to w and resets the aggregates, so successive calls cover
+// successive experiments.
+func PrintBreakdown(w io.Writer, t *metrics.Tracer) {
+	bds := t.Breakdown()
+	if len(bds) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "--- trace breakdown ---\n")
+	for _, b := range bds {
+		fmt.Fprintf(w, "%-12s count=%-8d total=%.1fms mean=%.1fµs\n",
+			b.Op, b.Count, b.TotalUS/1e3, b.TotalUS/float64(b.Count))
+		for _, p := range b.Phases {
+			fmt.Fprintf(w, "  %-16s %10.1fµs  %5.1f%%\n", p.Phase, p.US, 100*p.US/b.TotalUS)
+		}
+	}
+	t.ResetBreakdown()
 }
 
 // dataset generates the experiment's tweet set once per call (seeded, so

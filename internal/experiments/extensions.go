@@ -42,7 +42,7 @@ func CacheEffects(c Config) ([]CacheResult, error) {
 		// exercise the cache.
 		opts.MemTableBytes = 64 << 10
 		opts.BaseLevelBytes = 256 << 10
-		db, err := core.Open(filepath.Join(c.Dir, fmt.Sprintf("cache-%d", cacheBytes)), opts)
+		db, err := c.open(filepath.Join(c.Dir, fmt.Sprintf("cache-%d", cacheBytes)), opts)
 		if err != nil {
 			return nil, err
 		}
@@ -129,7 +129,7 @@ func SeekProfile(c Config) ([]SeekResult, error) {
 			// read path rather than answering from the MemTable.
 			opts.MemTableBytes = 64 << 10
 			opts.BaseLevelBytes = 256 << 10
-			db, err := core.Open(filepath.Join(c.Dir, fmt.Sprintf("seek-%s-%d", f.label, blockSize)), opts)
+			db, err := c.open(filepath.Join(c.Dir, fmt.Sprintf("seek-%s-%d", f.label, blockSize)), opts)
 			if err != nil {
 				return nil, err
 			}
@@ -195,7 +195,7 @@ func ConcurrentReaders(c Config, readerCounts []int) ([]ConcurrencyResult, error
 
 	var out []ConcurrencyResult
 	for _, n := range readerCounts {
-		db, err := core.Open(filepath.Join(c.Dir, fmt.Sprintf("conc-%d", n)), mixedOptions(core.IndexLazy))
+		db, err := c.open(filepath.Join(c.Dir, fmt.Sprintf("conc-%d", n)), mixedOptions(core.IndexLazy))
 		if err != nil {
 			return nil, err
 		}
@@ -310,7 +310,7 @@ func YCSBBench(c Config, presets []workload.YCSBWorkload) ([]YCSBResult, error) 
 		for _, preset := range presets {
 			opts := mixedOptions(kind)
 			opts.Attrs = []string{"field0"}
-			db, err := core.Open(filepath.Join(c.Dir, fmt.Sprintf("ycsb-%c-%s", preset, kind)), opts)
+			db, err := c.open(filepath.Join(c.Dir, fmt.Sprintf("ycsb-%c-%s", preset, kind)), opts)
 			if err != nil {
 				return nil, err
 			}

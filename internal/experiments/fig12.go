@@ -41,7 +41,7 @@ func MixedWorkload(c Config, name string, ratios workload.MixRatios, checkpoints
 
 	var out []MixedResult
 	for _, kind := range VariantsNoEager {
-		db, err := core.Open(c.Dir+"/mixed-"+name+"-"+kind.String(), mixedOptions(kind))
+		db, err := c.open(c.Dir+"/mixed-"+name+"-"+kind.String(), mixedOptions(kind))
 		if err != nil {
 			return nil, err
 		}

@@ -91,7 +91,7 @@ func Fig8bPutPerformance(c Config) ([]Fig8bResult, error) {
 	ingestWith := func(name string, kind core.IndexKind, attrs []string) (float64, core.Stats, error) {
 		opts := dbOptions(kind)
 		opts.Attrs = attrs
-		db, err := core.Open(filepath.Join(c.Dir, "fig8b-"+name), opts)
+		db, err := c.open(filepath.Join(c.Dir, "fig8b-"+name), opts)
 		if err != nil {
 			return 0, core.Stats{}, err
 		}

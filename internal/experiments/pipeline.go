@@ -53,7 +53,7 @@ func PipelineIngest(c Config) ([]PipelineResult, error) {
 			}
 			opts := dbOptions(kind)
 			opts.BackgroundCompaction = background
-			db, err := core.Open(filepath.Join(c.Dir, fmt.Sprintf("pipe-%s-%s", mode, kind)), opts)
+			db, err := c.open(filepath.Join(c.Dir, fmt.Sprintf("pipe-%s-%s", mode, kind)), opts)
 			if err != nil {
 				return nil, err
 			}

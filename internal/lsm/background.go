@@ -1,10 +1,12 @@
 package lsm
 
 import (
+	"fmt"
 	"os"
 	"sync"
 	"time"
 
+	"leveldbpp/internal/metrics"
 	"leveldbpp/internal/wal"
 )
 
@@ -29,6 +31,11 @@ type background struct {
 	compactions   int64 // background compactions completed
 	slowdowns     int64 // writes delayed ~1ms by the L0 slowdown trigger
 	throttleWaits int64 // writes fully stalled by the L0 stop trigger
+
+	// Throttle state for edge-triggered event emission: engage/release
+	// events fire on transitions, not per delayed write.
+	stopEngaged     bool
+	slowdownEngaged bool
 }
 
 // BackgroundStats reports the pipeline's progress counters; all zeros in
@@ -110,9 +117,19 @@ func (db *DB) throttleLocked() error {
 	}
 	stalled := false
 	for len(db.v.levels[0]) >= db.opts.L0StopTrigger && bg.err == nil && !bg.closing && !db.closed {
+		if !bg.stopEngaged {
+			bg.stopEngaged = true
+			db.emit(metrics.Event{Type: metrics.EventStopOn, Level: 0,
+				Detail: fmt.Sprintf("l0_files=%d", len(db.v.levels[0]))})
+		}
 		bg.throttleWaits++
 		stalled = true
 		db.cond.Wait()
+	}
+	if bg.stopEngaged && len(db.v.levels[0]) < db.opts.L0StopTrigger {
+		bg.stopEngaged = false
+		db.emit(metrics.Event{Type: metrics.EventStopOff, Level: 0,
+			Detail: fmt.Sprintf("l0_files=%d", len(db.v.levels[0]))})
 	}
 	if bg.err != nil {
 		return bg.err
@@ -121,6 +138,11 @@ func (db *DB) throttleLocked() error {
 		return ErrClosed
 	}
 	if !stalled && len(db.v.levels[0]) >= db.opts.L0SlowdownTrigger {
+		if !bg.slowdownEngaged {
+			bg.slowdownEngaged = true
+			db.emit(metrics.Event{Type: metrics.EventSlowdownOn, Level: 0,
+				Detail: fmt.Sprintf("l0_files=%d", len(db.v.levels[0]))})
+		}
 		bg.slowdowns++
 		db.mu.Unlock()
 		time.Sleep(time.Millisecond)
@@ -131,6 +153,10 @@ func (db *DB) throttleLocked() error {
 		if bg.closing || db.closed {
 			return ErrClosed
 		}
+	} else if bg.slowdownEngaged && len(db.v.levels[0]) < db.opts.L0SlowdownTrigger {
+		bg.slowdownEngaged = false
+		db.emit(metrics.Event{Type: metrics.EventSlowdownOff, Level: 0,
+			Detail: fmt.Sprintf("l0_files=%d", len(db.v.levels[0]))})
 	}
 	return nil
 }
@@ -172,6 +198,10 @@ func (db *DB) freezeMemLocked(force bool) error {
 	db.mem = newMemTable(db.opts.SecondaryAttrs)
 	db.memWALs = []string{seg}
 	db.log = log
+	db.emit(metrics.Event{Type: metrics.EventMemFreeze,
+		Entries: db.imm.list.Len(), Bytes: db.imm.approximateBytes()})
+	db.emit(metrics.Event{Type: metrics.EventWALRotate,
+		Detail: fmt.Sprintf("segment=%d", db.walSeq)})
 	db.cond.Broadcast() // wake the flusher
 	return nil
 }
@@ -213,6 +243,9 @@ func (db *DB) flusher() {
 		imm, immSeq, immWALs := db.imm, db.immSeq, db.immWALs
 		fileNum := db.allocFileNum()
 		hook := db.testBlockFlush
+		db.emit(metrics.Event{Type: metrics.EventFlushStart, Level: 0,
+			Entries: imm.list.Len(), Bytes: imm.approximateBytes()})
+		flushT0 := time.Now()
 		db.mu.Unlock()
 		if hook != nil {
 			<-hook
@@ -237,6 +270,9 @@ func (db *DB) flusher() {
 		db.imm = nil
 		db.immWALs = nil
 		bg.flushes++
+		db.emit(metrics.Event{Type: metrics.EventFlushDone, Level: 0, Outputs: 1,
+			Entries: fm.tbl.EntryCount(), Bytes: fm.Size,
+			DurationUS: time.Since(flushT0).Microseconds()})
 		for _, p := range immWALs {
 			os.Remove(p)
 		}
@@ -271,6 +307,8 @@ func (db *DB) compactor() {
 			continue
 		}
 		bg.compacting = true
+		db.emitCompactionStart(job)
+		t0 := time.Now()
 		db.mu.Unlock()
 
 		outputs, err := db.runCompactionMerge(job)
@@ -286,6 +324,7 @@ func (db *DB) compactor() {
 			bg.compactionMu.Unlock()
 			return
 		}
+		db.emitCompactionDone(job, outputs, t0)
 		bg.compactions++
 		db.cond.Broadcast() // wake throttled writers and Flush waiters
 		db.mu.Unlock()

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"leveldbpp/internal/cache"
 	"leveldbpp/internal/ikey"
@@ -89,6 +90,9 @@ func (db *DB) buildMemTable(mem *memTable, fileNum uint64) (*FileMeta, error) {
 // this runs only with the pipeline drained (no frozen MemTable
 // outstanding), from CompactRange.
 func (db *DB) flushLocked() error {
+	db.emit(metrics.Event{Type: metrics.EventFlushStart, Level: 0,
+		Entries: db.mem.list.Len(), Bytes: db.mem.approximateBytes()})
+	flushT0 := time.Now()
 	fm, err := db.buildMemTable(db.mem, db.allocFileNum())
 	if err != nil {
 		return err
@@ -103,6 +107,9 @@ func (db *DB) flushLocked() error {
 	if err := saveManifest(db.dir, db.v.toManifest(db.nextFileNum.Load(), db.flushedSeq)); err != nil {
 		return err
 	}
+	db.emit(metrics.Event{Type: metrics.EventFlushDone, Level: 0, Outputs: 1,
+		Entries: fm.tbl.EntryCount(), Bytes: fm.Size,
+		DurationUS: time.Since(flushT0).Microseconds()})
 
 	// The MemTable is durable in the SSTable; restart the WAL. Any
 	// leftover background segments backing it are obsolete too.
@@ -120,9 +127,12 @@ func (db *DB) flushLocked() error {
 		seg := walSegmentPath(db.dir, db.walSeq)
 		db.log, err = wal.Create(seg)
 		db.memWALs = []string{seg}
+		db.emit(metrics.Event{Type: metrics.EventWALRotate,
+			Detail: fmt.Sprintf("segment=%d", db.walSeq)})
 	} else {
 		db.log, err = wal.Create(db.walFile())
 		db.memWALs = []string{db.walFile()}
+		db.emit(metrics.Event{Type: metrics.EventWALRotate, Detail: "restart"})
 	}
 	if err != nil {
 		return err
@@ -230,11 +240,52 @@ func (db *DB) pickLevelLocked(l int) *compactionJob {
 // goroutine with db.mu held throughout — the inline-mode path, and
 // CompactRange's path in both modes.
 func (db *DB) runCompactionInlineLocked(job *compactionJob) error {
+	db.emitCompactionStart(job)
+	t0 := time.Now()
 	outputs, err := db.runCompactionMerge(job)
 	if err != nil {
 		return err
 	}
-	return db.installCompactionLocked(job, outputs)
+	if err := db.installCompactionLocked(job, outputs); err != nil {
+		return err
+	}
+	db.emitCompactionDone(job, outputs, t0)
+	return nil
+}
+
+// emitCompactionStart reports a picked job: source level, input file count
+// across both levels, and input bytes.
+func (db *DB) emitCompactionStart(job *compactionJob) {
+	if db.opts.Events == nil {
+		return
+	}
+	var inBytes int64
+	for _, fm := range job.inputs {
+		inBytes += fm.Size
+	}
+	for _, fm := range job.next {
+		inBytes += fm.Size
+	}
+	db.emit(metrics.Event{Type: metrics.EventCompactionStart, Level: job.level,
+		Inputs: len(job.inputs) + len(job.next), Bytes: inBytes})
+}
+
+// emitCompactionDone reports an installed job: output file count, bytes
+// and entries, plus wall-clock duration since t0.
+func (db *DB) emitCompactionDone(job *compactionJob, outputs []*FileMeta, t0 time.Time) {
+	if db.opts.Events == nil {
+		return
+	}
+	var outBytes int64
+	entries := 0
+	for _, fm := range outputs {
+		outBytes += fm.Size
+		entries += fm.tbl.EntryCount()
+	}
+	db.emit(metrics.Event{Type: metrics.EventCompactionDone, Level: job.level,
+		Inputs: len(job.inputs) + len(job.next), Outputs: len(outputs),
+		Bytes: outBytes, Entries: entries,
+		DurationUS: time.Since(t0).Microseconds()})
 }
 
 // mergeSource is one input iterator of a compaction.

@@ -22,6 +22,10 @@ import (
 // ErrClosed is returned by operations on a closed DB.
 var ErrClosed = errors.New("lsm: database is closed")
 
+// ErrStalled is returned by Health while the background-mode L0 write-stop
+// throttle is engaged: writes block until compaction drains level 0.
+var ErrStalled = errors.New("lsm: write stall: level-0 at stop trigger")
+
 // DB is a single-node LSM key-value store. Writes are serialized. By
 // default flushes and compactions run inline on the writing goroutine
 // (see package doc); with Options.BackgroundCompaction they move to
@@ -148,7 +152,20 @@ func Open(dir string, o *Options) (*DB, error) {
 	if opts.BackgroundCompaction {
 		db.startBackground()
 	}
+	db.emit(metrics.Event{
+		Type:    metrics.EventOpen,
+		Entries: db.mem.list.Len(),
+		Bytes:   db.mem.approximateBytes(),
+		Detail:  dir,
+	})
 	return db, nil
+}
+
+// emit forwards e to the configured event sink (nil-safe).
+func (db *DB) emit(e metrics.Event) {
+	if db.opts.Events != nil {
+		db.opts.Events.Emit(e)
+	}
 }
 
 // walSegmentPath names background-mode WAL segment n.
@@ -233,7 +250,7 @@ func (db *DB) openTable(fr fileRecord) (*FileMeta, error) {
 // already holds a live value for key, the merger combines them first
 // (Lazy-index fragment coalescing; memory-only, no disk I/O).
 func (db *DB) Put(key, value []byte) error {
-	_, err := db.write(ikey.KindSet, key, value)
+	_, err := db.write(ikey.KindSet, key, value, nil)
 	return err
 }
 
@@ -241,38 +258,55 @@ func (db *DB) Put(key, value []byte) error {
 // secondary-index layers stamp into posting-list entries so top-K
 // ordering follows primary-table insertion time.
 func (db *DB) PutWithSeq(key, value []byte) (uint64, error) {
-	return db.write(ikey.KindSet, key, value)
+	return db.write(ikey.KindSet, key, value, nil)
+}
+
+// PutWithSeqTraced is PutWithSeq recording write-path phase timings
+// (throttle, wal, mem_insert, rotate) into tr. tr may be nil.
+func (db *DB) PutWithSeqTraced(key, value []byte, tr *metrics.Trace) (uint64, error) {
+	return db.write(ikey.KindSet, key, value, tr)
 }
 
 // Delete writes a tombstone for key.
 func (db *DB) Delete(key []byte) error {
-	_, err := db.write(ikey.KindDelete, key, nil)
+	_, err := db.write(ikey.KindDelete, key, nil, nil)
 	return err
 }
 
 // DeleteWithSeq is Delete returning the assigned sequence number.
 func (db *DB) DeleteWithSeq(key []byte) (uint64, error) {
-	return db.write(ikey.KindDelete, key, nil)
+	return db.write(ikey.KindDelete, key, nil, nil)
 }
 
-func (db *DB) write(kind ikey.Kind, key, value []byte) (uint64, error) {
+// DeleteWithSeqTraced is DeleteWithSeq with write-path phase tracing.
+func (db *DB) DeleteWithSeqTraced(key []byte, tr *metrics.Trace) (uint64, error) {
+	return db.write(ikey.KindDelete, key, nil, tr)
+}
+
+func (db *DB) write(kind ikey.Kind, key, value []byte, tr *metrics.Trace) (uint64, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
 		return 0, ErrClosed
 	}
 	if db.bg != nil {
-		if err := db.throttleLocked(); err != nil {
+		t0 := tr.Now()
+		err := db.throttleLocked()
+		tr.Since(metrics.PhaseThrottle, t0)
+		if err != nil {
 			return 0, err
 		}
 	}
+	t0 := tr.Now()
 	if db.opts.WriteMerge != nil && kind == ikey.KindSet {
 		if existing, _, k, ok := db.mem.get(key); ok && k == ikey.KindSet {
 			value = db.opts.WriteMerge(existing, value)
 		}
 	}
+	tr.Since(metrics.PhaseMemInsert, t0)
 	db.lastSeq++
 	seq := db.lastSeq
+	t0 = tr.Now()
 	if err := db.log.Append(wal.Record{Seq: seq, Kind: byte(kind), Key: key, Value: value}); err != nil {
 		return 0, err
 	}
@@ -281,12 +315,18 @@ func (db *DB) write(kind ikey.Kind, key, value []byte) (uint64, error) {
 			return 0, err
 		}
 	}
+	tr.Since(metrics.PhaseWAL, t0)
 	// Copy: callers may reuse their buffers.
+	t0 = tr.Now()
 	db.mem.add(seq, kind, append([]byte(nil), key...), append([]byte(nil), value...), db.opts.Extract)
+	tr.Since(metrics.PhaseMemInsert, t0)
 	db.ingestBytes += int64(len(key) + len(value))
 
 	if db.mem.approximateBytes() >= db.opts.MemTableBytes {
-		if err := db.rotateMemLocked(); err != nil {
+		t0 = tr.Now()
+		err := db.rotateMemLocked()
+		tr.Since(metrics.PhaseRotate, t0)
+		if err != nil {
 			return 0, err
 		}
 	}
@@ -309,23 +349,36 @@ func (db *DB) rotateMemLocked() error {
 // Get returns the newest live value for key, reading the MemTable, then
 // level-0 files newest-first, then one file per deeper level.
 func (db *DB) Get(key []byte) ([]byte, bool, error) {
+	return db.GetTraced(key, nil)
+}
+
+// GetTraced is Get recording read-path phase timings (mem_probe,
+// imm_probe, l0_probe, level_probe, plus block_load/cache_hit sub-phases)
+// into tr. tr may be nil.
+func (db *DB) GetTraced(key []byte, tr *metrics.Trace) ([]byte, bool, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if db.closed {
 		return nil, false, ErrClosed
 	}
-	return db.getLocked(key)
+	return db.getLocked(key, tr)
 }
 
-func (db *DB) getLocked(key []byte) ([]byte, bool, error) {
+func (db *DB) getLocked(key []byte, tr *metrics.Trace) ([]byte, bool, error) {
+	t0 := tr.Now()
 	if value, _, kind, ok := db.mem.get(key); ok {
+		tr.Since(metrics.PhaseMemProbe, t0)
 		if kind == ikey.KindDelete {
 			return nil, false, nil
 		}
 		return value, true, nil
 	}
+	tr.Since(metrics.PhaseMemProbe, t0)
 	if db.imm != nil { // frozen MemTable: newer than any SSTable
-		if value, _, kind, ok := db.imm.get(key); ok {
+		t0 = tr.Now()
+		value, _, kind, ok := db.imm.get(key)
+		tr.Since(metrics.PhaseImmProbe, t0)
+		if ok {
 			if kind == ikey.KindDelete {
 				return nil, false, nil
 			}
@@ -336,18 +389,23 @@ func (db *DB) getLocked(key []byte) ([]byte, bool, error) {
 	// value aliases immutable block contents (like the MemTable paths
 	// alias arena memory), so no per-hit copies are made.
 	var sc sstable.GetScratch
+	sc.Trace = tr
+	t0 = tr.Now()
 	for _, fm := range db.v.levels[0] { // newest first
 		ik, val, ok, err := fm.tbl.GetWith(&sc, key)
 		if err != nil {
 			return nil, false, err
 		}
 		if ok {
+			tr.Since(metrics.PhaseL0Probe, t0)
 			if ikey.KindOf(ik) == ikey.KindDelete {
 				return nil, false, nil
 			}
 			return val, true, nil
 		}
 	}
+	tr.Since(metrics.PhaseL0Probe, t0)
+	t0 = tr.Now()
 	for l := 1; l < len(db.v.levels); l++ {
 		fm := db.v.findFile(l, key)
 		if fm == nil {
@@ -358,12 +416,14 @@ func (db *DB) getLocked(key []byte) ([]byte, bool, error) {
 			return nil, false, err
 		}
 		if ok {
+			tr.Since(metrics.PhaseLevelProbe, t0)
 			if ikey.KindOf(ik) == ikey.KindDelete {
 				return nil, false, nil
 			}
 			return val, true, nil
 		}
 	}
+	tr.Since(metrics.PhaseLevelProbe, t0)
 	return nil, false, nil
 }
 
@@ -421,7 +481,61 @@ func (db *DB) Close() error {
 			}
 		}
 	}
+	db.emit(metrics.Event{Type: metrics.EventClose, Detail: db.dir})
 	return firstErr
+}
+
+// Health reports whether the DB is serving normally: ErrClosed after
+// Close, ErrStalled while the background-mode L0 write-stop throttle is
+// engaged, the background pipeline's sticky error if it failed, nil
+// otherwise. Served by the HTTP layer at /healthz.
+func (db *DB) Health() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if db.bg != nil {
+		if db.bg.err != nil {
+			return db.bg.err
+		}
+		if len(db.v.levels[0]) >= db.opts.L0StopTrigger {
+			return ErrStalled
+		}
+	}
+	return nil
+}
+
+// LevelInfo describes one populated level for monitoring exports.
+type LevelInfo struct {
+	Level   int   `json:"level"`
+	Files   int   `json:"files"`
+	Bytes   int64 `json:"bytes"`
+	Entries int   `json:"entries"`
+}
+
+// LevelShape returns per-level file counts, byte totals and entry counts
+// (every level up to the deepest populated one), the tree-shape gauges
+// exported at /metrics.
+func (db *DB) LevelShape() []LevelInfo {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	deepest := -1
+	for l, files := range db.v.levels {
+		if len(files) > 0 {
+			deepest = l
+		}
+	}
+	out := make([]LevelInfo, 0, deepest+1)
+	for l := 0; l <= deepest; l++ {
+		li := LevelInfo{Level: l, Files: len(db.v.levels[l])}
+		for _, fm := range db.v.levels[l] {
+			li.Bytes += fm.Size
+			li.Entries += fm.tbl.EntryCount()
+		}
+		out = append(out, li)
+	}
+	return out
 }
 
 // Stats returns the DB's I/O counters.
@@ -524,7 +638,12 @@ func (db *DB) View(fn func(*View) error) error {
 }
 
 // Get performs a standard newest-wins point read inside the view.
-func (v *View) Get(key []byte) ([]byte, bool, error) { return v.db.getLocked(key) }
+func (v *View) Get(key []byte) ([]byte, bool, error) { return v.db.getLocked(key, nil) }
+
+// GetTraced is Get with read-path phase tracing (tr may be nil).
+func (v *View) GetTraced(key []byte, tr *metrics.Trace) ([]byte, bool, error) {
+	return v.db.getLocked(key, tr)
+}
 
 // MemGet returns the newest MemTable record for key.
 func (v *View) MemGet(key []byte) (value []byte, seq uint64, deleted bool, ok bool) {

@@ -106,6 +106,11 @@ type Options struct {
 	BlockCacheBytes int64
 	// Stats receives I/O accounting. If nil a private IOStats is used.
 	Stats *metrics.IOStats
+	// Events, when set, receives structured lifecycle events (MemTable
+	// freezes, flush and compaction start/done, throttle transitions, WAL
+	// rotations — see metrics.EventType). Nil disables event emission.
+	// Sinks are called with db.mu held and must not block on this DB.
+	Events metrics.EventSink
 }
 
 func (o *Options) withDefaults() Options {

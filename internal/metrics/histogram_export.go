@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Prometheus text-format export (DESIGN.md §5.3). Every exported series
+// uses the lsmpp_ prefix. Histograms follow the Prometheus histogram
+// convention: cumulative _bucket{le="..."} series ending in le="+Inf",
+// plus _sum and _count.
+
+// ExpBuckets returns n exponential bucket upper bounds starting at start
+// and multiplying by factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DefLatencyBuckets spans 1µs to ~8s (doubling), in seconds — wide enough
+// for a cache-hit GET and a compaction-stalled PUT alike.
+var DefLatencyBuckets = ExpBuckets(1e-6, 2, 24)
+
+// NewHistogramBuckets is NewHistogram with Prometheus bucket counting
+// enabled over the given sorted upper bounds.
+func NewHistogramBuckets(capSamples int, bounds []float64) *Histogram {
+	h := NewHistogram(capSamples)
+	h.bounds = append([]float64(nil), bounds...)
+	sort.Float64s(h.bounds)
+	h.buckets = make([]int64, len(h.bounds))
+	return h
+}
+
+// Buckets returns the bucket upper bounds and the cumulative count of
+// observations at or below each bound. Both slices are copies; nil when
+// the histogram was built without buckets.
+func (h *Histogram) Buckets() (bounds []float64, cumulative []int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.bounds == nil {
+		return nil, nil
+	}
+	bounds = append([]float64(nil), h.bounds...)
+	cumulative = make([]int64, len(h.buckets))
+	var running int64
+	for i, c := range h.buckets {
+		running += c
+		cumulative[i] = running
+	}
+	return bounds, cumulative
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { h.mu.Lock(); defer h.mu.Unlock(); return h.sum }
+
+// observeBucketLocked increments the bucket for v. Caller holds h.mu.
+func (h *Histogram) observeBucketLocked(v float64) {
+	if h.bounds == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.buckets) {
+		h.buckets[i]++
+	}
+	// v above every bound is counted only by _count (the +Inf bucket).
+}
+
+// promEscape escapes a label value per the Prometheus text format.
+func promEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// Labels renders a label set as {k="v",...}, keys sorted; empty for none.
+func Labels(kv map[string]string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `%s="%s"`, k, promEscape(kv[k]))
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// WriteMetricHeader emits the # HELP and # TYPE lines for name.
+func WriteMetricHeader(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// WriteSample emits one sample line. labels is pre-rendered (see Labels).
+func WriteSample(w io.Writer, name, labels string, v float64) {
+	fmt.Fprintf(w, "%s%s %v\n", name, labels, v)
+}
+
+// WritePrometheus renders the histogram as a Prometheus histogram named
+// name with the given extra labels. The caller emits the HELP/TYPE header
+// once per name (several label sets may share it).
+func (h *Histogram) WritePrometheus(w io.Writer, name string, labels map[string]string) {
+	bounds, cum := h.Buckets()
+	base := make(map[string]string, len(labels)+1)
+	for k, v := range labels {
+		base[k] = v
+	}
+	for i, b := range bounds {
+		base["le"] = fmt.Sprintf("%g", b)
+		WriteSample(w, name+"_bucket", Labels(base), float64(cum[i]))
+	}
+	base["le"] = "+Inf"
+	WriteSample(w, name+"_bucket", Labels(base), float64(h.Count()))
+	delete(base, "le")
+	WriteSample(w, name+"_sum", Labels(base), h.Sum())
+	WriteSample(w, name+"_count", Labels(base), float64(h.Count()))
+}
+
+// OpStats records one latency histogram per operation kind, in seconds
+// with DefLatencyBuckets — the per-operation histograms served at
+// /metrics as lsmpp_op_latency_seconds{op="..."}.
+type OpStats struct {
+	hist [NumOps]*Histogram
+}
+
+// NewOpStats returns a ready OpStats.
+func NewOpStats() *OpStats {
+	s := &OpStats{}
+	for i := range s.hist {
+		s.hist[i] = NewHistogramBuckets(0, DefLatencyBuckets)
+	}
+	return s
+}
+
+// Observe records one operation latency.
+func (s *OpStats) Observe(op Op, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.hist[op].Observe(d.Seconds())
+}
+
+// Hist returns the histogram for op.
+func (s *OpStats) Hist(op Op) *Histogram {
+	if s == nil {
+		return nil
+	}
+	return s.hist[op]
+}

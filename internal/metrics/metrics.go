@@ -115,6 +115,10 @@ type Histogram struct {
 	max     float64
 	cap     int
 	rnd     *rand.Rand
+	// bounds/buckets enable Prometheus bucket export (histogram_export.go);
+	// nil unless built with NewHistogramBuckets.
+	bounds  []float64
+	buckets []int64
 }
 
 // NewHistogram returns a histogram retaining at most capSamples raw values
@@ -143,6 +147,7 @@ func (h *Histogram) Observe(v float64) {
 	} else if j := h.rnd.Int63n(h.count); j < int64(h.cap) {
 		h.samples[j] = v
 	}
+	h.observeBucketLocked(v)
 	h.sorted = false
 }
 

@@ -1,0 +1,233 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramRaceMixedReadersWriters hammers one bucketed histogram with
+// concurrent writers and every reader the exporter uses; run under -race
+// (make ci does) this proves the /metrics render path can share a live
+// histogram with the operation hot path.
+func TestHistogramRaceMixedReadersWriters(t *testing.T) {
+	h := NewHistogramBuckets(1000, DefLatencyBuckets)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				h.Observe(float64(i%100) * 1e-6)
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Quantile(0.99)
+				h.Mean()
+				h.Buckets()
+				h.BoxPlot()
+				h.WritePrometheus(io.Discard, "x", map[string]string{"op": "get"})
+			}
+		}()
+	}
+	// Once the writers are done, release the readers.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for h.Count() < 20000 {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	<-done
+	if h.Count() != 20000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	_, cum := h.Buckets()
+	if cum[len(cum)-1] > h.Count() {
+		t.Fatalf("cumulative buckets exceed count: %d > %d", cum[len(cum)-1], h.Count())
+	}
+}
+
+func TestEntriesDecodedPerGetZeroGets(t *testing.T) {
+	var sn Snapshot
+	if got := sn.EntriesDecodedPerGet(); got != 0 {
+		t.Fatalf("zero gets: %f, want 0 (not NaN/Inf)", got)
+	}
+	sn = Snapshot{PointGets: 4, EntriesDecoded: 10}
+	if got := sn.EntriesDecodedPerGet(); got != 2.5 {
+		t.Fatalf("EntriesDecodedPerGet = %f, want 2.5", got)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	// Empty: every quantile and the bucket export degrade to zeros.
+	h := NewHistogramBuckets(10, []float64{1, 2})
+	for _, q := range []float64{0, 0.5, 1} {
+		if v := h.Quantile(q); v != 0 {
+			t.Fatalf("empty Quantile(%v) = %f", q, v)
+		}
+	}
+	var buf bytes.Buffer
+	h.WritePrometheus(&buf, "m", nil)
+	if !strings.Contains(buf.String(), `m_bucket{le="+Inf"} 0`) {
+		t.Fatalf("empty histogram export:\n%s", buf.String())
+	}
+
+	// Single sample: every quantile is that sample; box plot collapses.
+	h.Observe(7)
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if v := h.Quantile(q); v != 7 {
+			t.Fatalf("single-sample Quantile(%v) = %f, want 7", q, v)
+		}
+	}
+	b := h.BoxPlot()
+	if b.Median != 7 || b.Q1 != 7 || b.Q3 != 7 {
+		t.Fatalf("single-sample boxplot: %+v", b)
+	}
+}
+
+func TestBucketCountingCumulative(t *testing.T) {
+	h := NewHistogramBuckets(0, []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	bounds, cum := h.Buckets()
+	if len(bounds) != 3 {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	want := []int64{2, 3, 4} // ≤1: two, ≤10: three, ≤100: four; 500 only in +Inf
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Fatalf("cum[%d] = %d, want %d", i, cum[i], want[i])
+		}
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestLabelsEscaping(t *testing.T) {
+	got := Labels(map[string]string{"b": `quo"te`, "a": "line\nbreak"})
+	want := `{a="line\nbreak",b="quo\"te"}`
+	if got != want {
+		t.Fatalf("Labels = %s, want %s", got, want)
+	}
+	if Labels(nil) != "" {
+		t.Fatal("empty label set must render empty")
+	}
+}
+
+func TestEventLogRingBounded(t *testing.T) {
+	l := NewEventLog(4)
+	for i := 0; i < 10; i++ {
+		l.Emit(Event{Type: EventFlushDone})
+	}
+	evs := l.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(evs))
+	}
+	// The ring keeps the newest events; counts keep the full tally.
+	if evs[len(evs)-1].Seq != 10 || evs[0].Seq != 7 {
+		t.Fatalf("ring window = [%d, %d], want [7, 10]", evs[0].Seq, evs[len(evs)-1].Seq)
+	}
+	if l.Counts()[EventFlushDone] != 10 {
+		t.Fatalf("counts = %v", l.Counts())
+	}
+}
+
+// failWriter fails after n successful writes.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.n--
+	return len(p), nil
+}
+
+func TestJSONLSinkCountsWriteErrors(t *testing.T) {
+	s := NewJSONLSink(&failWriter{n: 0})
+	// Enough events to overflow the bufio buffer so the failing writer is
+	// actually hit mid-stream.
+	for i := 0; i < 500; i++ {
+		s.Emit(Event{Seq: uint64(i + 1), Type: EventFlushStart, Table: "primary"})
+	}
+	if s.EncodeErrors() == 0 {
+		t.Fatal("EncodeErrors not incremented on failed writes")
+	}
+	if err := s.Flush(); err == nil {
+		t.Fatal("Flush swallowed the sticky write error")
+	}
+}
+
+func TestJSONLSinkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	s.Emit(Event{Type: EventCompactionDone, Table: "primary", Level: 1, Outputs: 2, Bytes: 4096})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(buf.String())
+	var e Event
+	if err := json.Unmarshal([]byte(line), &e); err != nil {
+		t.Fatalf("bad JSONL line %q: %v", line, err)
+	}
+	if e.Type != EventCompactionDone || e.Table != "primary" || e.Outputs != 2 {
+		t.Fatalf("round-trip mismatch: %+v", e)
+	}
+	// Events after Close are dropped silently.
+	s.Emit(Event{Type: EventFlushStart})
+}
+
+func TestTracerSamplingPeriod(t *testing.T) {
+	off := NewTracer(0, 0)
+	if tr := off.Start(OpGet); tr != nil {
+		t.Fatal("rate 0 must never sample")
+	}
+	var nilTracer *Tracer
+	if tr := nilTracer.Start(OpGet); tr != nil {
+		t.Fatal("nil tracer must never sample")
+	}
+
+	half := NewTracer(0.5, 0)
+	sampled := 0
+	for i := 0; i < 100; i++ {
+		if tr := half.Start(OpGet); tr != nil {
+			sampled++
+			tr.Finish()
+		}
+	}
+	if sampled != 50 {
+		t.Fatalf("rate 0.5 sampled %d/100, want every 2nd", sampled)
+	}
+}
+
+// TestNilTraceSafe: the nil no-op contract the read/write hot paths rely
+// on — no clock reads, no panics, no recorded state.
+func TestNilTraceSafe(t *testing.T) {
+	var tr *Trace
+	t0 := tr.Now()
+	if !t0.IsZero() {
+		t.Fatal("nil Now must return the zero time")
+	}
+	tr.Since(PhaseWAL, t0)
+	tr.Add(PhaseValidate, time.Second)
+	tr.SetDetail("x")
+	tr.Finish()
+}

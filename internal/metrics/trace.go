@@ -1,0 +1,405 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Per-operation tracing (DESIGN.md §5.3). A Tracer samples operations at a
+// configurable rate and, for each sampled operation, records how its wall
+// time divides across named phases — MemTable probe, frozen-MemTable probe,
+// per-level SSTable probes, block loads vs. cache hits, posting-list
+// merging, candidate validation, and the write-path stages. Completed
+// traces land in a bounded ring (the "recent slow ops" buffer served at
+// /trace/slow) and in cumulative per-op/per-phase aggregates that lsmbench
+// renders as a phase-time breakdown table.
+//
+// The design is allocation-conscious: Trace objects are pooled, phase
+// timings live in fixed-size arrays, and every method is safe on a nil
+// *Trace or nil *Tracer so unsampled operations cost one pointer check per
+// instrumentation point (Now on a nil trace does not even call time.Now).
+
+// Op identifies the traced operation kind (the paper's Table 1 set plus
+// the primary-key scan extension).
+type Op uint8
+
+// The traced operations.
+const (
+	OpGet Op = iota
+	OpPut
+	OpDelete
+	OpLookup
+	OpRangeLookup
+	OpScan
+	NumOps
+)
+
+// String returns the operation's wire name (used in JSON traces and as the
+// op label of /metrics histograms).
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	case OpLookup:
+		return "lookup"
+	case OpRangeLookup:
+		return "rangelookup"
+	case OpScan:
+		return "scan"
+	default:
+		return "unknown"
+	}
+}
+
+// Phase identifies one stage of an operation. Top-level phases are
+// disjoint in time — their sum is the attributed fraction of an
+// operation's wall clock. Sub-phases (block load, cache hit) nest inside
+// top-level phases and are reported for I/O attribution but excluded from
+// the coverage sum so phases never double count.
+type Phase uint8
+
+// The phase taxonomy (DESIGN.md §5.3).
+const (
+	// Write-path top-level phases.
+	PhaseThrottle    Phase = iota // L0 slowdown/stop wait before a write is accepted
+	PhaseWAL                      // WAL append (+ fsync when SyncWAL)
+	PhaseMemInsert                // MemTable insert, incl. write-merge probe
+	PhaseRotate                   // MemTable freeze handoff or inline flush+compaction
+	PhaseIndexUpdate              // secondary index maintenance (Eager RMW, Lazy/Composite puts)
+
+	// Read-path top-level phases.
+	PhaseMemProbe     // live MemTable probe or scan
+	PhaseImmProbe     // frozen MemTable probe or scan
+	PhaseL0Probe      // level-0 SSTable probes/scans
+	PhaseLevelProbe   // deeper-level SSTable probes/scans
+	PhaseIndexProbe   // stand-alone index table reads (Eager GET, Lazy fragments, Composite scan)
+	PhasePostingMerge // posting-list decode and merge
+	PhaseValidate     // candidate validation against the primary table
+
+	// Sub-phases (nested inside the above; not counted toward coverage).
+	PhaseBlockLoad // data block fetched from disk
+	PhaseCacheHit  // data block served by the block cache
+
+	NumPhases
+)
+
+// String returns the phase's wire name.
+func (p Phase) String() string {
+	switch p {
+	case PhaseThrottle:
+		return "throttle"
+	case PhaseWAL:
+		return "wal"
+	case PhaseMemInsert:
+		return "mem_insert"
+	case PhaseRotate:
+		return "rotate"
+	case PhaseIndexUpdate:
+		return "index_update"
+	case PhaseMemProbe:
+		return "mem_probe"
+	case PhaseImmProbe:
+		return "imm_probe"
+	case PhaseL0Probe:
+		return "l0_probe"
+	case PhaseLevelProbe:
+		return "level_probe"
+	case PhaseIndexProbe:
+		return "index_probe"
+	case PhasePostingMerge:
+		return "posting_merge"
+	case PhaseValidate:
+		return "validate"
+	case PhaseBlockLoad:
+		return "block_load"
+	case PhaseCacheHit:
+		return "cache_hit"
+	default:
+		return "unknown"
+	}
+}
+
+// TopLevel reports whether the phase counts toward wall-clock coverage.
+func (p Phase) TopLevel() bool { return p < PhaseBlockLoad }
+
+// Trace accumulates the phase timings of one sampled operation. A nil
+// *Trace is a valid no-op receiver — call sites never branch beyond the
+// nil checks inside these methods. A Trace must not be shared across
+// goroutines; parallel fan-out paths time the whole fan-out from the
+// coordinating goroutine instead.
+type Trace struct {
+	op     Op
+	detail string
+	start  time.Time
+	ns     [NumPhases]int64
+	counts [NumPhases]uint32
+	tracer *Tracer
+}
+
+// Now returns the current time for a subsequent Since, or the zero time
+// when the trace is nil (avoiding the clock read entirely).
+func (tr *Trace) Now() time.Time {
+	if tr == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Since attributes the time elapsed from t0 to phase p. No-op on a nil
+// trace or a zero t0 (the pair produced by a nil Now).
+func (tr *Trace) Since(p Phase, t0 time.Time) {
+	if tr == nil || t0.IsZero() {
+		return
+	}
+	tr.ns[p] += int64(time.Since(t0))
+	tr.counts[p]++
+}
+
+// Add attributes d to phase p directly.
+func (tr *Trace) Add(p Phase, d time.Duration) {
+	if tr == nil {
+		return
+	}
+	tr.ns[p] += int64(d)
+	tr.counts[p]++
+}
+
+// SetDetail annotates the trace (e.g. the looked-up attribute).
+func (tr *Trace) SetDetail(s string) {
+	if tr == nil {
+		return
+	}
+	tr.detail = s
+}
+
+// Finish completes the trace: its total and phase times fold into the
+// tracer's aggregates, it is recorded in the slow-op ring if it crossed
+// the threshold, and the object returns to the pool. The trace must not be
+// used afterwards.
+func (tr *Trace) Finish() {
+	if tr == nil {
+		return
+	}
+	tr.tracer.finish(tr)
+}
+
+// PhaseTime is one phase entry of a completed TraceRecord.
+type PhaseTime struct {
+	Phase string  `json:"phase"`
+	US    float64 `json:"us"`
+	Count uint32  `json:"count"`
+}
+
+// TraceRecord is the JSON form of a completed trace served at /trace/slow.
+type TraceRecord struct {
+	Op      string    `json:"op"`
+	Detail  string    `json:"detail,omitempty"`
+	Start   time.Time `json:"start"`
+	TotalUS float64   `json:"total_us"`
+	// AttributedUS sums the top-level phases; Coverage is its share of
+	// TotalUS (the quantity the trace tests assert ≥ 0.95).
+	AttributedUS float64     `json:"attributed_us"`
+	Coverage     float64     `json:"coverage"`
+	Phases       []PhaseTime `json:"phases,omitempty"`
+}
+
+// Tracer samples operations and collects their traces. Safe for
+// concurrent use; a nil *Tracer never samples.
+type Tracer struct {
+	rateBits atomic.Uint64 // math.Float64bits of the configured rate
+	period   atomic.Uint64 // sample every period-th op; 0 = disabled
+	ctr      atomic.Uint64
+	slowNS   atomic.Int64 // ring admission threshold; 0 = record all sampled
+
+	pool sync.Pool
+
+	mu   sync.Mutex
+	ring []TraceRecord
+	pos  int
+	n    int
+
+	aggNS    [NumOps][NumPhases]int64 // guarded by mu
+	aggCount [NumOps]int64
+	aggTotal [NumOps]int64
+}
+
+// DefaultTraceRing is the slow-op ring capacity when 0 is requested.
+const DefaultTraceRing = 128
+
+// NewTracer returns a tracer sampling at rate (0 disables tracing, 1
+// traces every operation, 0.01 every hundredth) keeping the ringCap most
+// recent slow traces (0 = DefaultTraceRing).
+func NewTracer(rate float64, ringCap int) *Tracer {
+	if ringCap <= 0 {
+		ringCap = DefaultTraceRing
+	}
+	t := &Tracer{ring: make([]TraceRecord, ringCap)}
+	t.pool.New = func() interface{} { return new(Trace) }
+	t.SetRate(rate)
+	return t
+}
+
+// SetRate changes the sampling rate. Rates above 1 clamp to 1; rates at or
+// below 0 disable sampling.
+func (t *Tracer) SetRate(rate float64) {
+	if rate > 1 {
+		rate = 1
+	}
+	if rate <= 0 || math.IsNaN(rate) {
+		t.rateBits.Store(math.Float64bits(0))
+		t.period.Store(0)
+		return
+	}
+	t.rateBits.Store(math.Float64bits(rate))
+	t.period.Store(uint64(math.Round(1 / rate)))
+}
+
+// Rate returns the configured sampling rate.
+func (t *Tracer) Rate() float64 {
+	if t == nil {
+		return 0
+	}
+	return math.Float64frombits(t.rateBits.Load())
+}
+
+// SetSlowThreshold restricts the slow-op ring to traces at least d long
+// (0 admits every sampled trace).
+func (t *Tracer) SetSlowThreshold(d time.Duration) { t.slowNS.Store(int64(d)) }
+
+// Start begins a trace for op, or returns nil when the operation is not
+// sampled (including on a nil tracer). The caller must Finish it.
+func (t *Tracer) Start(op Op) *Trace {
+	if t == nil {
+		return nil
+	}
+	period := t.period.Load()
+	if period == 0 {
+		return nil
+	}
+	if period > 1 && t.ctr.Add(1)%period != 0 {
+		return nil
+	}
+	tr := t.pool.Get().(*Trace)
+	*tr = Trace{op: op, start: time.Now(), tracer: t}
+	return tr
+}
+
+func (t *Tracer) finish(tr *Trace) {
+	total := int64(time.Since(tr.start))
+	rec := TraceRecord{
+		Op:      tr.op.String(),
+		Detail:  tr.detail,
+		Start:   tr.start,
+		TotalUS: float64(total) / 1e3,
+	}
+	var attributed int64
+	for p := Phase(0); p < NumPhases; p++ {
+		if tr.ns[p] == 0 && tr.counts[p] == 0 {
+			continue
+		}
+		if p.TopLevel() {
+			attributed += tr.ns[p]
+		}
+		rec.Phases = append(rec.Phases, PhaseTime{
+			Phase: p.String(),
+			US:    float64(tr.ns[p]) / 1e3,
+			Count: tr.counts[p],
+		})
+	}
+	rec.AttributedUS = float64(attributed) / 1e3
+	if total > 0 {
+		rec.Coverage = float64(attributed) / float64(total)
+	}
+
+	slow := total >= t.slowNS.Load()
+	t.mu.Lock()
+	t.aggCount[tr.op]++
+	t.aggTotal[tr.op] += total
+	for p := Phase(0); p < NumPhases; p++ {
+		t.aggNS[tr.op][p] += tr.ns[p]
+	}
+	if slow {
+		t.ring[t.pos] = rec
+		t.pos = (t.pos + 1) % len(t.ring)
+		if t.n < len(t.ring) {
+			t.n++
+		}
+	}
+	t.mu.Unlock()
+
+	*tr = Trace{}
+	t.pool.Put(tr)
+}
+
+// Slow returns the recorded slow traces, most recent last.
+func (t *Tracer) Slow() []TraceRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceRecord, 0, t.n)
+	start := t.pos - t.n
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.ring[(start+i+len(t.ring))%len(t.ring)])
+	}
+	return out
+}
+
+// OpBreakdown aggregates every finished trace of one operation kind: the
+// cumulative per-phase time lsmbench prints as the phase breakdown table.
+type OpBreakdown struct {
+	Op      string      `json:"op"`
+	Count   int64       `json:"count"`
+	TotalUS float64     `json:"total_us"`
+	Phases  []PhaseTime `json:"phases,omitempty"`
+}
+
+// Breakdown returns cumulative per-op phase totals for every operation
+// that completed at least one trace.
+func (t *Tracer) Breakdown() []OpBreakdown {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []OpBreakdown
+	for op := Op(0); op < NumOps; op++ {
+		if t.aggCount[op] == 0 {
+			continue
+		}
+		b := OpBreakdown{
+			Op:      op.String(),
+			Count:   t.aggCount[op],
+			TotalUS: float64(t.aggTotal[op]) / 1e3,
+		}
+		for p := Phase(0); p < NumPhases; p++ {
+			if t.aggNS[op][p] == 0 {
+				continue
+			}
+			b.Phases = append(b.Phases, PhaseTime{Phase: p.String(), US: float64(t.aggNS[op][p]) / 1e3})
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// ResetBreakdown zeroes the cumulative aggregates (lsmbench calls it
+// between experiments so each table covers one experiment only). The
+// slow-op ring is left intact.
+func (t *Tracer) ResetBreakdown() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.aggNS = [NumOps][NumPhases]int64{}
+	t.aggCount = [NumOps]int64{}
+	t.aggTotal = [NumOps]int64{}
+}

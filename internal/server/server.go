@@ -15,6 +15,11 @@
 //	POST   /compact                           full manual compaction
 //	GET    /check                             full consistency audit
 //	GET    /debug                             level-shape dump
+//	GET    /healthz                           liveness (503 when stalled/closed)
+//	GET    /metrics                           Prometheus text format
+//	GET    /events                            lifecycle event log (JSON)
+//	GET    /trace/slow                        recent slow traces + breakdown
+//	GET    /debug/pprof/*                     Go profiling (opt-in)
 //
 // All responses are JSON. Errors use standard status codes with a
 // {"error": "..."} body.
@@ -25,21 +30,42 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"leveldbpp/internal/core"
 )
+
+// Config gates the optional observability surfaces of a Server.
+type Config struct {
+	// Metrics exposes GET /metrics in Prometheus text format.
+	Metrics bool
+	// Pprof exposes the Go profiler under /debug/pprof/. Off by default:
+	// profiles reveal internals and cost CPU, so lsmserver requires an
+	// explicit -pprof flag.
+	Pprof bool
+}
 
 // Server is an http.Handler over one database.
 type Server struct {
 	db  *core.DB
 	mux *http.ServeMux
+
+	// encodeErrors counts responses whose JSON encoding failed mid-write
+	// (the status line is already gone by then, so the failure is logged
+	// and surfaced through /stats and /metrics instead of the response).
+	encodeErrors atomic.Int64
 }
 
-// New wraps db in an HTTP handler.
-func New(db *core.DB) *Server {
+// New wraps db in an HTTP handler with /metrics enabled and pprof off.
+func New(db *core.DB) *Server { return NewWith(db, Config{Metrics: true}) }
+
+// NewWith wraps db with the given observability configuration.
+func NewWith(db *core.DB, cfg Config) *Server {
 	s := &Server{db: db, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/doc/", s.handleDoc)
 	s.mux.HandleFunc("/lookup", s.handleLookup)
@@ -51,20 +77,69 @@ func New(db *core.DB) *Server {
 	s.mux.HandleFunc("/compact", s.handleCompact)
 	s.mux.HandleFunc("/check", s.handleCheck)
 	s.mux.HandleFunc("/debug", s.handleDebug)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/events", s.handleEvents)
+	s.mux.HandleFunc("/trace/slow", s.handleTraceSlow)
+	if cfg.Metrics {
+		s.mux.HandleFunc("/metrics", s.handleMetrics)
+	}
+	if cfg.Pprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+// EncodeErrors returns the number of responses whose JSON encoding failed.
+func (s *Server) EncodeErrors() int64 { return s.encodeErrors.Load() }
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The status line is already written; all that is left is to
+		// count and log the failure (satellite fix: this used to be
+		// silently discarded).
+		s.encodeErrors.Add(1)
+		log.Printf("server: encode %T response: %v", v, err)
+	}
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+func (s *Server) writeErr(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if err := s.db.Health(); err != nil {
+		s.writeJSON(w, http.StatusServiceUnavailable,
+			map[string]string{"status": "unhealthy", "error": err.Error()})
+		return
+	}
+	s.writeJSON(w, http.StatusOK,
+		map[string]interface{}{"status": "ok", "seq": s.db.LastSeq()})
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	l := s.db.EventLog()
+	s.writeJSON(w, http.StatusOK, map[string]interface{}{
+		"counts": l.Counts(),
+		"events": l.Events(),
+	})
+}
+
+func (s *Server) handleTraceSlow(w http.ResponseWriter, r *http.Request) {
+	t := s.db.Tracer()
+	s.writeJSON(w, http.StatusOK, map[string]interface{}{
+		"sample_rate": t.Rate(),
+		"slow":        t.Slow(),
+		"breakdown":   t.Breakdown(),
+	})
 }
 
 // maxBodyBytes bounds request bodies (1 MiB documents, 16 MiB batches).
@@ -76,45 +151,45 @@ const (
 func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
 	key := strings.TrimPrefix(r.URL.Path, "/doc/")
 	if key == "" {
-		writeErr(w, http.StatusBadRequest, errors.New("missing document key"))
+		s.writeErr(w, http.StatusBadRequest, errors.New("missing document key"))
 		return
 	}
 	switch r.Method {
 	case http.MethodPut, http.MethodPost:
 		body, err := io.ReadAll(io.LimitReader(r.Body, maxDocBytes+1))
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			s.writeErr(w, http.StatusBadRequest, err)
 			return
 		}
 		if len(body) > maxDocBytes {
-			writeErr(w, http.StatusRequestEntityTooLarge, fmt.Errorf("document exceeds %d bytes", maxDocBytes))
+			s.writeErr(w, http.StatusRequestEntityTooLarge, fmt.Errorf("document exceeds %d bytes", maxDocBytes))
 			return
 		}
 		if err := s.db.Put(key, body); err != nil {
-			writeErr(w, http.StatusInternalServerError, err)
+			s.writeErr(w, http.StatusInternalServerError, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"key": key})
+		s.writeJSON(w, http.StatusOK, map[string]string{"key": key})
 	case http.MethodGet:
 		value, ok, err := s.db.Get(key)
 		if err != nil {
-			writeErr(w, http.StatusInternalServerError, err)
+			s.writeErr(w, http.StatusInternalServerError, err)
 			return
 		}
 		if !ok {
-			writeErr(w, http.StatusNotFound, fmt.Errorf("key %q not found", key))
+			s.writeErr(w, http.StatusNotFound, fmt.Errorf("key %q not found", key))
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(value)
 	case http.MethodDelete:
 		if err := s.db.Delete(key); err != nil {
-			writeErr(w, http.StatusInternalServerError, err)
+			s.writeErr(w, http.StatusInternalServerError, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"deleted": key})
+		s.writeJSON(w, http.StatusOK, map[string]string{"deleted": key})
 	default:
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		s.writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
 	}
 }
 
@@ -155,48 +230,48 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	attr, value := q.Get("attr"), q.Get("value")
 	if attr == "" {
-		writeErr(w, http.StatusBadRequest, errors.New("attr parameter required"))
+		s.writeErr(w, http.StatusBadRequest, errors.New("attr parameter required"))
 		return
 	}
 	k, err := parseK(r)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	entries, err := s.db.Lookup(attr, value, k)
 	if errors.Is(err, core.ErrUnknownAttr) {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		s.writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, toWire(entries))
+	s.writeJSON(w, http.StatusOK, toWire(entries))
 }
 
 func (s *Server) handleRangeLookup(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	attr := q.Get("attr")
 	if attr == "" {
-		writeErr(w, http.StatusBadRequest, errors.New("attr parameter required"))
+		s.writeErr(w, http.StatusBadRequest, errors.New("attr parameter required"))
 		return
 	}
 	k, err := parseK(r)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	entries, err := s.db.RangeLookup(attr, q.Get("lo"), q.Get("hi"), k)
 	if errors.Is(err, core.ErrUnknownAttr) {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		s.writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, toWire(entries))
+	s.writeJSON(w, http.StatusOK, toWire(entries))
 }
 
 func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
@@ -205,7 +280,7 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	if ls := q.Get("limit"); ls != "" {
 		n, err := strconv.Atoi(ls)
 		if err != nil || n <= 0 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", ls))
+			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", ls))
 			return
 		}
 		limit = n
@@ -216,10 +291,10 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		return len(out) < limit
 	})
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		s.writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 // batchRequest is the wire form of an atomic batch.
@@ -233,21 +308,21 @@ type batchRequest struct {
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		s.writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBatchBytes+1))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	if len(body) > maxBatchBytes {
-		writeErr(w, http.StatusRequestEntityTooLarge, fmt.Errorf("batch exceeds %d bytes", maxBatchBytes))
+		s.writeErr(w, http.StatusRequestEntityTooLarge, fmt.Errorf("batch exceeds %d bytes", maxBatchBytes))
 		return
 	}
 	var req batchRequest
 	if err := json.Unmarshal(body, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode batch: %w", err))
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("decode batch: %w", err))
 		return
 	}
 	var b core.Batch
@@ -255,37 +330,37 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		switch op.Op {
 		case "put":
 			if op.Key == "" {
-				writeErr(w, http.StatusBadRequest, fmt.Errorf("op %d: missing key", i))
+				s.writeErr(w, http.StatusBadRequest, fmt.Errorf("op %d: missing key", i))
 				return
 			}
 			b.Put(op.Key, op.Value)
 		case "delete":
 			if op.Key == "" {
-				writeErr(w, http.StatusBadRequest, fmt.Errorf("op %d: missing key", i))
+				s.writeErr(w, http.StatusBadRequest, fmt.Errorf("op %d: missing key", i))
 				return
 			}
 			b.Delete(op.Key)
 		default:
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("op %d: unknown op %q", i, op.Op))
+			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("op %d: unknown op %q", i, op.Op))
 			return
 		}
 	}
 	if err := s.db.Apply(&b); err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		s.writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]int{"applied": b.Len()})
+	s.writeJSON(w, http.StatusOK, map[string]int{"applied": b.Len()})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	prim, idx, err := s.db.DiskUsage()
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		s.writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
 	st := s.db.Stats()
 	pWAMF, idxWAMF := s.db.WriteAmplification()
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	s.writeJSON(w, http.StatusOK, map[string]interface{}{
 		"index_kind":           s.db.Kind().String(),
 		"disk_primary_bytes":   prim,
 		"disk_index_bytes":     idx,
@@ -295,32 +370,33 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"primary_wamf":         pWAMF,
 		"index_wamf_per_attr":  idxWAMF,
 		"last_sequence_number": s.db.LastSeq(),
+		"encode_errors":        s.encodeErrors.Load(),
 	})
 }
 
 func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		s.writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
 	if err := s.db.Flush(); err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		s.writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]bool{"flushed": true})
+	s.writeJSON(w, http.StatusOK, map[string]bool{"flushed": true})
 }
 
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		s.writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
 	q := r.URL.Query()
 	if err := s.db.CompactRange(q.Get("lo"), q.Get("hi")); err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		s.writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]bool{"compacted": true})
+	s.writeJSON(w, http.StatusOK, map[string]bool{"compacted": true})
 }
 
 func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
@@ -331,7 +407,7 @@ func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	reports, err := s.db.Verify()
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		s.writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
 	ok := true
@@ -344,5 +420,5 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		status = http.StatusInternalServerError
 	}
-	writeJSON(w, status, map[string]interface{}{"ok": ok, "reports": reports})
+	s.writeJSON(w, status, map[string]interface{}{"ok": ok, "reports": reports})
 }

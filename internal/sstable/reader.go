@@ -225,6 +225,14 @@ func (t *Table) Largest() []byte {
 // readBlock fetches, verifies and decompresses block i, attributing I/O to
 // foreground reads or compaction according to the flag.
 func (t *Table) readBlock(i int, compaction bool) ([]byte, error) {
+	return t.readBlockT(i, compaction, nil)
+}
+
+// readBlockT is readBlock with optional trace attribution: a cache-served
+// fetch is timed as PhaseCacheHit, a disk read as PhaseBlockLoad (both
+// sub-phases, nested inside whatever probe phase is running).
+func (t *Table) readBlockT(i int, compaction bool, tr *metrics.Trace) ([]byte, error) {
+	t0 := tr.Now()
 	// Foreground reads may be served from the block cache; compaction
 	// reads bypass it (LevelDB's rule) so compactions neither pollute nor
 	// benefit from it.
@@ -233,6 +241,7 @@ func (t *Table) readBlock(i int, compaction bool) ([]byte, error) {
 			if t.stats != nil {
 				t.stats.CacheHits.Add(1)
 			}
+			tr.Since(metrics.PhaseCacheHit, t0)
 			return raw, nil
 		}
 		if t.stats != nil {
@@ -260,6 +269,7 @@ func (t *Table) readBlock(i int, compaction bool) ([]byte, error) {
 	if t.cache != nil && !compaction {
 		t.cache.Put(cache.Key{Table: t.id, Block: i}, raw)
 	}
+	tr.Since(metrics.PhaseBlockLoad, t0)
 	return raw, nil
 }
 
@@ -311,6 +321,9 @@ func (t *Table) initBlockIter(it *BlockIter, raw []byte) error {
 type GetScratch struct {
 	bi   BlockIter
 	seek []byte
+	// Trace, when non-nil, receives block-load vs. cache-hit sub-phase
+	// timings for every block fetched through this scratch.
+	Trace *metrics.Trace
 }
 
 // Get returns the newest record for userKey in this table: its internal
@@ -340,7 +353,7 @@ func (t *Table) GetWith(sc *GetScratch, userKey []byte) (internalKey, value []by
 		if !t.blocks[i].primaryBloom.MayContain(userKey) {
 			continue
 		}
-		raw, err := t.readBlock(i, false)
+		raw, err := t.readBlockT(i, false, sc.Trace)
 		if err != nil {
 			return nil, nil, false, err
 		}
@@ -474,7 +487,13 @@ func (t *Table) NewIterator(compaction bool) *Iterator {
 // block — the Embedded secondary lookup path, which visits only
 // bloom/zone-map-positive blocks.
 func (t *Table) BlockIterator(i int, compaction bool) (*BlockIter, error) {
-	raw, err := t.readBlock(i, compaction)
+	return t.BlockIteratorTraced(i, compaction, nil)
+}
+
+// BlockIteratorTraced is BlockIterator with the block fetch attributed to
+// the trace's block-load / cache-hit sub-phases.
+func (t *Table) BlockIteratorTraced(i int, compaction bool, tr *metrics.Trace) (*BlockIter, error) {
+	raw, err := t.readBlockT(i, compaction, tr)
 	if err != nil {
 		return nil, err
 	}
