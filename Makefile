@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race short bench bench-json verify experiments ci clean
+.PHONY: all build vet lint test race short bench bench-json verify experiments ci clean
 
 all: vet build test
 
@@ -9,6 +9,13 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific static analysis (DESIGN.md §5.4): iterator aliasing,
+# lock-guard annotations, internal-key comparison, trace nil-safety,
+# hot-path allocation and error hygiene. Pure stdlib; exits non-zero on
+# any finding.
+lint:
+	$(GO) run ./cmd/lsmlint ./...
 
 test: build
 	$(GO) test ./...
@@ -34,12 +41,13 @@ bench-json:
 
 # Fast correctness gate for the read-path packages: static checks plus a
 # race-detector pass over the sstable block format and the lsm engine.
-verify: vet build
+verify: vet lint build
 	$(GO) test -race ./internal/sstable/... ./internal/lsm/...
 
-# The full pre-merge gate: static checks, a race-detector pass over every
-# package, and a 10-second fuzz smoke of the sstable block round-trip.
-ci: vet build
+# The full pre-merge gate: static checks (go vet + lsmlint), a
+# race-detector pass over every package, and a 10-second fuzz smoke of
+# the sstable block round-trip (seeded from testdata/fuzz corpora).
+ci: vet lint build
 	$(GO) test -race ./...
 	$(GO) test -fuzz=FuzzBlockRoundTrip -fuzztime=10s ./internal/sstable/
 

@@ -137,7 +137,10 @@ func replayOp(db *core.DB, raw []byte, counts map[string]int) error {
 		// string.
 		v := op.Val
 		if v == "" {
-			json.Unmarshal(op.Value, &v)
+			if json.Unmarshal(op.Value, &v) != nil {
+				// Not a JSON string: fall back to the raw bytes.
+				v = string(op.Value)
+			}
 		}
 		_, err := db.Lookup(op.Attr, v, op.K)
 		return err

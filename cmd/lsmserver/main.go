@@ -88,7 +88,9 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		log.Println("shutting down")
-		srv.Close()
+		if err := srv.Close(); err != nil {
+			log.Printf("close: %v", err)
+		}
 	}()
 
 	log.Printf("lsmserver: %s index on %s, serving %s (metrics=%v pprof=%v trace-sample=%g)",

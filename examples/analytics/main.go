@@ -84,7 +84,7 @@ func main() {
 		if total != nOrders {
 			log.Fatalf("group-by lost rows: %d != %d", total, nOrders)
 		}
-		db.Close()
+		_ = db.Close()
 	}
 
 	fmt.Println("\npaper guideline: with no top-K limit both indexes read K+L blocks, but")

@@ -76,7 +76,7 @@ func main() {
 		if len(sample) > 0 {
 			fmt.Printf("        sample result: %s (cluster seq %s)\n", sample[0].Key, sample[0].GSeq)
 		}
-		c.Close()
+		_ = c.Close()
 	}
 
 	fmt.Println("\nAppendix D tradeoff, as measured: global indexes always pay fan-out")

@@ -69,7 +69,7 @@ func main() {
 		io := (s1.Primary.BlockReads - s0.Primary.BlockReads) + (s1.Index.BlockReads - s0.Index.BlockReads)
 		fmt.Printf("%-9s index: served %4d timeline entries in 200 requests, %.2f block reads/request\n",
 			kind, served, float64(io)/200)
-		db.Close()
+		_ = db.Close()
 	}
 
 	fmt.Println("\npaper guideline: Lazy wins small-top-K feeds (it stops at the first")

@@ -44,13 +44,13 @@ type Cache struct {
 // shard is one independent LRU partition.
 type shard struct {
 	mu       sync.Mutex
-	capacity int64
-	used     int64
-	lru      *list.List // front = most recent; values are *entry
-	items    map[Key]*list.Element
+	capacity int64                 // guarded by mu
+	used     int64                 // guarded by mu
+	lru      *list.List            // guarded by mu; front = most recent; values are *entry
+	items    map[Key]*list.Element // guarded by mu
 
-	hits   int64
-	misses int64
+	hits   int64 // guarded by mu
+	misses int64 // guarded by mu
 }
 
 type entry struct {

@@ -299,9 +299,9 @@ func Open(dir string, opts Options) (*DB, error) {
 			}
 			idx, err := lsm.Open(filepath.Join(dir, "index-"+attr), idxOpts)
 			if err != nil {
-				primary.Close()
+				_ = primary.Close()
 				for _, other := range db.indexes {
-					other.Close()
+					_ = other.Close()
 				}
 				return nil, err
 			}

@@ -41,7 +41,7 @@ func AppendixC1BloomBits(c Config, bitsSweep []int) ([]C1Result, error) {
 			return nil, err
 		}
 		if err := ingest(db, tweets, nil); err != nil {
-			db.Close()
+			_ = db.Close()
 			return nil, err
 		}
 		q := workload.NewStaticQueries(tweets, c.Seed+31)
@@ -51,7 +51,7 @@ func AppendixC1BloomBits(c Config, bitsSweep []int) ([]C1Result, error) {
 			op := q.Lookup(workload.AttrUser, 10)
 			d, err := runOp(db, op)
 			if err != nil {
-				db.Close()
+				_ = db.Close()
 				return nil, err
 			}
 			h.Observe(float64(d.Microseconds()))
@@ -67,7 +67,7 @@ func AppendixC1BloomBits(c Config, bitsSweep []int) ([]C1Result, error) {
 		out = append(out, r)
 		c.printf("%8d %12.5f %12.1f %12.2f %14.1f\n",
 			r.BitsPerKey, r.TheoreticalFP, r.LookupMicros, r.IOPerLookup, float64(r.FilterMemBytes)/(1<<10))
-		db.Close()
+		_ = db.Close()
 	}
 	c.printf("\n")
 	return out, nil
@@ -101,12 +101,12 @@ func AppendixC2Compression(c Config) ([]C2Result, error) {
 			}
 			ph := metrics.NewHistogram(0)
 			if err := ingest(db, tweets, ph); err != nil {
-				db.Close()
+				_ = db.Close()
 				return nil, err
 			}
 			prim, idx, err := db.DiskUsage()
 			if err != nil {
-				db.Close()
+				_ = db.Close()
 				return nil, err
 			}
 			q := workload.NewStaticQueries(tweets, c.Seed+41)
@@ -115,7 +115,7 @@ func AppendixC2Compression(c Config) ([]C2Result, error) {
 				op := q.Lookup(workload.AttrUser, 10)
 				d, err := runOp(db, op)
 				if err != nil {
-					db.Close()
+					_ = db.Close()
 					return nil, err
 				}
 				lh.Observe(float64(d.Microseconds()))
@@ -130,7 +130,7 @@ func AppendixC2Compression(c Config) ([]C2Result, error) {
 			out = append(out, r)
 			c.printf("%s %12v %12.2f %12.1f %12.1f\n", kindLabel(kind),
 				compressed, float64(r.DiskBytes)/(1<<20), r.MeanPutMicros, r.LookupMicros)
-			db.Close()
+			_ = db.Close()
 		}
 	}
 	c.printf("\n")
@@ -171,7 +171,7 @@ func EmbeddedAblations(c Config) ([]AblationResult, error) {
 			return nil, err
 		}
 		if err := ingest(db, tweets, nil); err != nil {
-			db.Close()
+			_ = db.Close()
 			return nil, err
 		}
 		q := workload.NewStaticQueries(tweets, c.Seed+51)
@@ -181,7 +181,7 @@ func EmbeddedAblations(c Config) ([]AblationResult, error) {
 			op := q.Lookup(workload.AttrUser, 10)
 			d, err := runOp(db, op)
 			if err != nil {
-				db.Close()
+				_ = db.Close()
 				return nil, err
 			}
 			h.Observe(float64(d.Microseconds()))
@@ -194,7 +194,7 @@ func EmbeddedAblations(c Config) ([]AblationResult, error) {
 		}
 		out = append(out, r)
 		c.printf("%-14s %12.1f %12.2f\n", r.Name, r.LookupMicros, r.IOPerLookup)
-		db.Close()
+		_ = db.Close()
 	}
 	c.printf("\n")
 	return out, nil

@@ -19,16 +19,16 @@ func WriteCSV(dir, name string, header []string, rows [][]string) error {
 	}
 	w := csv.NewWriter(f)
 	if err := w.Write(header); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if err := w.WriteAll(rows); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	w.Flush()
 	if err := w.Error(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()

@@ -56,7 +56,7 @@ func CacheEffects(c Config) ([]CacheResult, error) {
 			}
 			d, err := runOp(db, op)
 			if err != nil {
-				db.Close()
+				_ = db.Close()
 				return nil, err
 			}
 			total += d
@@ -79,7 +79,7 @@ func CacheEffects(c Config) ([]CacheResult, error) {
 			label = fmt.Sprintf("%dMB", cacheBytes>>20)
 		}
 		c.printf("%-12s %12d %12d %9.1f%% %12.1f\n", label, r.DiskReads, r.CacheHits, r.HitRate*100, r.MeanOpMicro)
-		db.Close()
+		_ = db.Close()
 	}
 	c.printf("\n")
 	return out, nil
@@ -143,7 +143,7 @@ func SeekProfile(c Config) ([]SeekResult, error) {
 				}
 				d, err := runOp(db, op)
 				if err != nil {
-					db.Close()
+					_ = db.Close()
 					return nil, err
 				}
 				total += d
@@ -164,7 +164,7 @@ func SeekProfile(c Config) ([]SeekResult, error) {
 			out = append(out, r)
 			c.printf("%-12s %8d %12d %14d %12d %14.2f %12.1f\n",
 				r.Format, r.BlockSize, r.PointGets, r.EntriesDecoded, r.BlockSeeks, r.DecodesPerGet, r.MeanOpMicro)
-			db.Close()
+			_ = db.Close()
 		}
 	}
 	c.printf("\n")
@@ -201,7 +201,7 @@ func ConcurrentReaders(c Config, readerCounts []int) ([]ConcurrencyResult, error
 		}
 		for _, tw := range tweets {
 			if err := db.Put(tw.ID, tw.Doc()); err != nil {
-				db.Close()
+				_ = db.Close()
 				return nil, err
 			}
 		}
@@ -272,7 +272,7 @@ func ConcurrentReaders(c Config, readerCounts []int) ([]ConcurrencyResult, error
 		}
 		out = append(out, r)
 		c.printf("%8d %14.0f %14.1f %12d\n", r.Readers, r.LookupsPerSec, r.MeanLookupUs, r.WriterOpsTotal)
-		db.Close()
+		_ = db.Close()
 	}
 	c.printf("\n")
 	return out, nil
@@ -316,12 +316,12 @@ func YCSBBench(c Config, presets []workload.YCSBWorkload) ([]YCSBResult, error) 
 			}
 			g, err := workload.NewYCSB(preset, records, nOps, c.Seed)
 			if err != nil {
-				db.Close()
+				_ = db.Close()
 				return nil, err
 			}
 			for i := 0; i < records; i++ {
 				if err := db.Put(workload.YCSBKey(i), g.LoadValue(i)); err != nil {
-					db.Close()
+					_ = db.Close()
 					return nil, err
 				}
 			}
@@ -351,7 +351,7 @@ func YCSBBench(c Config, presets []workload.YCSBWorkload) ([]YCSBResult, error) 
 					}
 				}
 				if err != nil {
-					db.Close()
+					_ = db.Close()
 					return nil, err
 				}
 			}
@@ -364,7 +364,7 @@ func YCSBBench(c Config, presets []workload.YCSBWorkload) ([]YCSBResult, error) 
 			}
 			out = append(out, r)
 			c.printf("%-9c %s %12.1f %14.0f\n", preset, kindLabel(kind), r.MeanOpUs, r.OpsPerSec)
-			db.Close()
+			_ = db.Close()
 		}
 	}
 	c.printf("\n")

@@ -85,7 +85,7 @@ func (c Config) attrQueries(attr string, selectivities []int) ([]QueryResult, er
 			return nil, err
 		}
 		if err := ingest(db, tweets, nil); err != nil {
-			db.Close()
+			_ = db.Close()
 			return nil, err
 		}
 		q := workload.NewStaticQueries(tweets, c.Seed+101)
@@ -100,7 +100,7 @@ func (c Config) attrQueries(attr string, selectivities []int) ([]QueryResult, er
 		for _, k := range TopKs {
 			r, err := c.runQueryCell(db, kind, func() workload.Op { return q.Lookup(attr, k) })
 			if err != nil {
-				db.Close()
+				_ = db.Close()
 				return nil, err
 			}
 			emit(r)
@@ -115,14 +115,14 @@ func (c Config) attrQueries(attr string, selectivities []int) ([]QueryResult, er
 				}
 				r, err := c.runQueryCell(db, kind, mk)
 				if err != nil {
-					db.Close()
+					_ = db.Close()
 					return nil, err
 				}
 				r.Selectivity = sel
 				emit(r)
 			}
 		}
-		db.Close()
+		_ = db.Close()
 	}
 	c.printf("\n")
 	return out, nil

@@ -61,7 +61,7 @@ func MixedWorkload(c Config, name string, ratios workload.MixRatios, checkpoints
 			s0 := db.Stats()
 			d, err := runOp(db, op)
 			if err != nil {
-				db.Close()
+				_ = db.Close()
 				return nil, err
 			}
 			s1 := db.Stats()
@@ -99,7 +99,7 @@ func MixedWorkload(c Config, name string, ratios workload.MixRatios, checkpoints
 			c.printf("%s %10d %12.1f %12d %12d %12d\n", kindLabel(kind),
 				p.Ops, p.MeanOpMicros, p.CumCompactionIO, p.CumGetIO, p.CumLookupIO)
 		}
-		db.Close()
+		_ = db.Close()
 	}
 	c.printf("\n")
 	return out, nil

@@ -37,12 +37,12 @@ func Fig8aDatabaseSize(c Config) ([]Fig8aResult, error) {
 		}
 		h := metrics.NewHistogram(0)
 		if err := ingest(db, tweets, h); err != nil {
-			db.Close()
+			_ = db.Close()
 			return nil, err
 		}
 		prim, idx, err := db.DiskUsage()
 		if err != nil {
-			db.Close()
+			_ = db.Close()
 			return nil, err
 		}
 		r := Fig8aResult{
@@ -55,7 +55,7 @@ func Fig8aDatabaseSize(c Config) ([]Fig8aResult, error) {
 		out = append(out, r)
 		c.printf("%s %14.2f %14.2f %14.1f %14.1f\n", kindLabel(kind),
 			float64(prim)/(1<<20), float64(idx)/(1<<20), float64(r.FilterMemory)/(1<<10), r.MeanPutMicros)
-		db.Close()
+		_ = db.Close()
 	}
 	c.printf("\n")
 	return out, nil
@@ -162,7 +162,7 @@ func Fig8cGetPerformance(c Config) ([]Fig8cResult, error) {
 			return nil, err
 		}
 		if err := ingest(db, tweets, nil); err != nil {
-			db.Close()
+			_ = db.Close()
 			return nil, err
 		}
 		q := workload.NewStaticQueries(tweets, c.Seed+77)
@@ -172,7 +172,7 @@ func Fig8cGetPerformance(c Config) ([]Fig8cResult, error) {
 			op := q.Get()
 			d, err := runOp(db, op)
 			if err != nil {
-				db.Close()
+				_ = db.Close()
 				return nil, err
 			}
 			h.Observe(float64(d.Microseconds()))
@@ -181,7 +181,7 @@ func Fig8cGetPerformance(c Config) ([]Fig8cResult, error) {
 		r := Fig8cResult{Kind: kind, MeanGetMicros: h.Mean(), GetBlockReads: float64(reads) / float64(nGets)}
 		out = append(out, r)
 		c.printf("%s %12.1f %14.2f\n", kindLabel(kind), r.MeanGetMicros, r.GetBlockReads)
-		db.Close()
+		_ = db.Close()
 	}
 	c.printf("\n")
 	return out, nil
@@ -226,7 +226,7 @@ func Fig9PutOverTime(c Config, batches int) ([]Fig9Result, error) {
 			for _, tw := range batch {
 				start := time.Now()
 				if err := db.Put(tw.ID, tw.Doc()); err != nil {
-					db.Close()
+					_ = db.Close()
 					return nil, err
 				}
 				total += time.Since(start)
@@ -245,7 +245,7 @@ func Fig9PutOverTime(c Config, batches int) ([]Fig9Result, error) {
 			c.printf("[%dk: %.0fus io=%d] ", p.Ops/1000, p.PutMicros, p.CumIndexCompIO)
 		}
 		c.printf("\n")
-		db.Close()
+		_ = db.Close()
 	}
 	c.printf("\n")
 	return out, nil

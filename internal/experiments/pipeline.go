@@ -60,7 +60,7 @@ func PipelineIngest(c Config) ([]PipelineResult, error) {
 			hist := metrics.NewHistogram(0)
 			start := time.Now()
 			if err := ingest(db, tweets, hist); err != nil {
-				db.Close()
+				_ = db.Close()
 				return nil, err
 			}
 			elapsed := time.Since(start) // includes the final Flush drain

@@ -73,7 +73,7 @@ func Table5StandAlone(c Config) ([]costmodel.StandAloneCost, map[core.IndexKind]
 			return nil, nil, err
 		}
 		if err := ingest(db, tweets, nil); err != nil {
-			db.Close()
+			_ = db.Close()
 			return nil, nil, err
 		}
 		s := db.Stats()
@@ -82,7 +82,7 @@ func Table5StandAlone(c Config) ([]costmodel.StandAloneCost, map[core.IndexKind]
 		_, wamf := db.WriteAmplification()
 		c.printf("measured %s: %.3f index-table block I/Os per PUT; index WAMF (bytes written per primary user byte): UserID=%.2f CreationTime=%.2f\n",
 			kind, perPut, wamf["UserID"], wamf["CreationTime"])
-		db.Close()
+		_ = db.Close()
 	}
 	c.printf("\n")
 	return rows, measured, nil

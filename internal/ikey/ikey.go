@@ -45,6 +45,8 @@ func SeekKey(userKey []byte) []byte { return Make(userKey, MaxSeq, KindSet) }
 // AppendSeek appends SeekKey(userKey) to dst and returns the extended
 // slice — the allocation-free variant for hot read paths that reuse a
 // scratch buffer.
+//
+//lsm:hotpath
 func AppendSeek(dst, userKey []byte) []byte {
 	dst = append(dst, userKey...)
 	return binary.BigEndian.AppendUint64(dst, MaxSeq<<8|uint64(KindSet))
@@ -56,6 +58,8 @@ func AppendSeek(dst, userKey []byte) []byte {
 func Valid(ik []byte) bool { return len(ik) >= trailerLen }
 
 // UserKey extracts the user key portion. It panics on malformed keys.
+//
+//lsm:hotpath
 func UserKey(ik []byte) []byte {
 	if len(ik) < trailerLen {
 		panic(fmt.Sprintf("ikey: malformed internal key of length %d", len(ik)))
@@ -64,11 +68,15 @@ func UserKey(ik []byte) []byte {
 }
 
 // Seq extracts the sequence number.
+//
+//lsm:hotpath
 func Seq(ik []byte) uint64 {
 	return binary.BigEndian.Uint64(ik[len(ik)-trailerLen:]) >> 8
 }
 
 // KindOf extracts the record kind.
+//
+//lsm:hotpath
 func KindOf(ik []byte) Kind {
 	return Kind(ik[len(ik)-1])
 }
@@ -76,6 +84,8 @@ func KindOf(ik []byte) Kind {
 // Compare orders internal keys: user key ascending, then sequence number
 // descending, then kind descending. It is the comparator for every ordered
 // structure in the engine.
+//
+//lsm:hotpath
 func Compare(a, b []byte) int {
 	ua, ub := UserKey(a), UserKey(b)
 	if c := bytes.Compare(ua, ub); c != 0 {

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NilTrace protects the *metrics.Trace nil-safety contract. Tracing is
+// sampled: most operations carry a nil *Trace, and every method on it is
+// written to be a cheap no-op on the nil receiver. That contract only
+// holds while callers outside internal/metrics treat the pointer as
+// opaque — the moment one dereferences it, reads a field through it, or
+// stores a Trace by value, a nil trace panics or a sampled trace is
+// copied out from under the pool. The analyzer forbids, outside
+// internal/metrics:
+//
+//   - explicit dereference: *tr
+//   - Trace (the value type) in declarations, fields and composite literals
+//   - comparison of a *Trace against anything but the nil literal
+var NilTrace = &Analyzer{
+	Name: "niltrace",
+	Doc:  "*metrics.Trace is opaque outside internal/metrics: methods only, no deref, no value copies",
+	Run:  runNilTrace,
+}
+
+func runNilTrace(pass *Pass) {
+	if pkgPathTail(pass.Pkg.Path(), "metrics") {
+		return
+	}
+	info := pass.Info
+
+	isTracePtr := func(t types.Type) bool {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			return false
+		}
+		return isTraceNamed(p.Elem())
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.StarExpr:
+				// A unary deref of a *Trace value. (Type positions like
+				// the declaration `tr *metrics.Trace` are also StarExpr
+				// nodes, but there x.X names a type, not a value.)
+				tv, ok := info.Types[x.X]
+				if ok && tv.Value == nil && !tv.IsType() && isTracePtr(tv.Type) {
+					pass.Reportf(x.Pos(), "dereference of *metrics.Trace breaks the nil-safety contract; call its methods instead")
+				}
+			case *ast.SelectorExpr:
+				// Field access through a *Trace (tr.op). Method calls
+				// resolve to MethodVal selections and stay legal.
+				if selInfo, ok := info.Selections[x]; ok && selInfo.Kind() == types.FieldVal {
+					recv := selInfo.Recv()
+					if isTracePtr(recv) || isTraceNamed(recv) {
+						pass.Reportf(x.Sel.Pos(), "field access on metrics.Trace outside internal/metrics; the struct is opaque")
+					}
+				}
+			case *ast.ValueSpec:
+				if x.Type != nil && isTraceValueType(info, x.Type) {
+					pass.Reportf(x.Type.Pos(), "metrics.Trace declared by value; only *metrics.Trace is nil-safe")
+				}
+			case *ast.Field:
+				if isTraceValueType(info, x.Type) {
+					pass.Reportf(x.Type.Pos(), "metrics.Trace field/param by value; only *metrics.Trace is nil-safe")
+				}
+			case *ast.CompositeLit:
+				if x.Type != nil && isTraceValueType(info, x.Type) {
+					pass.Reportf(x.Pos(), "metrics.Trace composite literal outside internal/metrics; obtain traces from the Tracer")
+				}
+			case *ast.BinaryExpr:
+				if x.Op.String() != "==" && x.Op.String() != "!=" {
+					return true
+				}
+				lt, rt := info.Types[x.X], info.Types[x.Y]
+				if isTracePtr(lt.Type) && !isNilLit(x.Y) || isTracePtr(rt.Type) && !isNilLit(x.X) {
+					pass.Reportf(x.OpPos, "comparison of *metrics.Trace against a non-nil value; traces are pooled and identity is meaningless")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isTraceNamed reports whether t is the named type metrics.Trace.
+func isTraceNamed(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Trace" && obj.Pkg() != nil && pkgPathTail(obj.Pkg().Path(), "metrics")
+}
+
+// isTraceValueType reports whether the type expression denotes the bare
+// value type metrics.Trace (not a pointer to it).
+func isTraceValueType(info *types.Info, e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	if _, ptr := unparen(e).(*ast.StarExpr); ptr {
+		return false
+	}
+	tv, ok := info.Types[e]
+	return ok && tv.IsType() && isTraceNamed(tv.Type)
+}
+
+func isNilLit(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}

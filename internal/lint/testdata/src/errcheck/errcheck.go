@@ -1,0 +1,33 @@
+// Package errcheck exercises the errcheck-lite analyzer: silently
+// dropped error returns and fmt.Errorf without %w.
+package errcheck
+
+import "fmt"
+
+type closer struct{}
+
+func (c *closer) Close() error { return nil }
+
+func multi() (int, error) { return 0, nil }
+
+func bad(c *closer, err error) {
+	c.Close()                       // want "error returned by c.Close is silently ignored"
+	_ = fmt.Errorf("wrap: %v", err) // want "fmt.Errorf formats an error without %w"
+}
+
+func good(c *closer, err error) error {
+	_ = c.Close()    // explicit discard: ok
+	defer c.Close()  // defer is idiomatic for read paths: ok
+	go badlyNamed(c) // go statements: out of scope
+	if cerr := c.Close(); cerr != nil {
+		return cerr
+	}
+	c.Close()                                //lsm:errok
+	multi()                                  // multi-result calls are go vet's beat, not errcheck-lite's
+	_ = fmt.Errorf("wrap: %w", err)          // wrapping: ok
+	_ = fmt.Errorf("count: %d", 42)          // no error argument: ok
+	_ = fmt.Errorf("stringified: %v", "err") // string, not error: ok
+	return nil
+}
+
+func badlyNamed(c *closer) { _ = c.Close() }

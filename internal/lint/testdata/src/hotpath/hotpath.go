@@ -1,0 +1,42 @@
+// Package hotpath exercises the hotpath analyzer: //lsm:hotpath functions
+// must not read the clock, format strings, or grow fresh allocations.
+package hotpath
+
+import (
+	"fmt"
+	"time"
+)
+
+type cursor struct{ buf []byte }
+
+//lsm:hotpath
+func bad(in []byte) {
+	t0 := time.Now() // want "time.Now in //lsm:hotpath bad"
+	_ = t0
+	_ = fmt.Sprintf("%d", len(in)) // want "fmt string formatting allocates in //lsm:hotpath bad"
+	var out []byte
+	out = append(out, in...) // want "growing append in //lsm:hotpath bad"
+	_ = out
+}
+
+//lsm:hotpath
+func good(c *cursor, in []byte) {
+	c.buf = append(c.buf[:0], in...) // re-sliced scratch: ok
+	c.buf = append(c.buf, in...)     // parameter-rooted scratch: ok
+	if len(in) > 1<<20 {
+		panic(fmt.Sprintf("hotpath: oversized input %d", len(in))) // corruption panic: off the hot path
+	}
+	var out []byte
+	out = append(out, in...) //lsm:allocok
+	_ = out
+}
+
+//lsm:hotpath
+func (c *cursor) method(in []byte) {
+	c.buf = append(c.buf, in...) // receiver-rooted scratch: ok
+}
+
+func unannotated(in []byte) []byte {
+	_ = time.Now() // cold code: ok
+	return append([]byte(nil), in...)
+}

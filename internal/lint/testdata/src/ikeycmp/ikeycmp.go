@@ -1,0 +1,34 @@
+// Package ikeycmp exercises the ikeycmp analyzer: raw byte comparison of
+// internal keys outside internal/ikey.
+package ikeycmp
+
+import (
+	"bytes"
+
+	"leveldbpp/internal/ikey"
+)
+
+type meta struct{ Smallest, Largest []byte }
+
+func namedConventions(ika, ikb []byte) bool {
+	return bytes.Compare(ika, ikb) < 0 // want "raw byte comparison of internal key"
+}
+
+func constructedKeys(userKey []byte, other []byte) bool {
+	return bytes.Equal(ikey.SeekKey(userKey), other) // want "raw byte comparison of internal key"
+}
+
+func manifestBounds(m meta, k []byte) bool {
+	return bytes.Equal(k, m.Smallest) // want "raw byte comparison of internal key"
+}
+
+func slicedKey(ikPrev []byte) bool {
+	return bytes.Equal(ikPrev[:8], nil) // want "raw byte comparison of internal key"
+}
+
+func good(a, b []byte, m meta) {
+	_ = bytes.Compare(a, b)                      // plain user keys: ok
+	_ = bytes.Equal(ikey.UserKey(m.Smallest), a) // user-key view: ok
+	_ = ikey.Compare(m.Smallest, m.Largest)      // the sanctioned comparator
+	_ = bytes.Equal(m.Smallest, m.Largest)       //lsm:aliasok
+}

@@ -1,0 +1,63 @@
+// Package lockguard exercises the lockguard analyzer: `// guarded by mu`
+// field annotations and mutex-copy detection.
+package lockguard
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) Locked() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) RLockedStyle(r *sync.RWMutex) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n--
+}
+
+func (c *counter) Bad() int {
+	return c.n // want "n is guarded by mu but Bad does not lock it"
+}
+
+func (c *counter) bumpLocked() { c.n++ } // *Locked suffix: caller holds mu
+
+//lsm:locked
+func (c *counter) bumpCallerHeld() { c.n++ }
+
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1 // unpublished object: ok
+	return c
+}
+
+func copyParam(c counter) int { // want "parameter copies a mutex-containing struct by value"
+	return 0
+}
+
+func (c counter) copyRecv() {} // want "receiver copies a mutex-containing struct by value"
+
+type wrapper struct{ inner counter }
+
+func copyDeref(p *wrapper) {
+	w := *p // want "dereference copies a mutex-containing struct"
+	_ = w
+}
+
+func rangeCopy(ws []wrapper) {
+	for _, w := range ws { // want "range copies a mutex-containing struct"
+		_ = w
+	}
+	for i := range ws { // index ranging: ok
+		_ = i
+	}
+}
+
+func pointers(p *wrapper) *counter { // pointers never copy: ok
+	return &p.inner
+}

@@ -1,0 +1,36 @@
+// Package niltrace exercises the niltrace analyzer: *metrics.Trace is
+// opaque outside internal/metrics.
+package niltrace
+
+import "leveldbpp/internal/metrics"
+
+func deref(tr *metrics.Trace) {
+	_ = *tr // want "dereference of .metrics.Trace breaks the nil-safety contract"
+}
+
+var byValue metrics.Trace // want "metrics.Trace declared by value"
+
+type carrier struct {
+	tr metrics.Trace // want "metrics.Trace field/param by value"
+}
+
+func takesValue(t metrics.Trace) {} // want "metrics.Trace field/param by value"
+
+func literal() {
+	_ = metrics.Trace{} // want "metrics.Trace composite literal"
+}
+
+func identityCompare(a, b *metrics.Trace) bool {
+	return a == b // want "comparison of .metrics.Trace against a non-nil value"
+}
+
+func good(tr *metrics.Trace) {
+	t0 := tr.Now() // methods are the contract: nil-cheap no-ops
+	tr.Since(metrics.PhaseMemProbe, t0)
+	tr.SetDetail("ok")
+	if tr == nil { // nil check is the one legal comparison
+		return
+	}
+	var ptr *metrics.Trace // pointer declarations: ok
+	_ = ptr
+}

@@ -1,0 +1,52 @@
+// Package sliceretain exercises the sliceretain analyzer: iterator
+// Key()/Value() bytes escaping the iteration step without a copy.
+package sliceretain
+
+import "leveldbpp/internal/ikey"
+
+// fakeIter follows the repo's iterator shape: a named type containing
+// "Iter" with Key/Value methods returning []byte.
+type fakeIter struct{ buf []byte }
+
+func (it *fakeIter) Key() []byte   { return it.buf }
+func (it *fakeIter) Value() []byte { return it.buf }
+func (it *fakeIter) Next()         {}
+
+type holder struct {
+	key []byte
+	m   map[string][]byte
+}
+
+func storeDirect(it *fakeIter, h *holder) {
+	h.key = it.Key()      // want "stored into a struct field"
+	h.m["k"] = it.Value() // want "stored into a map or slice element"
+}
+
+func escapeCollections(it *fakeIter) {
+	var keys [][]byte
+	keys = append(keys, it.Key()) // want "appended to a slice"
+	_ = keys
+	_ = holder{key: it.Key()} // want "stored in a composite literal"
+	ch := make(chan []byte, 1)
+	ch <- it.Value() // want "sent on a channel"
+}
+
+func aliasChain(it *fakeIter, h *holder) {
+	k := it.Key()
+	sub := k[1:]
+	h.key = sub // want "stored into a struct field"
+}
+
+func userKeyView(it *fakeIter, h *holder) {
+	uk := ikey.UserKey(it.Key())
+	h.key = uk // want "stored into a struct field"
+}
+
+func copies(it *fakeIter, h *holder) {
+	h.key = append([]byte(nil), it.Key()...) // explicit copy: ok
+	k := it.Key()
+	h.key = append(h.key[:0], k...) // spread copies bytes, not the alias: ok
+	local := it.Key()               // plain local: ok, dies with the step
+	_ = local
+	h.key = it.Key() //lsm:aliasok
+}

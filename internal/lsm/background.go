@@ -17,25 +17,25 @@ import (
 // db.cond is broadcast whenever any of them changes.
 type background struct {
 	wg         sync.WaitGroup
-	closing    bool  // Close in progress: drain, accept no new work
-	quit       bool  // goroutines must exit
-	compacting bool  // a compaction job is in flight
-	err        error // sticky first background failure; poisons writes
+	closing    bool  // guarded by db.mu; Close in progress: drain, accept no new work
+	quit       bool  // guarded by db.mu; goroutines must exit
+	compacting bool  // guarded by db.mu; a compaction job is in flight
+	err        error // guarded by db.mu; sticky first background failure; poisons writes
 
 	// compactionMu serializes the off-lock merge phase between the
 	// background compactor and manual CompactRange. Lock order:
 	// compactionMu before db.mu, never the reverse.
 	compactionMu sync.Mutex
 
-	flushes       int64 // background flushes completed
-	compactions   int64 // background compactions completed
-	slowdowns     int64 // writes delayed ~1ms by the L0 slowdown trigger
-	throttleWaits int64 // writes fully stalled by the L0 stop trigger
+	flushes       int64 // guarded by db.mu; background flushes completed
+	compactions   int64 // guarded by db.mu; background compactions completed
+	slowdowns     int64 // guarded by db.mu; writes delayed ~1ms by the L0 slowdown trigger
+	throttleWaits int64 // guarded by db.mu; writes fully stalled by the L0 stop trigger
 
 	// Throttle state for edge-triggered event emission: engage/release
 	// events fire on transitions, not per delayed write.
-	stopEngaged     bool
-	slowdownEngaged bool
+	stopEngaged     bool // guarded by db.mu
+	slowdownEngaged bool // guarded by db.mu
 }
 
 // BackgroundStats reports the pipeline's progress counters; all zeros in
@@ -274,7 +274,7 @@ func (db *DB) flusher() {
 			Entries: fm.tbl.EntryCount(), Bytes: fm.Size,
 			DurationUS: time.Since(flushT0).Microseconds()})
 		for _, p := range immWALs {
-			os.Remove(p)
+			_ = os.Remove(p)
 		}
 		db.cond.Broadcast() // wake writers waiting for the imm slot, and the compactor
 	}

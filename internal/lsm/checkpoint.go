@@ -36,11 +36,11 @@ func (db *DB) Checkpoint(destDir string) error {
 			return err
 		}
 		if _, err := io.Copy(out, in); err != nil {
-			out.Close()
+			_ = out.Close()
 			return err
 		}
 		if err := out.Sync(); err != nil {
-			out.Close()
+			_ = out.Close()
 			return err
 		}
 		return out.Close()

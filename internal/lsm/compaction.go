@@ -66,17 +66,17 @@ func (db *DB) buildMemTable(mem *memTable, fileNum uint64) (*FileMeta, error) {
 			attrs = db.opts.Extract(uk, val)
 		}
 		if err := builder.Add(ik, val, attrs); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 	}
 	size, err := builder.Finish()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	if err := f.Close(); err != nil {
@@ -118,11 +118,11 @@ func (db *DB) flushLocked() error {
 	}
 	for _, p := range db.memWALs {
 		if p != db.walFile() {
-			os.Remove(p)
+			_ = os.Remove(p)
 		}
 	}
 	if db.bg != nil {
-		os.Remove(db.walFile())
+		_ = os.Remove(db.walFile())
 		db.walSeq++
 		seg := walSegmentPath(db.dir, db.walSeq)
 		db.log, err = wal.Create(seg)
@@ -518,8 +518,8 @@ func (db *DB) installCompactionLocked(job *compactionJob, outputs []*FileMeta) e
 		if db.blockCache != nil {
 			db.blockCache.EvictTable(fm.tbl.ID())
 		}
-		fm.f.Close()
-		os.Remove(tablePath(db.dir, fm.Num))
+		_ = fm.f.Close()
+		_ = os.Remove(tablePath(db.dir, fm.Num))
 	}
 	return nil
 }

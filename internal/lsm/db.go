@@ -35,21 +35,21 @@ type DB struct {
 	opts Options
 
 	mu          sync.RWMutex
-	cond        *sync.Cond // signals imm-slot free, L0 drained, background done
-	mem         *memTable
-	imm         *memTable // frozen MemTable awaiting background flush (nil inline)
-	log         *wal.Writer
-	memWALs     []string // WAL files backing mem (active segment last)
-	immWALs     []string // WAL files backing imm; deleted after its flush
-	immSeq      uint64   // highest seq in imm (manifest floor for its flush)
-	walSeq      uint64   // next background WAL segment number
-	v           *version
-	lastSeq     uint64
-	flushedSeq  uint64   // highest seq durable in SSTables (manifest LastSeq)
-	compactPtr  [][]byte // per-level round-robin compaction cursor (user key)
+	cond        *sync.Cond  // signals imm-slot free, L0 drained, background done
+	mem         *memTable   // guarded by mu
+	imm         *memTable   // guarded by mu; frozen MemTable awaiting background flush (nil inline)
+	log         *wal.Writer // guarded by mu
+	memWALs     []string    // guarded by mu; WAL files backing mem (active segment last)
+	immWALs     []string    // guarded by mu; WAL files backing imm; deleted after its flush
+	immSeq      uint64      // guarded by mu; highest seq in imm (manifest floor for its flush)
+	walSeq      uint64      // guarded by mu; next background WAL segment number
+	v           *version    // guarded by mu
+	lastSeq     uint64      // guarded by mu
+	flushedSeq  uint64      // guarded by mu; highest seq durable in SSTables (manifest LastSeq)
+	compactPtr  [][]byte    // guarded by mu; per-level round-robin compaction cursor (user key)
 	blockCache  *cache.Cache
-	ingestBytes int64 // user key+value bytes accepted, for WAMF
-	closed      bool
+	ingestBytes int64 // guarded by mu; user key+value bytes accepted, for WAMF
+	closed      bool  // guarded by mu
 
 	// nextFileNum is atomic so the background compactor can allocate
 	// output numbers while rolling tables without holding db.mu.
@@ -204,6 +204,8 @@ func nextWALSeq(segments []string) uint64 {
 // removeOrphanTables deletes .sst files not referenced by the manifest —
 // the residue of a crash between installing a compaction's new version
 // and deleting its inputs. Safe at open: nothing references them.
+//
+//lsm:locked — called only from Open, before the DB is shared.
 func (db *DB) removeOrphanTables() {
 	live := map[string]bool{}
 	for _, level := range db.v.levels {
@@ -218,7 +220,7 @@ func (db *DB) removeOrphanTables() {
 	for _, e := range entries {
 		name := e.Name()
 		if filepath.Ext(name) == ".sst" && !live[name] {
-			os.Remove(filepath.Join(db.dir, name))
+			_ = os.Remove(filepath.Join(db.dir, name))
 		}
 	}
 }
@@ -232,12 +234,12 @@ func (db *DB) openTable(fr fileRecord) (*FileMeta, error) {
 	}
 	fi, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	tbl, err := openSSTable(f, fi.Size(), db.opts.Stats, db.blockCache)
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	fm := &FileMeta{Num: fr.Num, Size: fr.Size, tbl: tbl, f: f}
@@ -364,6 +366,7 @@ func (db *DB) GetTraced(key []byte, tr *metrics.Trace) ([]byte, bool, error) {
 	return db.getLocked(key, tr)
 }
 
+//lsm:hotpath
 func (db *DB) getLocked(key []byte, tr *metrics.Trace) ([]byte, bool, error) {
 	t0 := tr.Now()
 	if value, _, kind, ok := db.mem.get(key); ok {

@@ -93,11 +93,11 @@ func (db *DB) verifyTable(rep *VerifyReport, level int, fm *FileMeta) error {
 		rep.problemf("table %06d (L%d): iterated %d entries, meta says %d", fm.Num, level, n, fm.tbl.EntryCount())
 	}
 	if n > 0 {
-		if !bytes.Equal(first, fm.Smallest) {
+		if ikey.Compare(first, fm.Smallest) != 0 {
 			rep.problemf("table %06d (L%d): first key %s != manifest smallest %s",
 				fm.Num, level, ikey.String(first), ikey.String(fm.Smallest))
 		}
-		if !bytes.Equal(last, fm.Largest) {
+		if ikey.Compare(last, fm.Largest) != 0 {
 			rep.problemf("table %06d (L%d): last key %s != manifest largest %s",
 				fm.Num, level, ikey.String(last), ikey.String(fm.Largest))
 		}

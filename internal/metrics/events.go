@@ -68,11 +68,11 @@ type EventLog struct {
 	seq atomic.Uint64
 
 	mu     sync.Mutex
-	ring   []Event
-	pos    int
-	n      int
-	counts map[EventType]int64
-	sinks  []EventSink
+	ring   []Event             // guarded by mu
+	pos    int                 // guarded by mu
+	n      int                 // guarded by mu
+	counts map[EventType]int64 // guarded by mu
+	sinks  []EventSink         // guarded by mu
 }
 
 // DefaultEventRing is the ring capacity when 0 is requested.
@@ -179,8 +179,8 @@ func (s *namedSink) Emit(e Event) {
 // anything useful with a log-write failure mid-flush).
 type JSONLSink struct {
 	mu     sync.Mutex
-	bw     *bufio.Writer
-	closer io.Closer
+	bw     *bufio.Writer // guarded by mu
+	closer io.Closer     // immutable after NewJSONLSink
 	errs   atomic.Int64
 }
 

@@ -31,6 +31,8 @@ var DefLatencyBuckets = ExpBuckets(1e-6, 2, 24)
 
 // NewHistogramBuckets is NewHistogram with Prometheus bucket counting
 // enabled over the given sorted upper bounds.
+//
+//lsm:locked — the histogram is unpublished until this returns.
 func NewHistogramBuckets(capSamples int, bounds []float64) *Histogram {
 	h := NewHistogram(capSamples)
 	h.bounds = append([]float64(nil), bounds...)
@@ -91,14 +93,14 @@ func Labels(kv map[string]string) string {
 	}
 	sort.Strings(keys)
 	var sb strings.Builder
-	sb.WriteByte('{')
+	sb.WriteString("{")
 	for i, k := range keys {
 		if i > 0 {
-			sb.WriteByte(',')
+			sb.WriteString(",")
 		}
 		fmt.Fprintf(&sb, `%s="%s"`, k, promEscape(kv[k]))
 	}
-	sb.WriteByte('}')
+	sb.WriteString("}")
 	return sb.String()
 }
 

@@ -107,18 +107,19 @@ func (sn Snapshot) Sub(other Snapshot) Snapshot {
 // unbiased quantile estimates for arbitrarily long runs.
 type Histogram struct {
 	mu      sync.Mutex
-	samples []float64
-	sorted  bool
-	count   int64
-	sum     float64
-	min     float64
-	max     float64
+	samples []float64 // guarded by mu
+	sorted  bool      // guarded by mu
+	count   int64     // guarded by mu
+	sum     float64   // guarded by mu
+	min     float64   // guarded by mu
+	max     float64   // guarded by mu
 	cap     int
-	rnd     *rand.Rand
+	rnd     *rand.Rand // guarded by mu
 	// bounds/buckets enable Prometheus bucket export (histogram_export.go);
-	// nil unless built with NewHistogramBuckets.
+	// nil unless built with NewHistogramBuckets. bounds is immutable after
+	// construction.
 	bounds  []float64
-	buckets []int64
+	buckets []int64 // guarded by mu
 }
 
 // NewHistogram returns a histogram retaining at most capSamples raw values
@@ -250,8 +251,8 @@ func (b BoxPlot) String() string {
 // (Figures 9 and 13–15).
 type Series struct {
 	mu     sync.Mutex
-	Name   string
-	Points []Point
+	Name   string  // immutable after NewSeries
+	Points []Point // guarded by mu
 }
 
 // Point is a single series sample.

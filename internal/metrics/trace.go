@@ -220,13 +220,13 @@ type Tracer struct {
 	pool sync.Pool
 
 	mu   sync.Mutex
-	ring []TraceRecord
-	pos  int
-	n    int
+	ring []TraceRecord // guarded by mu
+	pos  int           // guarded by mu
+	n    int           // guarded by mu
 
 	aggNS    [NumOps][NumPhases]int64 // guarded by mu
-	aggCount [NumOps]int64
-	aggTotal [NumOps]int64
+	aggCount [NumOps]int64            // guarded by mu
+	aggTotal [NumOps]int64            // guarded by mu
 }
 
 // DefaultTraceRing is the slow-op ring capacity when 0 is requested.

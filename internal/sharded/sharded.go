@@ -68,7 +68,7 @@ type Cluster struct {
 	global []*lsm.DB // GlobalIndexes: one composite-keyed table per partition, all attrs
 
 	mu   sync.Mutex
-	gseq uint64
+	gseq uint64 // guarded by mu; next global-index sequence number
 }
 
 // Open creates or reopens a cluster rooted at dir.
@@ -88,7 +88,7 @@ func Open(dir string, opts Options) (*Cluster, error) {
 	for i := 0; i < opts.Shards; i++ {
 		db, err := core.Open(filepath.Join(dir, fmt.Sprintf("shard-%02d", i)), storeOpts)
 		if err != nil {
-			c.Close()
+			_ = c.Close()
 			return nil, err
 		}
 		c.shards = append(c.shards, db)
@@ -104,7 +104,7 @@ func Open(dir string, opts Options) (*Cluster, error) {
 				MaxLevels:           opts.Store.MaxLevels,
 			})
 			if err != nil {
-				c.Close()
+				_ = c.Close()
 				return nil, err
 			}
 			c.global = append(c.global, idx)

@@ -64,6 +64,8 @@ func (l *List) randomHeight() int {
 
 // findGE returns the first node with key >= target, filling prev with the
 // predecessor at every level when prev is non-nil.
+//
+//lsm:hotpath
 func (l *List) findGE(key []byte, prev *[maxHeight]*node) *node {
 	x := l.head
 	level := int(l.height.Load()) - 1
@@ -140,10 +142,14 @@ func (it *Iterator) Key() []byte { return it.node.key }
 func (it *Iterator) Value() []byte { return it.node.value }
 
 // Next advances to the following entry.
+//
+//lsm:hotpath
 func (it *Iterator) Next() { it.node = it.node.next[0].Load() }
 
 // SeekToFirst positions at the smallest entry.
 func (it *Iterator) SeekToFirst() { it.node = it.list.head.next[0].Load() }
 
 // SeekGE positions at the first entry with key >= target.
+//
+//lsm:hotpath
 func (it *Iterator) SeekGE(key []byte) { it.node = it.list.findGE(key, nil) }

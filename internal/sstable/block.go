@@ -104,7 +104,7 @@ func (b *blockBuilder) sizeEstimate() int {
 	}
 	return b.buf.Len()
 }
-func (b *blockBuilder) empty() bool       { return b.count == 0 }
+func (b *blockBuilder) empty() bool { return b.count == 0 }
 
 func (b *blockBuilder) reset() {
 	b.buf.Reset()
@@ -258,6 +258,8 @@ func (it *BlockIter) fail(err error) error {
 
 // Next advances to the following entry, returning false at the end or on
 // corruption (check Err).
+//
+//lsm:hotpath
 func (it *BlockIter) Next() bool {
 	if it.err != nil || it.off >= len(it.data) {
 		return false
@@ -300,6 +302,8 @@ func (it *BlockIter) Next() bool {
 
 // restartKey decodes the full key stored at restart point i without
 // touching the iterator's position or key buffer.
+//
+//lsm:hotpath
 func (it *BlockIter) restartKey(i int) ([]byte, error) {
 	off := int(binary.BigEndian.Uint32(it.restarts[4*i:]))
 	shared, n := binary.Uvarint(it.data[off:])
@@ -333,6 +337,8 @@ func (it *BlockIter) restartKey(i int) ([]byte, error) {
 // (or on corruption — check Err). On v2 blocks it binary-searches the
 // restart points and linearly decodes at most one restart interval; v1
 // blocks fall back to a linear scan from the block start.
+//
+//lsm:hotpath
 func (it *BlockIter) SeekGE(target []byte) bool {
 	if it.err != nil {
 		return false

@@ -118,7 +118,7 @@ func FuzzBlockRoundTrip(f *testing.F) {
 			}
 		}
 		targets = append(targets,
-			ikey.Make(nil, ikey.MaxSeq, ikey.KindSet),           // before everything
+			ikey.Make(nil, ikey.MaxSeq, ikey.KindSet),                      // before everything
 			ikey.Make(bytes.Repeat([]byte{0xff}, 301), 0, ikey.KindDelete)) // after everything
 		for _, target := range targets {
 			want := sort.Search(len(keys), func(i int) bool { return ikey.Compare(keys[i], target) >= 0 })

@@ -343,6 +343,8 @@ func (t *Table) Get(userKey []byte) (internalKey, value []byte, ok bool, err err
 // decodes at most one restart interval; v1 tables fall back to the seed's
 // linear scan. Stats (when attached) record PointGets, BlockSeeks and
 // EntriesDecoded, whose ratio is the per-GET decode cost.
+//
+//lsm:hotpath
 func (t *Table) GetWith(sc *GetScratch, userKey []byte) (internalKey, value []byte, ok bool, err error) {
 	if t.stats != nil {
 		t.stats.PointGets.Add(1)
