@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race short bench bench-json verify experiments ci clean
+.PHONY: all build vet lint test race short bench bench-json bench-ingest verify experiments ci clean
 
 all: vet build test
 
@@ -39,6 +39,14 @@ bench-json:
 		./internal/sstable/ | $(GO) run ./cmd/benchjson > BENCH_pr2.json
 	@echo wrote BENCH_pr2.json
 
+# Run the group-commit ingest benchmarks (1/8 writers, inline vs grouped
+# WAL sync under SyncGrouped) and emit machine-readable results for the
+# PR record: ops/sec, fsyncs/op and commits per group.
+bench-ingest:
+	$(GO) test -run '^$$' -bench 'BenchmarkIngestGroupCommit' -benchtime=2s \
+		./internal/lsm/ | $(GO) run ./cmd/benchjson > BENCH_pr6.json
+	@echo wrote BENCH_pr6.json
+
 # Fast correctness gate for the read-path packages: static checks plus a
 # race-detector pass over the sstable block format and the lsm engine.
 verify: vet lint build
@@ -47,8 +55,11 @@ verify: vet lint build
 # The full pre-merge gate: static checks (go vet + lsmlint), a
 # race-detector pass over every package, and a 10-second fuzz smoke of
 # the sstable block round-trip (seeded from testdata/fuzz corpora).
+# The experiments package alone runs ~18 minutes under the race
+# detector on a small box, so the per-package timeout (a hang guard,
+# not a budget) is raised above go test's 10m default.
 ci: vet lint build
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 45m ./...
 	$(GO) test -fuzz=FuzzBlockRoundTrip -fuzztime=10s ./internal/sstable/
 
 # Regenerate the paper's evaluation at the default reduced scale.

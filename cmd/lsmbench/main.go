@@ -8,7 +8,7 @@
 //
 // Experiments: fig2 fig7 fig8a fig8b fig8c fig9 fig10 fig11 fig12 fig13
 // fig14 fig15 table3 table5 c1 c2 ablation cache seek concurrency pipeline
-// ycsb all. Figures 12–15 share the
+// ingest ycsb all. Figures 12–15 share the
 // Mixed-workload driver: fig12 runs all three mixes; fig13/14/15 run the
 // write-, read- and update-heavy mixes individually.
 package main
@@ -162,10 +162,18 @@ func main() {
 			h, rows := experiments.PipelineCSV(rs)
 			return csvOut("pipeline", h, rows)
 		},
+		"ingest": func() error {
+			rs, err := experiments.IngestThroughput(cfg)
+			if err != nil {
+				return err
+			}
+			h, rows := experiments.IngestCSV(rs)
+			return csvOut("ingest", h, rows)
+		},
 	}
 
 	order := []string{"fig7", "fig2", "fig8a", "fig8b", "fig8c", "fig9", "fig10", "fig11",
-		"fig12", "table3", "table5", "c1", "c2", "ablation", "cache", "seek", "concurrency", "pipeline", "ycsb"}
+		"fig12", "table3", "table5", "c1", "c2", "ablation", "cache", "seek", "concurrency", "pipeline", "ingest", "ycsb"}
 
 	if *exp == "all" {
 		for _, name := range order {

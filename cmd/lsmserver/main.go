@@ -27,8 +27,10 @@ import (
 	"syscall"
 
 	"leveldbpp/internal/core"
+	"leveldbpp/internal/lsm"
 	"leveldbpp/internal/metrics"
 	"leveldbpp/internal/server"
+	"leveldbpp/internal/wal"
 )
 
 func main() {
@@ -42,6 +44,8 @@ func main() {
 		pprofOn   = flag.Bool("pprof", false, "expose Go profiling at /debug/pprof/")
 		traceRate = flag.Float64("trace-sample", 0, "fraction of operations to trace (0 disables, 1 traces all)")
 		eventsOut = flag.String("events-jsonl", "", "append lifecycle events as JSON lines to this file")
+		syncMode  = flag.String("sync-mode", "off", "WAL durability: off|always|grouped (grouped = one fsync per commit group)")
+		groupOn   = flag.Bool("group-commit", false, "batch concurrent commits through the group-commit queue")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -49,6 +53,11 @@ func main() {
 		os.Exit(1)
 	}
 	kind, err := parseKind(*index)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lsmserver:", err)
+		os.Exit(1)
+	}
+	sync, err := wal.ParseSyncMode(*syncMode)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lsmserver:", err)
 		os.Exit(1)
@@ -75,6 +84,8 @@ func main() {
 		BlockCacheBytes: *cache << 20,
 		TraceSampleRate: *traceRate,
 		Events:          events,
+		SyncMode:        sync,
+		GroupCommit:     lsm.GroupCommitOptions{Enabled: *groupOn},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lsmserver:", err)

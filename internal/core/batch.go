@@ -39,8 +39,10 @@ func (db *DB) Apply(b *Batch) error {
 	if b.Len() == 0 {
 		return nil
 	}
-	db.writeMu.Lock()
-	defer db.writeMu.Unlock()
+	if db.indexes != nil {
+		db.writeMu.Lock()
+		defer db.writeMu.Unlock()
+	}
 
 	// Deletes need the old document to mark index entries; resolve each
 	// against earlier batch ops first, then the store.
@@ -72,7 +74,10 @@ func (db *DB) Apply(b *Batch) error {
 		if op.del {
 			pb.Delete([]byte(op.key))
 		} else {
-			pb.Put([]byte(op.key), op.value)
+			// Zero-copy handoff: the key conversion is a fresh allocation
+			// and op.value is owned by this batch (copied at enqueue) and
+			// never mutated after Apply, so the engine may retain both.
+			pb.PutNoCopy([]byte(op.key), op.value)
 		}
 	}
 	firstSeq, err := db.primary.ApplyWithSeq(&pb)

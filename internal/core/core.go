@@ -34,6 +34,7 @@ import (
 	"leveldbpp/internal/metrics"
 	"leveldbpp/internal/postings"
 	"leveldbpp/internal/sstable"
+	"leveldbpp/internal/wal"
 )
 
 // IndexKind selects the secondary indexing technique.
@@ -87,6 +88,14 @@ type Options struct {
 	LevelMultiplier     int
 	MaxLevels           int
 	SyncWAL             bool
+	// SyncMode selects WAL durability per commit (off / always /
+	// grouped); when unset it resolves from SyncWAL. See
+	// lsm.Options.SyncMode.
+	SyncMode wal.SyncMode
+	// GroupCommit enables the leader-based commit queue on the primary
+	// table and every index table, so concurrent writers of any index
+	// kind batch their WAL writes and share fsyncs (DESIGN.md §5.5).
+	GroupCommit lsm.GroupCommitOptions
 	// RestartInterval sets the SSTable restart-point spacing for both the
 	// primary and index tables (see lsm.Options.RestartInterval): 0 is the
 	// v2 default, negative writes legacy v1 linear-scan blocks.
@@ -152,7 +161,10 @@ type DB struct {
 	// writeMu serializes Put/Delete so that primary-table and index-table
 	// write orders agree — Composite entries rank candidates by
 	// index-table sequence number, which must follow primary insertion
-	// order (paper §4.2).
+	// order (paper §4.2). Only taken for stand-alone index kinds
+	// (indexes != nil): None and Embedded have no second table to keep
+	// in step, so their concurrent writers flow straight into the
+	// engine's commit queue and can actually form groups.
 	writeMu sync.Mutex
 
 	// Observability (DESIGN.md §5.3): per-operation phase tracing,
@@ -257,6 +269,8 @@ func Open(dir string, opts Options) (*DB, error) {
 		LevelMultiplier:      opts.LevelMultiplier,
 		MaxLevels:            opts.MaxLevels,
 		SyncWAL:              opts.SyncWAL,
+		SyncMode:             opts.SyncMode,
+		GroupCommit:          opts.GroupCommit,
 		RestartInterval:      opts.RestartInterval,
 		BlockCacheBytes:      opts.BlockCacheBytes,
 		BackgroundCompaction: opts.BackgroundCompaction,
@@ -289,6 +303,8 @@ func Open(dir string, opts Options) (*DB, error) {
 				LevelMultiplier:      opts.LevelMultiplier,
 				MaxLevels:            opts.MaxLevels,
 				SyncWAL:              opts.SyncWAL,
+				SyncMode:             opts.SyncMode,
+				GroupCommit:          opts.GroupCommit,
 				RestartInterval:      opts.RestartInterval,
 				BlockCacheBytes:      opts.BlockCacheBytes,
 				BackgroundCompaction: opts.BackgroundCompaction,
@@ -336,8 +352,10 @@ func (db *DB) Put(key string, value []byte) error {
 }
 
 func (db *DB) putTraced(key string, value []byte, tr *metrics.Trace) error {
-	db.writeMu.Lock()
-	defer db.writeMu.Unlock()
+	if db.indexes != nil {
+		db.writeMu.Lock()
+		defer db.writeMu.Unlock()
+	}
 	seq, err := db.primary.PutWithSeqTraced([]byte(key), value, tr)
 	if err != nil {
 		return err
@@ -370,8 +388,10 @@ func (db *DB) Delete(key string) error {
 }
 
 func (db *DB) deleteTraced(key string, tr *metrics.Trace) error {
-	db.writeMu.Lock()
-	defer db.writeMu.Unlock()
+	if db.indexes != nil {
+		db.writeMu.Lock()
+		defer db.writeMu.Unlock()
+	}
 	var old []byte
 	if db.indexes != nil {
 		tI := tr.Now()
@@ -530,6 +550,31 @@ func (db *DB) Stats() Stats {
 		s.Index.BlockSeeks += is.BlockSeeks
 	}
 	return s
+}
+
+// CommitStats returns the commit-path counters of the primary table and
+// (summed) of all index tables: commits, records, WAL write groups and
+// fsyncs, from which fsyncs-per-op and mean group size derive.
+func (db *DB) CommitStats() (primary, index lsm.CommitStats) {
+	primary = db.primary.CommitStats()
+	for _, idx := range db.indexes {
+		is := idx.CommitStats()
+		index.Commits += is.Commits
+		index.Records += is.Records
+		index.Groups += is.Groups
+		index.Fsyncs += is.Fsyncs
+	}
+	return primary, index
+}
+
+// GroupSizeHists returns the commits-per-WAL-write histogram of every
+// table, keyed like LevelShapes ("primary", "index-<attr>").
+func (db *DB) GroupSizeHists() map[string]*metrics.Histogram {
+	out := map[string]*metrics.Histogram{"primary": db.primary.GroupSizeHist()}
+	for attr, idx := range db.indexes {
+		out["index-"+attr] = idx.GroupSizeHist()
+	}
+	return out
 }
 
 // BackgroundStats sums the background-pipeline counters of the primary

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"leveldbpp/internal/lsm"
+)
+
+// TestGroupCommitEquivalence runs the same deterministic single-writer
+// workload with group commit on and off for every index kind and
+// requires identical observable state: I/O counters (the fig8a/fig12
+// measurements), disk usage, lookup results, and primary-scan iteration
+// order. A group of one commit must be indistinguishable from the seed
+// commit path.
+func TestGroupCommitEquivalence(t *testing.T) {
+	type result struct {
+		stats   Stats
+		primary int64
+		index   int64
+		scan    []string
+		lookup  []Entry
+		rng     []Entry
+	}
+	run := func(t *testing.T, kind IndexKind, group bool) result {
+		opts := smallOptions(kind)
+		if group {
+			opts.GroupCommit = lsm.GroupCommitOptions{Enabled: true}
+		}
+		db, err := Open(t.TempDir(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+
+		for i := 0; i < 400; i++ {
+			key := fmt.Sprintf("t%04d", i)
+			user := fmt.Sprintf("u%02d", i%7)
+			if err := db.Put(key, tweetDoc(user, 1000+i, fmt.Sprintf("text-%04d", i))); err != nil {
+				t.Fatal(err)
+			}
+			if i%31 == 0 && i > 0 {
+				if err := db.Delete(fmt.Sprintf("t%04d", i-5)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if i%57 == 0 {
+				var b Batch
+				b.Put(fmt.Sprintf("b%04d", i), tweetDoc("u99", 2000+i, "batched"))
+				b.Delete(fmt.Sprintf("t%04d", i/2))
+				if err := db.Apply(&b); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := db.Flush(); err != nil {
+			t.Fatal(err)
+		}
+
+		r := result{stats: db.Stats()}
+		if r.primary, r.index, err = db.DiskUsage(); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Scan("", "", func(k string, _ []byte) bool {
+			r.scan = append(r.scan, k)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if r.lookup, err = db.Lookup("UserID", "u03", 20); err != nil {
+			t.Fatal(err)
+		}
+		if r.rng, err = db.RangeLookup("CreationTime", "0000001100", "0000001200", 15); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	for _, kind := range allKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			off := run(t, kind, false)
+			on := run(t, kind, true)
+			if !reflect.DeepEqual(on.stats, off.stats) {
+				t.Errorf("I/O counters differ:\n on=%+v\noff=%+v", on.stats, off.stats)
+			}
+			if on.primary != off.primary || on.index != off.index {
+				t.Errorf("disk usage differs: on=(%d,%d) off=(%d,%d)",
+					on.primary, on.index, off.primary, off.index)
+			}
+			if !reflect.DeepEqual(on.scan, off.scan) {
+				t.Errorf("scan order differs: on has %d keys, off has %d", len(on.scan), len(off.scan))
+			}
+			if !reflect.DeepEqual(on.lookup, off.lookup) {
+				t.Errorf("LOOKUP results differ:\n on=%v\noff=%v", on.lookup, off.lookup)
+			}
+			if !reflect.DeepEqual(on.rng, off.rng) {
+				t.Errorf("RANGELOOKUP results differ:\n on=%v\noff=%v", on.rng, off.rng)
+			}
+		})
+	}
+}
+
+// TestGroupCommitConcurrentCore drives concurrent core writers (no
+// stand-alone indexes, so they reach the engine's commit queue) and
+// verifies grouping happened and every document survives a reopen.
+func TestGroupCommitConcurrentCore(t *testing.T) {
+	for _, kind := range []IndexKind{IndexNone, IndexEmbedded} {
+		t.Run(kind.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			opts := smallOptions(kind)
+			opts.MemTableBytes = 1 << 20
+			opts.GroupCommit = lsm.GroupCommitOptions{Enabled: true}
+			opts.BackgroundCompaction = true
+			db, err := Open(dir, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			const writers = 8
+			const perWriter = 300
+			errs := make(chan error, writers)
+			for w := 0; w < writers; w++ {
+				go func(w int) {
+					for i := 0; i < perWriter; i++ {
+						key := fmt.Sprintf("w%02d-%04d", w, i)
+						if err := db.Put(key, tweetDoc(fmt.Sprintf("u%02d", w), i, key)); err != nil {
+							errs <- err
+							return
+						}
+					}
+					errs <- nil
+				}(w)
+			}
+			for w := 0; w < writers; w++ {
+				if err := <-errs; err != nil {
+					t.Fatal(err)
+				}
+			}
+			prim, _ := db.CommitStats()
+			if prim.Commits != writers*perWriter {
+				t.Errorf("primary commits = %d, want %d", prim.Commits, writers*perWriter)
+			}
+			if prim.Groups == 0 || prim.Groups > prim.Commits {
+				t.Errorf("primary groups = %d out of %d commits", prim.Groups, prim.Commits)
+			}
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			re, err := Open(dir, smallOptions(kind))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re.Close()
+			for w := 0; w < writers; w++ {
+				for i := 0; i < perWriter; i += 29 {
+					key := fmt.Sprintf("w%02d-%04d", w, i)
+					if _, ok, err := re.Get(key); err != nil || !ok {
+						t.Fatalf("Get(%s) after reopen = %v %v", key, ok, err)
+					}
+				}
+			}
+		})
+	}
+}

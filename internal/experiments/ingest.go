@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"leveldbpp/internal/core"
+	"leveldbpp/internal/lsm"
+	"leveldbpp/internal/wal"
+)
+
+// IngestResult is one row of the group-commit ingest experiment: the
+// same durable multi-writer ingest with the commit queue off (every
+// writer pays its own fsync) versus on (the group leader's fsync covers
+// the whole group).
+type IngestResult struct {
+	Kind        core.IndexKind
+	Writers     int
+	Group       bool // group commit enabled
+	OpsPerSec   float64
+	FsyncsPerOp float64 // primary-table fsyncs per commit
+	MeanGroup   float64 // mean commits per WAL write pass
+}
+
+// IngestThroughput measures what group commit buys a durable ingest
+// (SyncGrouped: every acknowledged PUT is fsync-covered). With one
+// writer the queue never holds more than one commit and the two modes
+// coincide; with concurrent writers the inline path serialises one fsync
+// per PUT while the group path amortises it across the whole queue. The
+// None and Embedded kinds keep the writers on the engine's commit queue
+// (stand-alone index kinds serialise writers above the engine to keep
+// index maintenance in sequence order, so grouping cannot form there).
+func IngestThroughput(c Config) ([]IngestResult, error) {
+	c = c.withDefaults()
+	tweets := c.dataset()
+	c.printf("Group commit — %d tweets, durable ingest (SyncGrouped), inline vs grouped WAL sync\n", len(tweets))
+	c.printf("%-10s %8s %7s %10s %10s %10s\n",
+		"index", "writers", "group", "ops/sec", "fsyncs/op", "mean-group")
+
+	var out []IngestResult
+	for _, kind := range []core.IndexKind{core.IndexNone, core.IndexEmbedded} {
+		for _, writers := range []int{1, 8} {
+			for _, group := range []bool{false, true} {
+				opts := dbOptions(kind)
+				opts.BackgroundCompaction = true
+				opts.SyncMode = wal.SyncGrouped
+				if group {
+					opts.GroupCommit = lsm.GroupCommitOptions{Enabled: true}
+				}
+				name := fmt.Sprintf("ingest-%s-w%d-%t", kind, writers, group)
+				db, err := c.open(filepath.Join(c.Dir, name), opts)
+				if err != nil {
+					return nil, err
+				}
+
+				// Partition tweets modulo writer count: same total work at
+				// every width, unique keys per writer.
+				start := time.Now()
+				var wg sync.WaitGroup
+				errs := make([]error, writers)
+				for w := 0; w < writers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for i := w; i < len(tweets); i += writers {
+							if err := db.Put(tweets[i].ID, tweets[i].Doc()); err != nil {
+								errs[w] = err
+								return
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+				for _, err := range errs {
+					if err != nil {
+						_ = db.Close()
+						return nil, err
+					}
+				}
+				if err := db.Flush(); err != nil {
+					_ = db.Close()
+					return nil, err
+				}
+				elapsed := time.Since(start)
+				prim, _ := db.CommitStats()
+				r := IngestResult{
+					Kind:        kind,
+					Writers:     writers,
+					Group:       group,
+					OpsPerSec:   float64(len(tweets)) / elapsed.Seconds(),
+					FsyncsPerOp: prim.FsyncsPerCommit(),
+					MeanGroup:   prim.MeanGroupSize(),
+				}
+				out = append(out, r)
+				c.printf("%s %8d %7t %10.0f %10.3f %10.2f\n",
+					kindLabel(r.Kind), r.Writers, r.Group, r.OpsPerSec, r.FsyncsPerOp, r.MeanGroup)
+				if err := db.Close(); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	c.printf("\n")
+	return out, nil
+}
+
+// IngestCSV renders IngestThroughput rows for WriteCSV.
+func IngestCSV(rs []IngestResult) ([]string, [][]string) {
+	header := []string{"index", "writers", "group", "ops_per_sec", "fsyncs_per_op", "mean_group"}
+	var rows [][]string
+	for _, r := range rs {
+		rows = append(rows, []string{
+			r.Kind.String(),
+			strconv.Itoa(r.Writers),
+			strconv.FormatBool(r.Group),
+			fmt.Sprintf("%.0f", r.OpsPerSec),
+			fmt.Sprintf("%.3f", r.FsyncsPerOp),
+			fmt.Sprintf("%.2f", r.MeanGroup),
+		})
+	}
+	return header, rows
+}

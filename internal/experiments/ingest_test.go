@@ -1,0 +1,41 @@
+package experiments
+
+import "testing"
+
+func TestIngestThroughput(t *testing.T) {
+	c := testConfig(t)
+	c.Scale = 800
+	rs, err := IngestThroughput(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 8 { // {None,Embedded} × {1,8 writers} × {inline,group}
+		t.Fatalf("rows = %d", len(rs))
+	}
+	for _, r := range rs {
+		if r.OpsPerSec <= 0 {
+			t.Fatalf("no throughput for %+v", r)
+		}
+		if !r.Group || r.Writers == 1 {
+			// Inline commits and single-writer groups are groups of one:
+			// exactly one fsync per commit under SyncGrouped.
+			if r.FsyncsPerOp != 1 || r.MeanGroup != 1 {
+				t.Errorf("ungrouped run fsyncs/op=%.3f mean-group=%.2f, want 1/1 (%+v)",
+					r.FsyncsPerOp, r.MeanGroup, r)
+			}
+			continue
+		}
+		// Concurrent grouped ingest must amortise: more than one commit
+		// per fsync on average.
+		if r.FsyncsPerOp >= 1 {
+			t.Errorf("grouped run did not amortise fsyncs: %.3f/op (%+v)", r.FsyncsPerOp, r)
+		}
+		if r.MeanGroup <= 1 {
+			t.Errorf("grouped run mean group %.2f, want > 1 (%+v)", r.MeanGroup, r)
+		}
+	}
+	h, rows := IngestCSV(rs)
+	if len(h) != 6 || len(rows) != len(rs) {
+		t.Fatalf("CSV shape %d×%d", len(h), len(rows))
+	}
+}

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ChanClose enforces the `close-once` channel annotations the group-commit
+// queue depends on. A pendingCommit's done and lead channels are the write
+// pipeline's wakeup edges: exactly one goroutine — the group leader — may
+// close each, exactly once, or a follower panics (double close) inside a
+// path that holds no recoverable state. The safe shape is syntactic: one
+// close site per annotated field in the whole package, so every reviewer
+// and every refactor can see the single owner at a glance.
+//
+// A channel-typed struct field whose declaration comment contains the
+// phrase "close-once" may therefore appear as the operand of the close
+// builtin at exactly one site per package. Additional sites are reported
+// (the first, in position order, is taken as the owner). The check is
+// deliberately syntactic, like the rest of lsmlint: it cannot prove a
+// single site runs once per channel value — the queue's state machine
+// owns that — but it does catch the regression that actually happens,
+// a second close site creeping in during a refactor.
+var ChanClose = &Analyzer{
+	Name: "chanclose",
+	Doc:  "channel fields annotated `close-once` have exactly one close() site per package",
+	Run:  runChanClose,
+}
+
+func runChanClose(pass *Pass) {
+	fields := closeOnceFields(pass)
+	if len(fields) == 0 {
+		return
+	}
+
+	// Every close(x.field) site in the package, per annotated field.
+	sites := map[types.Object][]token.Pos{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isBuiltinClose(pass.Info, call) || len(call.Args) != 1 {
+				return true
+			}
+			sel, ok := unparen(call.Args[0]).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := objOf(pass.Info, sel.Sel)
+			if obj != nil && fields[obj] {
+				sites[obj] = append(sites[obj], call.Pos())
+			}
+			return true
+		})
+	}
+
+	for obj, positions := range sites {
+		if len(positions) <= 1 {
+			continue
+		}
+		sort.Slice(positions, func(i, j int) bool { return positions[i] < positions[j] })
+		owner := pass.Fset.Position(positions[0])
+		for _, pos := range positions[1:] {
+			pass.Reportf(pos, "second close site for close-once channel field %s (owner is %s:%d); route the wakeup through the owning site",
+				obj.Name(), owner.Filename, owner.Line)
+		}
+	}
+}
+
+// closeOnceFields collects channel-typed struct fields whose doc or line
+// comment carries the close-once annotation.
+func closeOnceFields(pass *Pass) map[types.Object]bool {
+	fields := map[types.Object]bool{}
+	note := func(field *ast.Field, text string) {
+		if !strings.Contains(text, "close-once") {
+			return
+		}
+		for _, name := range field.Names {
+			obj := pass.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if _, ok := obj.Type().Underlying().(*types.Chan); ok {
+				fields[obj] = true
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if field.Doc != nil {
+					note(field, field.Doc.Text())
+				}
+				if field.Comment != nil {
+					note(field, field.Comment.Text())
+				}
+			}
+			return true
+		})
+	}
+	return fields
+}
+
+// isBuiltinClose reports whether call invokes the close builtin (not a
+// local function shadowing the name).
+func isBuiltinClose(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" {
+		return false
+	}
+	_, builtin := objOf(info, id).(*types.Builtin)
+	return builtin
+}

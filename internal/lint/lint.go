@@ -183,6 +183,7 @@ func Analyzers() []*Analyzer {
 		LockGuard,
 		IKeyCmp,
 		NilTrace,
+		ChanClose,
 		HotPath,
 		ErrCheck,
 	}

@@ -1,0 +1,35 @@
+// Package chanclose exercises the chanclose analyzer: channel fields
+// annotated close-once have exactly one close() site per package.
+package chanclose
+
+type waiter struct {
+	// done wakes the waiter after commit (close-once).
+	done chan struct{}
+	// lead promotes the waiter to leader (close-once).
+	lead chan struct{}
+	// events is a plain channel: no annotation, closes are unrestricted.
+	events chan int
+	n      int // close-once mentioned here is ignored: not a channel
+}
+
+// ownerSite is the first close in position order and therefore the owner
+// of done; the analyzer stays silent here.
+func ownerSite(w *waiter) {
+	close(w.done)
+}
+
+func duplicateSite(w *waiter) {
+	close(w.done) // want "second close site for close-once channel field done"
+	close(w.lead) // single site for lead: fine
+}
+
+func unannotated(w *waiter) {
+	close(w.events)
+	close(w.events) // no annotation, no finding
+}
+
+// close shadowed by a local function must not count as a close site.
+func shadowed(w *waiter) {
+	close := func(ch chan struct{}) {}
+	close(w.done)
+}

@@ -168,7 +168,11 @@ func (db *DB) throttleLocked() error {
 // when another writer already rotated while this one waited for the slot.
 func (db *DB) freezeMemLocked(force bool) error {
 	bg := db.bg
-	for db.imm != nil && bg.err == nil && !bg.closing && !db.closed {
+	// Also wait out in-flight group-commit leader passes: immSeq below is
+	// set to lastSeq, which must be fully present in the MemTable being
+	// frozen or the flusher would advance the manifest floor over records
+	// that only exist in the outgoing WAL segment.
+	for (db.imm != nil || db.commitsInFlight > 0) && bg.err == nil && !bg.closing && !db.closed {
 		db.cond.Wait()
 	}
 	if bg.err != nil {
@@ -183,12 +187,16 @@ func (db *DB) freezeMemLocked(force bool) error {
 	if !force && db.mem.approximateBytes() < db.opts.MemTableBytes/2 {
 		return nil
 	}
-	if err := db.log.Close(); err != nil {
-		return err
-	}
 	db.walSeq++
 	seg := walSegmentPath(db.dir, db.walSeq)
-	log, err := wal.Create(seg)
+	db.logMu.Lock()
+	err := db.log.Close()
+	var log *wal.Writer
+	if err == nil {
+		log, err = wal.Create(seg)
+		db.log = log
+	}
+	db.logMu.Unlock()
 	if err != nil {
 		return err
 	}
@@ -197,7 +205,6 @@ func (db *DB) freezeMemLocked(force bool) error {
 	db.immWALs = db.memWALs
 	db.mem = newMemTable(db.opts.SecondaryAttrs)
 	db.memWALs = []string{seg}
-	db.log = log
 	db.emit(metrics.Event{Type: metrics.EventMemFreeze,
 		Entries: db.imm.list.Len(), Bytes: db.imm.approximateBytes()})
 	db.emit(metrics.Event{Type: metrics.EventWALRotate,

@@ -59,7 +59,16 @@ func (db *DB) Checkpoint(destDir string) error {
 	}
 	// Copy every WAL file backing the live and frozen MemTables under its
 	// original basename; replay at open visits them all. Inline mode has
-	// exactly the single legacy "WAL" file here.
+	// exactly the single legacy "WAL" file here. The read lock alone no
+	// longer excludes WAL appends (a group-commit leader writes off
+	// db.mu), so hold logMu across the copies and flush the writer's
+	// buffer first: everything acknowledged before this call is then in
+	// the copied files.
+	db.logMu.Lock()
+	defer db.logMu.Unlock()
+	if err := db.log.Flush(); err != nil {
+		return fmt.Errorf("lsm: checkpoint flush WAL: %w", err)
+	}
 	copied := map[string]bool{}
 	for _, p := range append(append([]string(nil), db.immWALs...), db.memWALs...) {
 		if copied[p] {

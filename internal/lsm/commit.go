@@ -1,0 +1,351 @@
+// Leader-based group commit (DESIGN.md §5.5). When
+// Options.GroupCommit.Enabled, every Put/Delete/Apply becomes a pending
+// commit on a queue: the first writer to arrive leads, drains the queue
+// up to a byte/count budget, assigns one contiguous sequence range under
+// db.mu, writes every member's records as a single WAL batch frame off
+// db.mu (one buffer flush, and one fsync per group under SyncGrouped),
+// re-acquires db.mu for the MemTable inserts, and wakes the followers.
+// WAL I/O and fsync latency thereby leave the critical section guarded
+// by db.mu, and concurrent committers share the per-group fsync.
+package lsm
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"leveldbpp/internal/ikey"
+	"leveldbpp/internal/metrics"
+	"leveldbpp/internal/wal"
+)
+
+// pendingCommit is one writer's enqueued commit. The enqueuing goroutine
+// blocks until done or lead closes; the leader that drains it owns every
+// field in between.
+type pendingCommit struct {
+	records []wal.Record
+	noCopy  bool // MemTable may retain Key/Value without copying
+	bytes   int64
+	tr      *metrics.Trace
+
+	firstSeq uint64 // set by the leader before done closes
+	err      error  // set by the leader before done closes
+
+	// done wakes the waiter after its group committed (close-once).
+	done chan struct{}
+	// lead promotes the waiter to leader of the next group (close-once).
+	lead chan struct{}
+}
+
+// commitQueue is the group-commit waiter queue. At most one leader exists
+// at a time; its commit is never in pending (it seeds its own group).
+type commitQueue struct {
+	mu      sync.Mutex
+	pending []*pendingCommit // guarded by mu
+	leading bool             // guarded by mu
+}
+
+// enqueue registers pc and reports whether the caller must lead: true
+// when no leader is active (pc seeds the new group and is not queued),
+// false when pc joined pending and the caller should wait.
+func (q *commitQueue) enqueue(pc *pendingCommit) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.leading {
+		q.leading = true
+		return true
+	}
+	q.pending = append(q.pending, pc)
+	return false
+}
+
+// drain builds the leader's group: seed plus queued commits, in arrival
+// order, until adding one would exceed maxBytes payload or maxWaiters
+// members. The seed always fits regardless of budget.
+func (q *commitQueue) drain(seed *pendingCommit, maxBytes int64, maxWaiters int) []*pendingCommit {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	group := []*pendingCommit{seed}
+	bytes := seed.bytes
+	for len(q.pending) > 0 && len(group) < maxWaiters {
+		pc := q.pending[0]
+		if bytes+pc.bytes > maxBytes {
+			break
+		}
+		group = append(group, pc)
+		bytes += pc.bytes
+		q.pending = q.pending[1:]
+	}
+	if len(q.pending) == 0 {
+		q.pending = nil // release the drained backing array
+	}
+	return group
+}
+
+// handoff retires the current leader: it pops and returns the next
+// leader's commit, or nil (clearing the leading flag) when the queue is
+// empty.
+func (q *commitQueue) handoff() *pendingCommit {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.pending) == 0 {
+		q.leading = false
+		return nil
+	}
+	next := q.pending[0]
+	q.pending = q.pending[1:]
+	return next
+}
+
+// commitStats counts logical commit activity. Atomics: read freely.
+type commitStats struct {
+	commits atomic.Int64 // logical commits acknowledged
+	records atomic.Int64 // records across all commits
+	groups  atomic.Int64 // WAL write passes (a group per pass; inline commits are groups of 1)
+	fsyncs  atomic.Int64 // fsyncs issued by the commit path
+}
+
+// CommitStats is a point-in-time snapshot of commit-path counters.
+type CommitStats struct {
+	Commits int64 // logical commits acknowledged
+	Records int64 // records across all commits
+	Groups  int64 // WAL write passes (groups)
+	Fsyncs  int64 // fsyncs issued
+}
+
+// FsyncsPerCommit returns fsyncs divided by commits (0 before any
+// commit) — the amortization group commit buys under SyncGrouped.
+func (s CommitStats) FsyncsPerCommit() float64 {
+	if s.Commits == 0 {
+		return 0
+	}
+	return float64(s.Fsyncs) / float64(s.Commits)
+}
+
+// MeanGroupSize returns commits divided by groups (0 before any group).
+func (s CommitStats) MeanGroupSize() float64 {
+	if s.Groups == 0 {
+		return 0
+	}
+	return float64(s.Commits) / float64(s.Groups)
+}
+
+// Sub returns s - o field-wise, for interval measurements.
+func (s CommitStats) Sub(o CommitStats) CommitStats {
+	return CommitStats{
+		Commits: s.Commits - o.Commits,
+		Records: s.Records - o.Records,
+		Groups:  s.Groups - o.Groups,
+		Fsyncs:  s.Fsyncs - o.Fsyncs,
+	}
+}
+
+// CommitStats returns the DB's commit-path counters.
+func (db *DB) CommitStats() CommitStats {
+	return CommitStats{
+		Commits: db.cstats.commits.Load(),
+		Records: db.cstats.records.Load(),
+		Groups:  db.cstats.groups.Load(),
+		Fsyncs:  db.cstats.fsyncs.Load(),
+	}
+}
+
+// GroupSizeHist returns the histogram of commits per WAL write pass.
+func (db *DB) GroupSizeHist() *metrics.Histogram { return db.groupSize }
+
+// commit routes one logical commit (records, not yet sequenced) through
+// the group-commit queue and blocks until it is durable per SyncMode.
+// It returns the sequence number assigned to records[0]. When noCopy is
+// set the MemTable retains the record buffers directly; the caller must
+// never mutate them afterwards.
+func (db *DB) commit(records []wal.Record, noCopy bool, tr *metrics.Trace) (uint64, error) {
+	var bytes int64
+	for i := range records {
+		bytes += int64(len(records[i].Key) + len(records[i].Value))
+	}
+	pc := &pendingCommit{
+		records: records,
+		noCopy:  noCopy,
+		bytes:   bytes,
+		tr:      tr,
+		done:    make(chan struct{}),
+		lead:    make(chan struct{}),
+	}
+	if db.commitQ.enqueue(pc) {
+		db.leadGroup(pc)
+	} else {
+		t0 := tr.Now()
+		select {
+		case <-pc.done:
+			tr.Since(metrics.PhaseCommitWait, t0)
+		case <-pc.lead:
+			tr.Since(metrics.PhaseCommitWait, t0)
+			db.leadGroup(pc)
+		}
+	}
+	return pc.firstSeq, pc.err
+}
+
+// leadGroup runs one leader pass seeded by seed, publishes the result to
+// every member, and hands leadership to the next waiter (if any).
+func (db *DB) leadGroup(seed *pendingCommit) {
+	// Yield once before draining: the previous pass released its group and
+	// promoted this leader at the same instant, so the released writers
+	// are runnable but typically have not re-enqueued yet. One scheduler
+	// pass lets them join this group instead of the next, roughly doubling
+	// the steady-state group size for sub-millisecond fsyncs (for longer
+	// fsyncs arrivals during the sync dominate and the yield is noise).
+	runtime.Gosched()
+	group := db.commitQ.drain(seed,
+		db.opts.GroupCommit.MaxBatchBytes, db.opts.GroupCommit.MaxWaiters)
+	err := db.commitGroup(group)
+	for _, pc := range group {
+		pc.err = err
+		close(pc.done)
+	}
+	if next := db.commitQ.handoff(); next != nil {
+		close(next.lead)
+	}
+}
+
+// commitGroup performs the leader pass over group: sequence assignment
+// and write-merge under db.mu, WAL batch append + sync under logMu only,
+// MemTable inserts back under db.mu, then counter updates. The returned
+// error is shared by every member.
+func (db *DB) commitGroup(group []*pendingCommit) error {
+	tr := group[0].tr // the leader's own trace; followers only see commit_wait
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	if db.bg != nil {
+		t0 := tr.Now()
+		err := db.throttleLocked()
+		tr.Since(metrics.PhaseThrottle, t0)
+		if err != nil {
+			db.mu.Unlock()
+			return err
+		}
+	}
+	// One contiguous sequence range for the whole group, and one shared
+	// write-merge scope: a member's Put coalesces against earlier members
+	// in this group exactly as it would against earlier serial commits,
+	// so the WAL records (post-merge values) replay identically.
+	var pending map[string][]byte
+	total := 0
+	if db.opts.WriteMerge != nil {
+		for _, pc := range group {
+			total += len(pc.records)
+		}
+		pending = make(map[string][]byte, total)
+		total = 0
+	}
+	t0 := tr.Now()
+	for _, pc := range group {
+		pc.firstSeq = db.lastSeq + 1
+		db.assignSeqsLocked(pc.records, pending)
+		total += len(pc.records)
+	}
+	if db.opts.WriteMerge != nil {
+		tr.Since(metrics.PhaseMergeProbe, t0)
+	}
+	// Gate freeze/flush until the inserts land: flushedSeq/immSeq may not
+	// advance over sequences that are not yet in a MemTable.
+	db.commitsInFlight++
+	db.mu.Unlock()
+
+	t0 = tr.Now()
+	db.logMu.Lock()
+	records := group[0].records
+	if len(group) > 1 {
+		records = make([]wal.Record, 0, total)
+		for _, pc := range group {
+			records = append(records, pc.records...)
+		}
+	}
+	werr := db.log.AppendBatch(records)
+	if werr == nil {
+		werr = db.syncWALLocked(len(group), tr)
+	}
+	db.logMu.Unlock()
+	tr.Since(metrics.PhaseWAL, t0)
+
+	db.mu.Lock()
+	if werr == nil {
+		t0 = tr.Now()
+		for _, pc := range group {
+			for _, r := range pc.records {
+				key, value := r.Key, r.Value
+				if !pc.noCopy {
+					key = append([]byte(nil), key...)
+					value = append([]byte(nil), value...)
+				}
+				db.mem.add(r.Seq, ikey.Kind(r.Kind), key, value, db.opts.Extract)
+				db.ingestBytes += int64(len(r.Key) + len(r.Value))
+			}
+		}
+		tr.Since(metrics.PhaseMemInsert, t0)
+	}
+	db.commitsInFlight--
+	db.cond.Broadcast() // wake freeze/flush waiting on commitsInFlight
+	if werr != nil {
+		db.mu.Unlock()
+		return werr
+	}
+	var rerr error
+	if db.mem.approximateBytes() >= db.opts.MemTableBytes && !db.closed {
+		t0 = tr.Now()
+		rerr = db.rotateMemLocked()
+		tr.Since(metrics.PhaseRotate, t0)
+	}
+	db.mu.Unlock()
+
+	db.cstats.groups.Add(1)
+	db.cstats.commits.Add(int64(len(group)))
+	db.cstats.records.Add(int64(total))
+	db.groupSize.Observe(float64(len(group)))
+	return rerr
+}
+
+// syncWALLocked makes the group's WAL frames durable per SyncMode: a
+// buffer flush under SyncOff (acknowledged writes are always visible in
+// the file), one fsync per group under SyncGrouped, one per member under
+// SyncAlways (the seed-equivalent accounting). Caller holds logMu.
+func (db *DB) syncWALLocked(members int, tr *metrics.Trace) error {
+	switch db.opts.SyncMode {
+	case wal.SyncGrouped:
+		t0 := tr.Now()
+		err := db.log.Sync()
+		tr.Since(metrics.PhaseWALSync, t0)
+		if err != nil {
+			return err
+		}
+		db.cstats.fsyncs.Add(1)
+	case wal.SyncAlways:
+		t0 := tr.Now()
+		for i := 0; i < members; i++ {
+			if err := db.log.Sync(); err != nil {
+				tr.Since(metrics.PhaseWALSync, t0)
+				return err
+			}
+		}
+		tr.Since(metrics.PhaseWALSync, t0)
+		db.cstats.fsyncs.Add(int64(members))
+	default: // SyncOff
+		if err := db.log.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// waitCommitsLocked blocks until no leader pass sits between sequence
+// assignment and MemTable insertion. freeze/flush call it before
+// treating lastSeq as fully represented in the MemTables. Caller holds
+// db.mu.
+func (db *DB) waitCommitsLocked() {
+	for db.commitsInFlight > 0 {
+		db.cond.Wait()
+	}
+}

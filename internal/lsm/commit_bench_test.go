@@ -1,0 +1,59 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"leveldbpp/internal/wal"
+)
+
+// BenchmarkIngestGroupCommit measures the write pipeline under durable
+// syncs (SyncGrouped: every acknowledged commit is fsync-covered) with
+// and without the commit queue. The acceptance numbers for the group
+// commit PR come from these sub-benchmarks: 8-writer grouped throughput
+// vs 8-writer inline, the fsyncs/op amortization, and the single-writer
+// inline baseline (a group of one must not regress it).
+func BenchmarkIngestGroupCommit(b *testing.B) {
+	val := bytes.Repeat([]byte("v"), 550) // paper's average tweet size
+	run := func(b *testing.B, writers int, group bool) {
+		opts := &Options{
+			MemTableBytes: 1 << 30, // keep flushes out of the measurement
+			SyncMode:      wal.SyncGrouped,
+		}
+		if group {
+			opts.GroupCommit = GroupCommitOptions{Enabled: true}
+		}
+		db, _ := openTestDB(b, opts)
+		before := db.CommitStats()
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				// Writer w owns ops w, w+writers, w+2*writers, ... so the
+				// total is exactly b.N whatever the writer count.
+				for i := w; i < b.N; i += writers {
+					k := []byte(fmt.Sprintf("w%02d-%09d", w, i))
+					if err := db.Put(k, val); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		b.StopTimer()
+		d := db.CommitStats().Sub(before)
+		if d.Commits > 0 {
+			b.ReportMetric(float64(d.Fsyncs)/float64(d.Commits), "fsyncs/op")
+			b.ReportMetric(d.MeanGroupSize(), "commits/group")
+		}
+	}
+	b.Run("writers=1/inline", func(b *testing.B) { run(b, 1, false) })
+	b.Run("writers=1/group", func(b *testing.B) { run(b, 1, true) })
+	b.Run("writers=8/inline", func(b *testing.B) { run(b, 8, false) })
+	b.Run("writers=8/group", func(b *testing.B) { run(b, 8, true) })
+}

@@ -90,6 +90,9 @@ func (db *DB) buildMemTable(mem *memTable, fileNum uint64) (*FileMeta, error) {
 // this runs only with the pipeline drained (no frozen MemTable
 // outstanding), from CompactRange.
 func (db *DB) flushLocked() error {
+	// flushedSeq below is set to lastSeq; wait out any group-commit
+	// leader pass so every assigned sequence is in the MemTable first.
+	db.waitCommitsLocked()
 	db.emit(metrics.Event{Type: metrics.EventFlushStart, Level: 0,
 		Entries: db.mem.list.Len(), Bytes: db.mem.approximateBytes()})
 	flushT0 := time.Now()
@@ -113,7 +116,10 @@ func (db *DB) flushLocked() error {
 
 	// The MemTable is durable in the SSTable; restart the WAL. Any
 	// leftover background segments backing it are obsolete too.
-	if err := db.log.Close(); err != nil {
+	db.logMu.Lock()
+	err = db.log.Close()
+	db.logMu.Unlock()
+	if err != nil {
 		return err
 	}
 	for _, p := range db.memWALs {
@@ -121,6 +127,7 @@ func (db *DB) flushLocked() error {
 			_ = os.Remove(p)
 		}
 	}
+	db.logMu.Lock()
 	if db.bg != nil {
 		_ = os.Remove(db.walFile())
 		db.walSeq++
@@ -134,6 +141,7 @@ func (db *DB) flushLocked() error {
 		db.memWALs = []string{db.walFile()}
 		db.emit(metrics.Event{Type: metrics.EventWALRotate, Detail: "restart"})
 	}
+	db.logMu.Unlock()
 	if err != nil {
 		return err
 	}

@@ -34,11 +34,16 @@ type DB struct {
 	dir  string
 	opts Options
 
-	mu          sync.RWMutex
-	cond        *sync.Cond  // signals imm-slot free, L0 drained, background done
-	mem         *memTable   // guarded by mu
-	imm         *memTable   // guarded by mu; frozen MemTable awaiting background flush (nil inline)
-	log         *wal.Writer // guarded by mu
+	mu   sync.RWMutex
+	cond *sync.Cond // signals imm-slot free, L0 drained, background done, commits landed
+	mem  *memTable  // guarded by mu
+	imm  *memTable  // guarded by mu; frozen MemTable awaiting background flush (nil inline)
+	// logMu guards the WAL writer pointer and all WAL I/O, so a
+	// group-commit leader appends and fsyncs without holding db.mu.
+	// Lock order: db.mu (either mode) before logMu, never the reverse;
+	// no goroutine acquires db.mu while holding logMu.
+	logMu       sync.Mutex
+	log         *wal.Writer // guarded by logMu
 	memWALs     []string    // guarded by mu; WAL files backing mem (active segment last)
 	immWALs     []string    // guarded by mu; WAL files backing imm; deleted after its flush
 	immSeq      uint64      // guarded by mu; highest seq in imm (manifest floor for its flush)
@@ -50,6 +55,15 @@ type DB struct {
 	blockCache  *cache.Cache
 	ingestBytes int64 // guarded by mu; user key+value bytes accepted, for WAMF
 	closed      bool  // guarded by mu
+
+	// commitsInFlight counts leader passes between sequence assignment
+	// (under mu) and MemTable insertion (back under mu). freeze/flush/
+	// Close wait for zero via waitCommitsLocked before treating lastSeq
+	// as fully present in the MemTables.
+	commitsInFlight int // guarded by mu
+	commitQ         commitQueue
+	cstats          commitStats
+	groupSize       *metrics.Histogram // commits per WAL write pass
 
 	// nextFileNum is atomic so the background compactor can allocate
 	// output numbers while rolling tables without holding db.mu.
@@ -78,6 +92,7 @@ func Open(dir string, o *Options) (*DB, error) {
 	}
 	db.cond = sync.NewCond(&db.mu)
 	db.nextFileNum.Store(1)
+	db.groupSize = metrics.NewHistogramBuckets(0, metrics.ExpBuckets(1, 2, 9))
 	if opts.BlockCacheBytes > 0 {
 		db.blockCache = cache.New(opts.BlockCacheBytes)
 	}
@@ -286,6 +301,9 @@ func (db *DB) DeleteWithSeqTraced(key []byte, tr *metrics.Trace) (uint64, error)
 }
 
 func (db *DB) write(kind ikey.Kind, key, value []byte, tr *metrics.Trace) (uint64, error) {
+	if db.opts.GroupCommit.Enabled {
+		return db.commit([]wal.Record{{Kind: byte(kind), Key: key, Value: value}}, false, tr)
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -299,30 +317,35 @@ func (db *DB) write(kind ikey.Kind, key, value []byte, tr *metrics.Trace) (uint6
 			return 0, err
 		}
 	}
-	t0 := tr.Now()
 	if db.opts.WriteMerge != nil && kind == ikey.KindSet {
+		t0 := tr.Now()
 		if existing, _, k, ok := db.mem.get(key); ok && k == ikey.KindSet {
 			value = db.opts.WriteMerge(existing, value)
 		}
+		tr.Since(metrics.PhaseMergeProbe, t0)
 	}
-	tr.Since(metrics.PhaseMemInsert, t0)
 	db.lastSeq++
 	seq := db.lastSeq
-	t0 = tr.Now()
-	if err := db.log.Append(wal.Record{Seq: seq, Kind: byte(kind), Key: key, Value: value}); err != nil {
+	t0 := tr.Now()
+	db.logMu.Lock()
+	err := db.log.Append(wal.Record{Seq: seq, Kind: byte(kind), Key: key, Value: value})
+	if err == nil {
+		err = db.syncWALLocked(1, tr)
+	}
+	db.logMu.Unlock()
+	tr.Since(metrics.PhaseWAL, t0)
+	if err != nil {
 		return 0, err
 	}
-	if db.opts.SyncWAL {
-		if err := db.log.Sync(); err != nil {
-			return 0, err
-		}
-	}
-	tr.Since(metrics.PhaseWAL, t0)
 	// Copy: callers may reuse their buffers.
 	t0 = tr.Now()
 	db.mem.add(seq, kind, append([]byte(nil), key...), append([]byte(nil), value...), db.opts.Extract)
 	tr.Since(metrics.PhaseMemInsert, t0)
 	db.ingestBytes += int64(len(key) + len(value))
+	db.cstats.commits.Add(1)
+	db.cstats.records.Add(1)
+	db.cstats.groups.Add(1)
+	db.groupSize.Observe(1)
 
 	if db.mem.approximateBytes() >= db.opts.MemTableBytes {
 		t0 = tr.Now()
@@ -473,10 +496,15 @@ func (db *DB) Close() error {
 	}
 	db.closed = true
 	db.cond.Broadcast()
+	// A group-commit leader may be mid-pass (off-mu WAL write); let it
+	// land its MemTable inserts before the log closes under it.
+	db.waitCommitsLocked()
 	var firstErr error
+	db.logMu.Lock()
 	if err := db.log.Close(); err != nil {
 		firstErr = err
 	}
+	db.logMu.Unlock()
 	for _, level := range db.v.levels {
 		for _, fm := range level {
 			if err := fm.f.Close(); err != nil && firstErr == nil {

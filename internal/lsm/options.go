@@ -13,6 +13,7 @@ package lsm
 import (
 	"leveldbpp/internal/metrics"
 	"leveldbpp/internal/sstable"
+	"leveldbpp/internal/wal"
 )
 
 // Merger combines multiple values of the same user key during compaction.
@@ -83,7 +84,17 @@ type Options struct {
 	WriteMerge WriteMerger
 	// SyncWAL forces an fsync per write. Off by default (the paper's
 	// throughput experiments run LevelDB in its default async mode).
+	// Deprecated shorthand: SyncMode supersedes it when set.
 	SyncWAL bool
+	// SyncMode selects WAL durability per commit: off (never fsync),
+	// always (one fsync per logical commit), or grouped (one fsync per
+	// commit group — concurrent committers share it). The zero value
+	// (wal.SyncUnset) resolves from SyncWAL: true → always, false → off.
+	SyncMode wal.SyncMode
+	// GroupCommit configures the leader-based commit queue. Off by
+	// default: the paper's experiments use the serial inline commit path
+	// for determinism.
+	GroupCommit GroupCommitOptions
 	// BackgroundCompaction decouples ingestion from merge work: on
 	// memtable-full the writer swaps in a fresh MemTable + WAL segment and
 	// hands the frozen one to a background flusher, while a dedicated
@@ -111,6 +122,22 @@ type Options struct {
 	// rotations — see metrics.EventType). Nil disables event emission.
 	// Sinks are called with db.mu held and must not block on this DB.
 	Events metrics.EventSink
+}
+
+// GroupCommitOptions tunes the leader-based commit queue (DESIGN.md
+// §5.5). When Enabled, every Put/Delete/Apply enqueues a pending commit;
+// the first waiter becomes leader, drains the queue up to the budgets
+// below, writes one WAL batch, issues the fsyncs its group's SyncMode
+// demands, performs the MemTable inserts, and wakes the followers.
+type GroupCommitOptions struct {
+	// Enabled turns the commit queue on.
+	Enabled bool
+	// MaxBatchBytes caps the WAL payload bytes a leader drains into one
+	// group. Default 1 MiB.
+	MaxBatchBytes int64
+	// MaxWaiters caps the number of pending commits a leader drains into
+	// one group. Default 128.
+	MaxWaiters int
 }
 
 func (o *Options) withDefaults() Options {
@@ -153,6 +180,19 @@ func (o *Options) withDefaults() Options {
 	}
 	if opts.Stats == nil {
 		opts.Stats = &metrics.IOStats{}
+	}
+	if opts.SyncMode == wal.SyncUnset {
+		if opts.SyncWAL {
+			opts.SyncMode = wal.SyncAlways
+		} else {
+			opts.SyncMode = wal.SyncOff
+		}
+	}
+	if opts.GroupCommit.MaxBatchBytes <= 0 {
+		opts.GroupCommit.MaxBatchBytes = 1 << 20
+	}
+	if opts.GroupCommit.MaxWaiters <= 0 {
+		opts.GroupCommit.MaxWaiters = 128
 	}
 	return opts
 }

@@ -68,8 +68,10 @@ type Phase uint8
 const (
 	// Write-path top-level phases.
 	PhaseThrottle    Phase = iota // L0 slowdown/stop wait before a write is accepted
-	PhaseWAL                      // WAL append (+ fsync when SyncWAL)
-	PhaseMemInsert                // MemTable insert, incl. write-merge probe
+	PhaseCommitWait               // follower wait in the group-commit queue
+	PhaseWAL                      // WAL append (+ fsync; see the wal_sync sub-phase)
+	PhaseMergeProbe               // write-merge (Lazy coalescing) read of the prior fragment
+	PhaseMemInsert                // MemTable insert
 	PhaseRotate                   // MemTable freeze handoff or inline flush+compaction
 	PhaseIndexUpdate              // secondary index maintenance (Eager RMW, Lazy/Composite puts)
 
@@ -85,6 +87,7 @@ const (
 	// Sub-phases (nested inside the above; not counted toward coverage).
 	PhaseBlockLoad // data block fetched from disk
 	PhaseCacheHit  // data block served by the block cache
+	PhaseWALSync   // fsync portion of PhaseWAL (buffer flush + fdatasync)
 
 	NumPhases
 )
@@ -94,8 +97,12 @@ func (p Phase) String() string {
 	switch p {
 	case PhaseThrottle:
 		return "throttle"
+	case PhaseCommitWait:
+		return "commit_wait"
 	case PhaseWAL:
 		return "wal"
+	case PhaseMergeProbe:
+		return "merge_probe"
 	case PhaseMemInsert:
 		return "mem_insert"
 	case PhaseRotate:
@@ -120,6 +127,8 @@ func (p Phase) String() string {
 		return "block_load"
 	case PhaseCacheHit:
 		return "cache_hit"
+	case PhaseWALSync:
+		return "wal_sync"
 	default:
 		return "unknown"
 	}

@@ -92,6 +92,56 @@ func (s *Server) writeMetrics(w io.Writer) {
 			metrics.Labels(map[string]string{"table": t.label}), t.sn.EntriesDecodedPerGet())
 	}
 
+	// Commit-path counters (DESIGN.md §5.5): logical commits, records,
+	// WAL write groups, and fsyncs, per table, plus the derived
+	// fsyncs-per-commit amortization gauge.
+	primCS, idxCS := s.db.CommitStats()
+	commitTables := []struct {
+		label string
+		cs    lsm.CommitStats
+	}{{"primary", primCS}, {"index", idxCS}}
+	commitCounters := []struct {
+		name, help string
+		get        func(cs lsm.CommitStats) int64
+	}{
+		{"lsmpp_commits_total", "Logical commits acknowledged by the write path.",
+			func(cs lsm.CommitStats) int64 { return cs.Commits }},
+		{"lsmpp_commit_records_total", "Records written across all commits.",
+			func(cs lsm.CommitStats) int64 { return cs.Records }},
+		{"lsmpp_commit_groups_total", "WAL write passes (commit groups; inline commits count 1 each).",
+			func(cs lsm.CommitStats) int64 { return cs.Groups }},
+		{"lsmpp_wal_fsyncs_total", "fsyncs issued by the commit path.",
+			func(cs lsm.CommitStats) int64 { return cs.Fsyncs }},
+	}
+	for _, c := range commitCounters {
+		metrics.WriteMetricHeader(w, c.name, c.help, "counter")
+		for _, t := range commitTables {
+			metrics.WriteSample(w, c.name,
+				metrics.Labels(map[string]string{"table": t.label}), float64(c.get(t.cs)))
+		}
+	}
+	metrics.WriteMetricHeader(w, "lsmpp_fsyncs_per_commit",
+		"fsyncs divided by commits (0 when no commits).", "gauge")
+	for _, t := range commitTables {
+		metrics.WriteSample(w, "lsmpp_fsyncs_per_commit",
+			metrics.Labels(map[string]string{"table": t.label}), t.cs.FsyncsPerCommit())
+	}
+
+	// Commits-per-WAL-write histogram, one series set per table name
+	// (sorted for a deterministic exposition).
+	hists := s.db.GroupSizeHists()
+	histNames := make([]string, 0, len(hists))
+	for name := range hists {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+	metrics.WriteMetricHeader(w, "lsmpp_commit_group_size",
+		"Commits per WAL write pass (group commit batching).", "histogram")
+	for _, name := range histNames {
+		hists[name].WritePrometheus(w, "lsmpp_commit_group_size",
+			map[string]string{"table": name})
+	}
+
 	// Per-operation latency histograms (always on, independent of trace
 	// sampling): one shared header, one label set per operation.
 	ops := s.db.OpStats()

@@ -3,9 +3,15 @@
 // CRC-framed; replay stops cleanly at the first torn or corrupt record, so
 // a crash mid-write loses at most the record being written (LevelDB's
 // recovery contract).
+//
+// The writer buffers frames in memory (bufio) and the engine flushes at
+// commit granularity: one write syscall per commit — or per commit
+// *group* under group commit — instead of two per record. Sync flushes
+// the buffer and fsyncs; callers choose when via SyncMode.
 package wal
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -16,6 +22,58 @@ import (
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
+// SyncMode selects WAL durability semantics per commit.
+type SyncMode uint8
+
+// The sync modes. SyncUnset is the zero value so legacy configurations
+// (the SyncWAL bool) keep working: the engine resolves it to SyncAlways
+// or SyncOff at open time.
+const (
+	SyncUnset SyncMode = iota
+	// SyncOff never fsyncs: frames reach the OS (buffer flush per
+	// commit) but a machine crash can lose acknowledged writes. The
+	// paper's throughput configuration.
+	SyncOff
+	// SyncAlways fsyncs once per logical commit before it is
+	// acknowledged, even when a group-commit leader batched the WAL
+	// write — the seed-equivalent fsync accounting, kept as the
+	// ablation baseline for measuring what sync batching alone buys.
+	SyncAlways
+	// SyncGrouped fsyncs once per commit *group*: every member is still
+	// acknowledged only after an fsync covering its records, but
+	// concurrent committers share one. Without group commit each commit
+	// is its own group, making this identical to SyncAlways.
+	SyncGrouped
+)
+
+// String returns the mode's flag spelling.
+func (m SyncMode) String() string {
+	switch m {
+	case SyncOff:
+		return "off"
+	case SyncAlways:
+		return "always"
+	case SyncGrouped:
+		return "grouped"
+	default:
+		return "unset"
+	}
+}
+
+// ParseSyncMode parses a -sync-mode flag value.
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch s {
+	case "off":
+		return SyncOff, nil
+	case "always":
+		return SyncAlways, nil
+	case "grouped":
+		return SyncGrouped, nil
+	default:
+		return SyncUnset, fmt.Errorf("wal: unknown sync mode %q (want off, always or grouped)", s)
+	}
+}
+
 // Record is one logged operation: a put (Value != nil semantics carried by
 // Kind) or delete of a user key at a sequence number.
 type Record struct {
@@ -25,10 +83,50 @@ type Record struct {
 	Value []byte
 }
 
-// Writer appends records to a log file.
+// ErrInjectedCrash is returned by a Writer whose FailAfter fault was
+// tripped: the write crossing the byte quota is torn mid-frame, exactly
+// as a power loss would leave it.
+var ErrInjectedCrash = errors.New("wal: injected crash")
+
+// bufferSize is the in-memory frame buffer. Large enough that a typical
+// commit group flushes in one write syscall.
+const bufferSize = 64 << 10
+
+// crashFile sits between the frame buffer and the file so crash tests
+// can inject a torn write: once armed, at most quota more bytes reach
+// the file and the write crossing the boundary is truncated and fails.
+type crashFile struct {
+	f     *os.File
+	quota int64 // -1 = disarmed
+}
+
+func (cf *crashFile) Write(p []byte) (int, error) {
+	if cf.quota < 0 {
+		return cf.f.Write(p)
+	}
+	if int64(len(p)) <= cf.quota {
+		cf.quota -= int64(len(p))
+		return cf.f.Write(p)
+	}
+	n, _ := cf.f.Write(p[:cf.quota])
+	cf.quota = 0
+	return n, ErrInjectedCrash
+}
+
+// Writer appends records to a log file through an in-memory buffer.
+// Frames are durable in the file only after Flush (OS-durable) or Sync
+// (storage-durable); Close flushes. Not safe for concurrent use — the
+// engine serializes WAL I/O under its log mutex.
 type Writer struct {
-	f   *os.File
-	buf []byte
+	cf  crashFile
+	bw  *bufio.Writer
+	buf []byte // frame-encode scratch
+}
+
+func newWriter(f *os.File) *Writer {
+	w := &Writer{cf: crashFile{f: f, quota: -1}}
+	w.bw = bufio.NewWriterSize(&w.cf, bufferSize)
+	return w
 }
 
 // Create opens (truncating) a log file for writing.
@@ -37,7 +135,18 @@ func Create(path string) (*Writer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: create: %w", err)
 	}
-	return &Writer{f: f}, nil
+	return newWriter(f), nil
+}
+
+// Append opens path for appending, creating it if absent. Used on DB open
+// so that records replayed into the MemTable remain durable until the
+// next flush.
+func Append(path string) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: append-open: %w", err)
+	}
+	return newWriter(f), nil
 }
 
 // Append writes one record. The frame is:
@@ -51,24 +160,53 @@ func (w *Writer) Append(r Record) error {
 	w.buf = binary.AppendUvarint(w.buf, uint64(len(r.Key)))
 	w.buf = append(w.buf, r.Key...)
 	w.buf = append(w.buf, r.Value...)
+	return w.writeFrame()
+}
 
+// writeFrame emits the header + w.buf payload into the buffer.
+func (w *Writer) writeFrame() error {
 	var hdr [8]byte
 	binary.BigEndian.PutUint32(hdr[0:4], crc32.Checksum(w.buf, crcTable))
 	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(w.buf)))
-	if _, err := w.f.Write(hdr[:]); err != nil {
+	if _, err := w.bw.Write(hdr[:]); err != nil {
 		return fmt.Errorf("wal: append header: %w", err)
 	}
-	if _, err := w.f.Write(w.buf); err != nil {
+	if _, err := w.bw.Write(w.buf); err != nil {
 		return fmt.Errorf("wal: append payload: %w", err)
 	}
 	return nil
 }
 
-// Sync flushes the log to stable storage.
-func (w *Writer) Sync() error { return w.f.Sync() }
+// Flush pushes buffered frames to the OS. The engine calls it once per
+// commit (or commit group), so acknowledged writes are always visible in
+// the file even without fsync — live-directory copies (checkpoints,
+// crash tests) rely on this.
+func (w *Writer) Flush() error { return w.bw.Flush() }
 
-// Close closes the underlying file.
-func (w *Writer) Close() error { return w.f.Close() }
+// Sync flushes the buffer and fsyncs the log to stable storage.
+func (w *Writer) Sync() error {
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	return w.cf.f.Sync()
+}
+
+// Close flushes the buffer and closes the underlying file.
+func (w *Writer) Close() error {
+	ferr := w.bw.Flush()
+	cerr := w.cf.f.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
+
+// FailAfter arms the crash-injection fault: after n more bytes reach the
+// file, the write crossing the boundary is truncated and every
+// subsequent write fails with ErrInjectedCrash. Buffered bytes count
+// when they flush. Test hook; call under the same serialization as the
+// write path.
+func (w *Writer) FailAfter(n int64) { w.cf.quota = n }
 
 // Replay reads records from the log at path in order, invoking fn for
 // each. It returns nil on a clean or truncated tail (the expected result
@@ -143,17 +281,6 @@ func decode(p []byte) (Record, error) {
 	return r, nil
 }
 
-// Append opens path for appending, creating it if absent. Used on DB open
-// so that records replayed into the MemTable remain durable until the
-// next flush.
-func Append(path string) (*Writer, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("wal: append-open: %w", err)
-	}
-	return &Writer{f: f}, nil
-}
-
 // batchKind marks a frame containing multiple sub-records that commit
 // atomically: the frame CRC covers all of them, so replay applies either
 // the whole batch or none of it.
@@ -179,16 +306,7 @@ func (w *Writer) AppendBatch(records []Record) error {
 		w.buf = binary.AppendUvarint(w.buf, uint64(len(r.Value)))
 		w.buf = append(w.buf, r.Value...)
 	}
-	var hdr [8]byte
-	binary.BigEndian.PutUint32(hdr[0:4], crc32.Checksum(w.buf, crcTable))
-	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(w.buf)))
-	if _, err := w.f.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wal: append batch header: %w", err)
-	}
-	if _, err := w.f.Write(w.buf); err != nil {
-		return fmt.Errorf("wal: append batch payload: %w", err)
-	}
-	return nil
+	return w.writeFrame()
 }
 
 // decodeBatch expands a batch frame into its sub-records.
