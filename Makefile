@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race short bench bench-json bench-ingest verify experiments ci clean
+.PHONY: all build vet lint test race short bench bench-json bench-ingest bench-postings verify experiments ci clean
 
 all: vet build test
 
@@ -47,20 +47,33 @@ bench-ingest:
 		./internal/lsm/ | $(GO) run ./cmd/benchjson > BENCH_pr6.json
 	@echo wrote BENCH_pr6.json
 
+# Run the posting-list codec benchmarks (v1 JSON vs v2 binary): the
+# isolated decode+merge at 10/100/1k-entry lists, the Eager RMW PUT at a
+# fixed list size, and the Lazy LOOKUP top-10 end to end. Emits
+# machine-readable results for the PR record.
+bench-postings:
+	{ $(GO) test -run '^$$' -bench 'BenchmarkPostingsMerge' -benchmem \
+		./internal/postings/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkEagerPut|BenchmarkLazyLookup' -benchmem \
+		./internal/core/ ; } | $(GO) run ./cmd/benchjson > BENCH_pr7.json
+	@echo wrote BENCH_pr7.json
+
 # Fast correctness gate for the read-path packages: static checks plus a
 # race-detector pass over the sstable block format and the lsm engine.
 verify: vet lint build
 	$(GO) test -race ./internal/sstable/... ./internal/lsm/...
 
 # The full pre-merge gate: static checks (go vet + lsmlint), a
-# race-detector pass over every package, and a 10-second fuzz smoke of
-# the sstable block round-trip (seeded from testdata/fuzz corpora).
-# The experiments package alone runs ~18 minutes under the race
-# detector on a small box, so the per-package timeout (a hang guard,
-# not a budget) is raised above go test's 10m default.
+# race-detector pass over every package, and 10-second fuzz smokes of
+# the sstable block round-trip and the posting-list codec (both seeded
+# from testdata/fuzz corpora). The experiments package alone runs ~18
+# minutes under the race detector on a small box, so the per-package
+# timeout (a hang guard, not a budget) is raised above go test's 10m
+# default.
 ci: vet lint build
 	$(GO) test -race -timeout 45m ./...
 	$(GO) test -fuzz=FuzzBlockRoundTrip -fuzztime=10s ./internal/sstable/
+	$(GO) test -fuzz=FuzzPostingsRoundTrip -fuzztime=10s ./internal/postings/
 
 # Regenerate the paper's evaluation at the default reduced scale.
 experiments:

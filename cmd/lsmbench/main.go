@@ -170,10 +170,18 @@ func main() {
 			h, rows := experiments.IngestCSV(rs)
 			return csvOut("ingest", h, rows)
 		},
+		"postings": func() error {
+			rs, err := experiments.PostingsCost(cfg)
+			if err != nil {
+				return err
+			}
+			h, rows := experiments.PostingsCSV(rs)
+			return csvOut("postings", h, rows)
+		},
 	}
 
 	order := []string{"fig7", "fig2", "fig8a", "fig8b", "fig8c", "fig9", "fig10", "fig11",
-		"fig12", "table3", "table5", "c1", "c2", "ablation", "cache", "seek", "concurrency", "pipeline", "ingest", "ycsb"}
+		"fig12", "table3", "table5", "c1", "c2", "ablation", "cache", "seek", "concurrency", "pipeline", "ingest", "postings", "ycsb"}
 
 	if *exp == "all" {
 		for _, name := range order {

@@ -29,6 +29,7 @@ import (
 	"leveldbpp/internal/core"
 	"leveldbpp/internal/lsm"
 	"leveldbpp/internal/metrics"
+	"leveldbpp/internal/postings"
 	"leveldbpp/internal/server"
 	"leveldbpp/internal/wal"
 )
@@ -46,6 +47,7 @@ func main() {
 		eventsOut = flag.String("events-jsonl", "", "append lifecycle events as JSON lines to this file")
 		syncMode  = flag.String("sync-mode", "off", "WAL durability: off|always|grouped (grouped = one fsync per commit group)")
 		groupOn   = flag.Bool("group-commit", false, "batch concurrent commits through the group-commit queue")
+		postFmt   = flag.String("postings-format", "v2", "posting-list encoding written by Eager/Lazy indexes: v2 (binary) or v1 (seed JSON); reads sniff either")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -58,6 +60,11 @@ func main() {
 		os.Exit(1)
 	}
 	sync, err := wal.ParseSyncMode(*syncMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lsmserver:", err)
+		os.Exit(1)
+	}
+	pf, err := postings.ParseFormat(*postFmt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lsmserver:", err)
 		os.Exit(1)
@@ -86,6 +93,7 @@ func main() {
 		Events:          events,
 		SyncMode:        sync,
 		GroupCommit:     lsm.GroupCommitOptions{Enabled: *groupOn},
+		PostingsFormat:  pf,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lsmserver:", err)

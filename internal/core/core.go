@@ -100,6 +100,12 @@ type Options struct {
 	// primary and index tables (see lsm.Options.RestartInterval): 0 is the
 	// v2 default, negative writes legacy v1 linear-scan blocks.
 	RestartInterval int
+	// PostingsFormat selects the posting-list encoding written by the
+	// Eager and Lazy index paths (DESIGN.md §5.6): unset/v2 is the binary
+	// varint format, v1 the seed's JSON arrays. Reading is always
+	// format-sniffing, so a database written under either setting opens
+	// under the other without conversion.
+	PostingsFormat postings.Format
 	// BlockCacheBytes enables an LRU block cache on the primary and
 	// index tables (0 = off, the paper's configuration).
 	BlockCacheBytes int64
@@ -166,6 +172,14 @@ type DB struct {
 	// in step, so their concurrent writers flow straight into the
 	// engine's commit queue and can actually form groups.
 	writeMu sync.Mutex
+
+	// pf is the resolved posting-list encoding for index writes.
+	pf postings.Format
+	// postBuf is the posting-list encode scratch shared by the Eager RMW
+	// and Lazy fragment write paths; guarded by writeMu (always held on
+	// those paths), and safe to reuse across engine Puts because the
+	// engine copies values before retaining them.
+	postBuf []byte // guarded by writeMu
 
 	// Observability (DESIGN.md §5.3): per-operation phase tracing,
 	// always-on per-op latency histograms, and the lifecycle event log
@@ -285,7 +299,7 @@ func Open(dir string, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := &DB{opts: opts, primary: primary,
+	db := &DB{opts: opts, primary: primary, pf: opts.PostingsFormat.OrDefault(),
 		tracer: tracer, ops: metrics.NewOpStats(), events: events}
 
 	switch opts.Index {
@@ -310,8 +324,13 @@ func Open(dir string, opts Options) (*DB, error) {
 				BackgroundCompaction: opts.BackgroundCompaction,
 			}
 			if opts.Index == IndexLazy {
-				idxOpts.WriteMerge = lazyWriteMerge
-				idxOpts.Merge = lazyCompactionMerger{}
+				// The mergers run inside the engine (write path and
+				// compaction), so the index table's IOStats is created here
+				// and injected into both the engine and the mergers.
+				st := &metrics.IOStats{}
+				idxOpts.Stats = st
+				idxOpts.WriteMerge = newLazyWriteMerger(db.pf, st)
+				idxOpts.Merge = &lazyCompactionMerger{f: db.pf, st: st}
 			}
 			idx, err := lsm.Open(filepath.Join(dir, "index-"+attr), idxOpts)
 			if err != nil {
@@ -548,6 +567,9 @@ func (db *DB) Stats() Stats {
 		s.Index.PointGets += is.PointGets
 		s.Index.EntriesDecoded += is.EntriesDecoded
 		s.Index.BlockSeeks += is.BlockSeeks
+		s.Index.PostingsBytesDecoded += is.PostingsBytesDecoded
+		s.Index.PostingsEntriesDecoded += is.PostingsEntriesDecoded
+		s.Index.FragmentsMerged += is.FragmentsMerged
 	}
 	return s
 }
@@ -644,24 +666,66 @@ func (db *DB) validateTraced(pk, attr, lo, hi string, tr *metrics.Trace) ([]byte
 	return value, valid, err
 }
 
-// lazyWriteMerge coalesces posting fragments inside the MemTable so each
-// level holds at most one fragment per secondary key.
-func lazyWriteMerge(existing, incoming []byte) []byte {
-	ex, err1 := postings.Decode(existing)
-	in, err2 := postings.Decode(incoming)
-	if err1 != nil || err2 != nil {
-		// Never drop data on decode problems; newest fragment wins.
-		return incoming
+// newLazyWriteMerger returns the WriteMerger that coalesces posting
+// fragments inside the MemTable so each level holds at most one fragment
+// per secondary key. The streaming merge reuses one scratch across calls
+// (the engine serializes write-merges per table; the mutex makes the
+// closure safe regardless), but the output is always freshly allocated:
+// the group-commit leader retains merged values across the rest of its
+// batch, so a reused buffer would corrupt earlier records.
+func newLazyWriteMerger(f postings.Format, st *metrics.IOStats) lsm.WriteMerger {
+	var mu sync.Mutex
+	var sc postings.MergeScratch
+	return func(existing, incoming []byte) []byte {
+		mu.Lock()
+		defer mu.Unlock()
+		out, err := sc.Merge(nil, [][]byte{incoming, existing}, false, f)
+		if err != nil {
+			// Never drop data on decode problems; newest fragment wins.
+			return incoming
+		}
+		st.PostingsBytesDecoded.Add(sc.BytesDecoded())
+		st.PostingsEntriesDecoded.Add(sc.EntriesDecoded())
+		st.FragmentsMerged.Add(sc.FragmentsMerged())
+		return out
 	}
-	return postings.Encode(postings.Merge([]postings.List{in, ex}, false))
 }
 
 // lazyCompactionMerger merges fragments scattered across levels during
 // index-table compaction (paper §4.1.2: "During merge compaction, we
-// merge these fragmented lists").
-type lazyCompactionMerger struct{}
+// merge these fragmented lists"). The output buffer is reused across
+// calls under mu — the SSTable builder copies the value into its block
+// before the next Merge can run.
+type lazyCompactionMerger struct {
+	f  postings.Format
+	st *metrics.IOStats
 
-func (lazyCompactionMerger) Merge(_ []byte, values [][]byte, bottom bool) ([]byte, bool) {
+	mu  sync.Mutex
+	sc  postings.MergeScratch // guarded by mu
+	buf []byte                // guarded by mu
+}
+
+func (m *lazyCompactionMerger) Merge(_ []byte, values [][]byte, bottom bool) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out, err := m.sc.Merge(m.buf[:0], values, bottom, m.f)
+	if err != nil {
+		return m.mergeSalvage(values, bottom)
+	}
+	m.buf = out
+	m.st.PostingsBytesDecoded.Add(m.sc.BytesDecoded())
+	m.st.PostingsEntriesDecoded.Add(m.sc.EntriesDecoded())
+	m.st.FragmentsMerged.Add(m.sc.FragmentsMerged())
+	if m.sc.EntriesEmitted() == 0 {
+		return nil, false
+	}
+	return out, true
+}
+
+// mergeSalvage preserves the seed behaviour when a fragment is corrupt:
+// skip the undecodable fragments and merge the rest, rather than failing
+// the whole compaction.
+func (m *lazyCompactionMerger) mergeSalvage(values [][]byte, bottom bool) ([]byte, bool) {
 	frags := make([]postings.List, 0, len(values))
 	for _, v := range values {
 		l, err := postings.Decode(v)
@@ -674,7 +738,7 @@ func (lazyCompactionMerger) Merge(_ []byte, values [][]byte, bottom bool) ([]byt
 	if len(merged) == 0 {
 		return nil, false
 	}
-	return postings.Encode(merged), true
+	return postings.EncodeFormat(merged, m.f), true
 }
 
 // Verify audits the primary table and every index table: full checksum

@@ -38,20 +38,28 @@ func (db *DB) eagerDelete(key string, oldValue []byte, seq uint64) error {
 	return nil
 }
 
+// eagerUpdate is the read-modify-write: fetch the current list, prepend
+// the new posting, drop the superseded entry for the same primary key,
+// and write the list back. The stored list is already newest-first, so
+// AppendAdd streams the update — no re-sort, and no intermediate []Entry
+// — into the DB's scratch buffer.
+//
+//lsm:locked — writeMu is held by putTraced/deleteTraced on every caller path.
 func (db *DB) eagerUpdate(idx *lsm.DB, attrValue, key string, seq uint64, del bool) error {
-	cur, found, err := idx.Get([]byte(attrValue))
+	cur, _, err := idx.Get([]byte(attrValue))
 	if err != nil {
 		return err
 	}
-	var list postings.List
-	if found {
-		list, err = postings.Decode(cur)
-		if err != nil {
-			return err
-		}
+	out, decoded, err := postings.AppendAdd(db.postBuf[:0], cur, key, seq, del, db.pf)
+	if err != nil {
+		return err
 	}
-	list = postings.Add(list, key, seq, del)
-	return idx.Put([]byte(attrValue), postings.Encode(list))
+	st := idx.Stats()
+	st.PostingsBytesDecoded.Add(int64(len(cur)))
+	st.PostingsEntriesDecoded.Add(decoded)
+	err = idx.Put([]byte(attrValue), out)
+	db.postBuf = out[:0]
+	return err
 }
 
 // eagerLookup is Algorithm 2: one GET on the index table retrieves the
@@ -65,27 +73,45 @@ func (db *DB) eagerLookup(attr, value string, k int, tr *metrics.Trace) ([]Entry
 	if err != nil || !found {
 		return nil, err
 	}
-	t0 = tr.Now()
-	list, err := postings.Decode(data)
-	if err != nil {
+	// Stream the list instead of materializing it: the cursor decodes
+	// entries one at a time (v2), so reaching K valid results leaves the
+	// tail of the list undecoded. The mark alternates the trace between
+	// posting_merge/postings_decode (cursor stepping) and validate.
+	var c postings.Cursor
+	mark := tr.Now()
+	if err := c.Reset(data); err != nil {
 		return nil, err
 	}
-	live := postings.Live(list) // newest first already
-	tr.Since(metrics.PhasePostingMerge, t0)
 	var out []Entry
-	for _, e := range live {
-		doc, valid, err := db.validateTraced(e.Key, attr, value, value, tr)
+	for c.Next() {
+		if c.Del() {
+			continue
+		}
+		pk := string(c.Key())
+		seq := c.Seq()
+		tr.Since(metrics.PhasePostingMerge, mark)
+		tr.Since(metrics.PhasePostingsDecode, mark)
+		doc, valid, err := db.validateTraced(pk, attr, value, value, tr)
+		mark = tr.Now()
 		if err != nil {
 			return nil, err
 		}
 		if !valid {
 			continue
 		}
-		out = append(out, Entry{Key: e.Key, Value: doc, Seq: e.Seq})
+		out = append(out, Entry{Key: pk, Value: doc, Seq: seq})
 		if k > 0 && len(out) >= k {
 			break
 		}
 	}
+	tr.Since(metrics.PhasePostingMerge, mark)
+	tr.Since(metrics.PhasePostingsDecode, mark)
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	st := idx.Stats()
+	st.PostingsBytesDecoded.Add(c.BytesDecoded())
+	st.PostingsEntriesDecoded.Add(c.EntriesDecoded())
 	return out, nil
 }
 
@@ -102,6 +128,7 @@ func (db *DB) eagerRangeLookup(attr, lo, hi string, k int, tr *metrics.Trace) ([
 	// mark alternates the trace between index_probe (scan advance) and
 	// posting_merge (list decode) with no overlap.
 	var candidates []postings.Entry
+	var decodedBytes, decodedEntries int64
 	mark := tr.Now()
 	err := idx.Scan([]byte(lo), upperBoundExclusive(hi), func(key, value []byte, _ uint64) bool {
 		tr.Since(metrics.PhaseIndexProbe, mark)
@@ -109,8 +136,11 @@ func (db *DB) eagerRangeLookup(attr, lo, hi string, k int, tr *metrics.Trace) ([
 		list, err := postings.Decode(value)
 		if err == nil {
 			candidates = append(candidates, postings.Live(list)...)
+			decodedBytes += int64(len(value))
+			decodedEntries += int64(len(list))
 		} // else: skip undecodable lists rather than abort
 		tr.Since(metrics.PhasePostingMerge, tD)
+		tr.Since(metrics.PhasePostingsDecode, tD)
 		mark = tr.Now()
 		return true
 	})
@@ -118,6 +148,9 @@ func (db *DB) eagerRangeLookup(attr, lo, hi string, k int, tr *metrics.Trace) ([
 	if err != nil {
 		return nil, err
 	}
+	st := idx.Stats()
+	st.PostingsBytesDecoded.Add(decodedBytes)
+	st.PostingsEntriesDecoded.Add(decodedEntries)
 	if err := db.validateCandidates(candidates, attr, lo, hi, k, heap, tr); err != nil {
 		return nil, err
 	}

@@ -21,10 +21,14 @@ import (
 // top-K heap is full — fragments deeper down are strictly older for the
 // same secondary key.
 
+//lsm:locked — writeMu is held by putTraced on every caller path.
 func (db *DB) lazyPut(key string, value []byte, seq uint64) error {
 	for _, av := range extractAttrs(value, db.opts.Attrs) {
 		idx := db.indexes[av.Attr]
-		if err := idx.Put([]byte(av.Value), postings.Single(key, seq, false)); err != nil {
+		// Fragment built in the shared scratch (writeMu held); the engine
+		// copies the value before Put returns.
+		db.postBuf = postings.AppendSingle(db.postBuf[:0], key, seq, false, db.pf)
+		if err := idx.Put([]byte(av.Value), db.postBuf); err != nil {
 			return err
 		}
 	}
@@ -34,10 +38,13 @@ func (db *DB) lazyPut(key string, value []byte, seq uint64) error {
 // lazyDelete appends deletion-marker fragments (paper: "DEL operation
 // similarly issues a PUT(a_i del, [k]) ... used during merge in compaction
 // to remove the deleted entry").
+//
+//lsm:locked — writeMu is held by deleteTraced on every caller path.
 func (db *DB) lazyDelete(key string, oldValue []byte, seq uint64) error {
 	for _, av := range extractAttrs(oldValue, db.opts.Attrs) {
 		idx := db.indexes[av.Attr]
-		if err := idx.Put([]byte(av.Value), postings.Single(key, seq, true)); err != nil {
+		db.postBuf = postings.AppendSingle(db.postBuf[:0], key, seq, true, db.pf)
+		if err := idx.Put([]byte(av.Value), db.postBuf); err != nil {
 			return err
 		}
 	}
@@ -46,17 +53,12 @@ func (db *DB) lazyDelete(key string, oldValue []byte, seq uint64) error {
 
 // lazyFragments visits every fragment stored for secondary key value,
 // newest stratum first: the MemTable fragment, then one per L0 file, then
-// one per deeper level. fn returns false to stop early.
-func lazyFragments(v *lsm.View, value []byte, fn func(list postings.List) (bool, error)) error {
-	step := func(data []byte) (bool, error) {
-		list, err := postings.Decode(data)
-		if err != nil {
-			return false, err
-		}
-		return fn(list)
-	}
+// one per deeper level. fn receives the fragment's encoded bytes (either
+// posting-list format; they alias stable arena/block memory) and returns
+// false to stop early.
+func lazyFragments(v *lsm.View, value []byte, fn func(data []byte) (bool, error)) error {
 	if data, _, deleted, ok := v.MemGet(value); ok && !deleted {
-		if cont, err := step(data); err != nil || !cont {
+		if cont, err := fn(data); err != nil || !cont {
 			return err
 		}
 	} else if ok && deleted {
@@ -64,7 +66,7 @@ func lazyFragments(v *lsm.View, value []byte, fn func(list postings.List) (bool,
 	}
 	if v.HasImm() { // frozen MemTable stratum (background mode)
 		if data, _, deleted, ok := v.ImmGet(value); ok && !deleted {
-			if cont, err := step(data); err != nil || !cont {
+			if cont, err := fn(data); err != nil || !cont {
 				return err
 			}
 		} else if ok && deleted {
@@ -85,7 +87,7 @@ func lazyFragments(v *lsm.View, value []byte, fn func(list postings.List) (bool,
 		if ikey.KindOf(ik) == ikey.KindDelete {
 			return nil
 		}
-		if cont, err := step(data); err != nil || !cont {
+		if cont, err := fn(data); err != nil || !cont {
 			return err
 		}
 	}
@@ -104,7 +106,7 @@ func lazyFragments(v *lsm.View, value []byte, fn func(list postings.List) (bool,
 		if ikey.KindOf(ik) == ikey.KindDelete {
 			return nil
 		}
-		if cont, err := step(data); err != nil || !cont {
+		if cont, err := fn(data); err != nil || !cont {
 			return err
 		}
 	}
@@ -119,29 +121,58 @@ func (db *DB) lazyLookup(attr, value string, k int, tr *metrics.Trace) ([]Entry,
 	idx := db.indexes[attr]
 	heap := newTopK(k)
 	seen := map[string]bool{}
+	var c postings.Cursor
+	var decodedBytes, decodedEntries, frags int64
 	// The mark closes an index_probe interval (stratum walk + fragment
 	// decode) whenever a validation starts, and reopens it after, so the
 	// two phases tile the traversal without overlap.
 	mark := tr.Now()
 	err := idx.View(func(v *lsm.View) error {
-		return lazyFragments(v, []byte(value), func(list postings.List) (bool, error) {
-			for _, e := range list {
-				if seen[e.Key] {
+		return lazyFragments(v, []byte(value), func(data []byte) (bool, error) {
+			frags++
+			tD := tr.Now()
+			if err := c.Reset(data); err != nil {
+				return false, err
+			}
+			tr.Since(metrics.PhasePostingsDecode, tD)
+			// Entries within a fragment are newest-first by the write
+			// path's invariant; sorted tracks whether this fragment
+			// honours it, which gates the mid-fragment early stop.
+			sorted, first := true, true
+			var prevSeq uint64
+			for c.Next() {
+				seq := c.Seq()
+				if !first && seq > prevSeq {
+					sorted = false
+				}
+				prevSeq, first = seq, false
+				if seen[string(c.Key())] {
 					continue // newer fragment already decided this key
 				}
-				seen[e.Key] = true
-				if e.Del || !heap.Worth(e.Seq) {
+				pk := string(c.Key())
+				seen[pk] = true
+				if c.Del() || !heap.Worth(seq) {
 					continue
 				}
 				tr.Since(metrics.PhaseIndexProbe, mark)
-				doc, valid, err := db.validateTraced(e.Key, attr, value, value, tr)
+				doc, valid, err := db.validateTraced(pk, attr, value, value, tr)
 				mark = tr.Now()
 				if err != nil {
 					return false, err
 				}
 				if valid {
-					heap.Add(Entry{Key: e.Key, Value: doc, Seq: e.Seq})
+					heap.Add(Entry{Key: pk, Value: doc, Seq: seq})
+					if heap.Full() && sorted {
+						// Every remaining entry in this fragment is older
+						// than the heap's minimum; stop decoding the tail.
+						break
+					}
 				}
+			}
+			decodedBytes += c.BytesDecoded()
+			decodedEntries += c.EntriesDecoded()
+			if err := c.Err(); err != nil {
+				return false, err
 			}
 			// Stop descending once the heap is full: every entry in a
 			// deeper fragment of this secondary key is older than every
@@ -153,6 +184,10 @@ func (db *DB) lazyLookup(attr, value string, k int, tr *metrics.Trace) ([]Entry,
 	if err != nil {
 		return nil, err
 	}
+	st := idx.Stats()
+	st.PostingsBytesDecoded.Add(decodedBytes)
+	st.PostingsEntriesDecoded.Add(decodedEntries)
+	st.FragmentsMerged.Add(frags)
 	return heap.Results(), nil
 }
 
@@ -163,14 +198,18 @@ func (db *DB) lazyLookup(attr, value string, k int, tr *metrics.Trace) ([]Entry,
 func (db *DB) lazyRangeLookup(attr, lo, hi string, k int, tr *metrics.Trace) ([]Entry, error) {
 	idx := db.indexes[attr]
 	heap := newTopK(k)
-	perKey := map[string][]postings.List{} // secondary key → fragments, newest first
+	// Secondary key → encoded fragments, newest stratum first. Decoding is
+	// deferred to the streaming merge below, so the scan itself only
+	// gathers bytes.
+	perKey := map[string][][]byte{}
 
 	t0 := tr.Now()
 	err := idx.View(func(v *lsm.View) error {
 		loB, hiExcl := []byte(lo), upperBoundExclusive(hi)
 
 		// MemTable strata: the live MemTable, then the frozen one if a
-		// background flush is pending.
+		// background flush is pending. Skiplist values alias stable arena
+		// memory, so they are kept without copying.
 		scanMem := func(it *skiplist.Iterator) error {
 			if it == nil {
 				return nil
@@ -187,11 +226,9 @@ func (db *DB) lazyRangeLookup(attr, lo, hi string, k int, tr *metrics.Trace) ([]
 				if !newest || ikey.KindOf(ik) == ikey.KindDelete {
 					continue
 				}
-				list, err := postings.Decode(it.Value())
-				if err != nil {
-					return err
-				}
-				perKey[string(uk)] = append(perKey[string(uk)], list)
+				// Skiplist values alias arena memory that is never reused,
+				// so the fragment stays valid past the iteration.
+				perKey[string(uk)] = append(perKey[string(uk)], it.Value()) //lsm:aliasok
 			}
 			return nil
 		}
@@ -202,7 +239,8 @@ func (db *DB) lazyRangeLookup(attr, lo, hi string, k int, tr *metrics.Trace) ([]
 			return err
 		}
 
-		// Table strata: each L0 file, then each deeper level.
+		// Table strata: each L0 file, then each deeper level. Iterator
+		// value bytes are reused across Next, so fragments are copied.
 		scanTable := func(fm *lsm.FileMeta) error {
 			ti := fm.Table().NewIterator(false)
 			var prev []byte
@@ -217,11 +255,8 @@ func (db *DB) lazyRangeLookup(attr, lo, hi string, k int, tr *metrics.Trace) ([]
 				if !newest || ikey.KindOf(ik) == ikey.KindDelete {
 					continue
 				}
-				list, err := postings.Decode(ti.Value())
-				if err != nil {
-					return err
-				}
-				perKey[string(uk)] = append(perKey[string(uk)], list)
+				frag := append([]byte(nil), ti.Value()...)
+				perKey[string(uk)] = append(perKey[string(uk)], frag)
 			}
 			return ti.Err()
 		}
@@ -244,14 +279,33 @@ func (db *DB) lazyRangeLookup(attr, lo, hi string, k int, tr *metrics.Trace) ([]
 		return nil, err
 	}
 
-	// Merge each key's fragments (newest fragment first within a key is
-	// irrelevant to Merge, which keeps max-seq per primary key), then pool.
+	// Merge each key's fragments directly from the encoded bytes into the
+	// candidate pool (newest-fragment order within a key is irrelevant:
+	// the merge keeps max-seq per primary key). Deletion markers drop here
+	// like the decoded path's Merge(frags, true) did.
 	t0 = tr.Now()
 	var candidates []postings.Entry
-	for _, frags := range perKey {
-		candidates = append(candidates, postings.Merge(frags, true)...)
+	var sc postings.MergeScratch
+	var decodedBytes, decodedEntries, frags int64
+	for _, encFrags := range perKey {
+		err := sc.MergeFunc(encFrags, true, func(key []byte, seq uint64, del bool) {
+			candidates = append(candidates, postings.Entry{Key: string(key), Seq: seq, Del: del})
+		})
+		if err != nil {
+			tr.Since(metrics.PhasePostingMerge, t0)
+			tr.Since(metrics.PhasePostingsDecode, t0)
+			return nil, err
+		}
+		decodedBytes += sc.BytesDecoded()
+		decodedEntries += sc.EntriesDecoded()
+		frags += sc.FragmentsMerged()
 	}
 	tr.Since(metrics.PhasePostingMerge, t0)
+	tr.Since(metrics.PhasePostingsDecode, t0)
+	st := idx.Stats()
+	st.PostingsBytesDecoded.Add(decodedBytes)
+	st.PostingsEntriesDecoded.Add(decodedEntries)
+	st.FragmentsMerged.Add(frags)
 	if err := db.validateCandidates(candidates, attr, lo, hi, k, heap, tr); err != nil {
 		return nil, err
 	}

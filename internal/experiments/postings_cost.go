@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"leveldbpp/internal/core"
+	"leveldbpp/internal/postings"
+	"leveldbpp/internal/workload"
+)
+
+// PostingsResult is one row of the posting-list codec experiment: a
+// stand-alone index kind run end to end under one encoding, reporting
+// ingest throughput, LOOKUP latency, and the decode work per query that
+// the lsmpp_postings_* counters expose.
+type PostingsResult struct {
+	Kind               core.IndexKind
+	Format             postings.Format
+	IngestOpsPerSec    float64
+	MeanLookupMicro    float64
+	EntriesPerLookup   float64 // posting entries decoded per LOOKUP
+	BytesPerLookup     float64 // encoded posting bytes decoded per LOOKUP
+	FragmentsPerLookup float64 // fragments fed to the merge per LOOKUP (Lazy)
+	IndexDiskBytes     int64
+}
+
+// PostingsCost measures what the posting-list encoding costs the
+// stand-alone indexes (DESIGN.md §5.6): the same ingest + top-10 LOOKUP
+// run under the seed v1 JSON codec and the v2 binary codec. Eager pays
+// the codec on every PUT (full-list read-modify-write); Lazy pays it on
+// every LOOKUP (fragment decode+merge). The per-query decode counters
+// make the v2 early-stop visible: entries decoded per LOOKUP drops to
+// roughly the top-K, independent of list length.
+func PostingsCost(c Config) ([]PostingsResult, error) {
+	c = c.withDefaults()
+	tweets := c.dataset()
+	c.printf("Posting-list codec — %d tweets, %d top-10 LOOKUPs, v1 JSON vs v2 binary\n",
+		len(tweets), c.Queries)
+	c.printf("%-10s %-6s %10s %12s %12s %12s %10s %12s\n",
+		"index", "fmt", "put/sec", "lookup(us)", "entries/q", "bytes/q", "frags/q", "index-disk")
+
+	var out []PostingsResult
+	for _, kind := range []core.IndexKind{core.IndexEager, core.IndexLazy} {
+		for _, f := range []postings.Format{postings.FormatV1, postings.FormatV2} {
+			opts := dbOptions(kind)
+			opts.PostingsFormat = f
+			name := fmt.Sprintf("postings-%s-%s", kind, f)
+			db, err := c.open(filepath.Join(c.Dir, name), opts)
+			if err != nil {
+				return nil, err
+			}
+
+			start := time.Now()
+			for _, tw := range tweets {
+				if err := db.Put(tw.ID, tw.Doc()); err != nil {
+					_ = db.Close()
+					return nil, err
+				}
+			}
+			if err := db.Flush(); err != nil {
+				_ = db.Close()
+				return nil, err
+			}
+			ingestSecs := time.Since(start).Seconds()
+
+			q := workload.NewStaticQueries(tweets, c.Seed)
+			s0 := db.Stats()
+			start = time.Now()
+			for i := 0; i < c.Queries; i++ {
+				op := q.Lookup(workload.AttrUser, 10)
+				if _, err := db.Lookup(op.Attr, op.Lo, op.K); err != nil {
+					_ = db.Close()
+					return nil, err
+				}
+			}
+			querySecs := time.Since(start).Seconds()
+			s1 := db.Stats()
+
+			_, idxDisk, err := db.DiskUsage()
+			if err != nil {
+				_ = db.Close()
+				return nil, err
+			}
+			nq := float64(c.Queries)
+			r := PostingsResult{
+				Kind:               kind,
+				Format:             f,
+				IngestOpsPerSec:    float64(len(tweets)) / ingestSecs,
+				MeanLookupMicro:    querySecs * 1e6 / nq,
+				EntriesPerLookup:   float64(s1.Index.PostingsEntriesDecoded-s0.Index.PostingsEntriesDecoded) / nq,
+				BytesPerLookup:     float64(s1.Index.PostingsBytesDecoded-s0.Index.PostingsBytesDecoded) / nq,
+				FragmentsPerLookup: float64(s1.Index.FragmentsMerged-s0.Index.FragmentsMerged) / nq,
+				IndexDiskBytes:     idxDisk,
+			}
+			out = append(out, r)
+			c.printf("%-10s %-6s %10.0f %12.1f %12.1f %12.1f %10.2f %12d\n",
+				r.Kind, r.Format, r.IngestOpsPerSec, r.MeanLookupMicro,
+				r.EntriesPerLookup, r.BytesPerLookup, r.FragmentsPerLookup, r.IndexDiskBytes)
+			if err := db.Close(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// PostingsCSV renders PostingsCost results for csvOut.
+func PostingsCSV(rs []PostingsResult) ([]string, [][]string) {
+	header := []string{"index", "format", "put_per_sec", "mean_lookup_us",
+		"entries_per_lookup", "bytes_per_lookup", "frags_per_lookup", "index_disk_bytes"}
+	var rows [][]string
+	for _, r := range rs {
+		rows = append(rows, []string{
+			r.Kind.String(), r.Format.String(),
+			fmt.Sprintf("%.0f", r.IngestOpsPerSec),
+			fmt.Sprintf("%.1f", r.MeanLookupMicro),
+			fmt.Sprintf("%.1f", r.EntriesPerLookup),
+			fmt.Sprintf("%.1f", r.BytesPerLookup),
+			fmt.Sprintf("%.2f", r.FragmentsPerLookup),
+			fmt.Sprintf("%d", r.IndexDiskBytes),
+		})
+	}
+	return header, rows
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"testing"
+
+	"leveldbpp/internal/core"
+	"leveldbpp/internal/postings"
+)
+
+func TestPostingsCost(t *testing.T) {
+	c := testConfig(t)
+	c.Scale = 2000
+	c.Queries = 40
+	rs, err := PostingsCost(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 4 { // {Eager,Lazy} × {v1,v2}
+		t.Fatalf("rows = %d", len(rs))
+	}
+	byKey := map[string]PostingsResult{}
+	for _, r := range rs {
+		if r.IngestOpsPerSec <= 0 || r.MeanLookupMicro <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		if r.EntriesPerLookup <= 0 || r.BytesPerLookup <= 0 {
+			t.Fatalf("decode counters did not move: %+v", r)
+		}
+		byKey[r.Kind.String()+"/"+r.Format.String()] = r
+	}
+	for _, kind := range []core.IndexKind{core.IndexEager, core.IndexLazy} {
+		v1 := byKey[kind.String()+"/"+postings.FormatV1.String()]
+		v2 := byKey[kind.String()+"/"+postings.FormatV2.String()]
+		// The v2 cursor stops decoding once the top-K heap fills; v1 JSON
+		// materializes whole lists before the heap sees anything.
+		if v2.EntriesPerLookup > v1.EntriesPerLookup {
+			t.Errorf("%s: v2 decoded more entries per LOOKUP (%.1f) than v1 (%.1f)",
+				kind, v2.EntriesPerLookup, v1.EntriesPerLookup)
+		}
+		if v2.IndexDiskBytes > v1.IndexDiskBytes {
+			t.Errorf("%s: v2 index larger on disk (%d) than v1 (%d)",
+				kind, v2.IndexDiskBytes, v1.IndexDiskBytes)
+		}
+	}
+	h, rows := PostingsCSV(rs)
+	if len(h) != 8 || len(rows) != len(rs) {
+		t.Fatalf("CSV shape %d×%d", len(h), len(rows))
+	}
+}

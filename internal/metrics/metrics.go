@@ -30,6 +30,12 @@ type IOStats struct {
 	PointGets            atomic.Int64 // sstable point reads (Table.Get calls)
 	EntriesDecoded       atomic.Int64 // block entries decoded on the point-read path
 	BlockSeeks           atomic.Int64 // in-block restart-array binary searches
+
+	// Posting-list codec counters (DESIGN.md §5.6): decode work performed
+	// by the stand-alone index paths (Eager RMW, Lazy merge, LOOKUP).
+	PostingsBytesDecoded   atomic.Int64 // encoded posting-list bytes consumed
+	PostingsEntriesDecoded atomic.Int64 // posting entries materialized or cursor-stepped
+	FragmentsMerged        atomic.Int64 // posting-list fragments fed into merges
 }
 
 // Snapshot is a point-in-time copy of IOStats.
@@ -40,6 +46,8 @@ type Snapshot struct {
 	CompactionWrites, CompactionWriteBytes int64
 	CacheHits, CacheMisses                 int64
 	PointGets, EntriesDecoded, BlockSeeks  int64
+
+	PostingsBytesDecoded, PostingsEntriesDecoded, FragmentsMerged int64
 }
 
 // EntriesDecodedPerGet returns the mean number of block entries decoded
@@ -70,6 +78,10 @@ func (s *IOStats) Snapshot() Snapshot {
 		PointGets:            s.PointGets.Load(),
 		EntriesDecoded:       s.EntriesDecoded.Load(),
 		BlockSeeks:           s.BlockSeeks.Load(),
+
+		PostingsBytesDecoded:   s.PostingsBytesDecoded.Load(),
+		PostingsEntriesDecoded: s.PostingsEntriesDecoded.Load(),
+		FragmentsMerged:        s.FragmentsMerged.Load(),
 	}
 }
 
@@ -98,6 +110,10 @@ func (sn Snapshot) Sub(other Snapshot) Snapshot {
 		PointGets:            sn.PointGets - other.PointGets,
 		EntriesDecoded:       sn.EntriesDecoded - other.EntriesDecoded,
 		BlockSeeks:           sn.BlockSeeks - other.BlockSeeks,
+
+		PostingsBytesDecoded:   sn.PostingsBytesDecoded - other.PostingsBytesDecoded,
+		PostingsEntriesDecoded: sn.PostingsEntriesDecoded - other.PostingsEntriesDecoded,
+		FragmentsMerged:        sn.FragmentsMerged - other.FragmentsMerged,
 	}
 }
 

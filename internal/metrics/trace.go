@@ -85,9 +85,10 @@ const (
 	PhaseValidate     // candidate validation against the primary table
 
 	// Sub-phases (nested inside the above; not counted toward coverage).
-	PhaseBlockLoad // data block fetched from disk
-	PhaseCacheHit  // data block served by the block cache
-	PhaseWALSync   // fsync portion of PhaseWAL (buffer flush + fdatasync)
+	PhaseBlockLoad      // data block fetched from disk
+	PhaseCacheHit       // data block served by the block cache
+	PhaseWALSync        // fsync portion of PhaseWAL (buffer flush + fdatasync)
+	PhasePostingsDecode // posting-list codec time inside index_probe/posting_merge/index_update
 
 	NumPhases
 )
@@ -129,6 +130,8 @@ func (p Phase) String() string {
 		return "cache_hit"
 	case PhaseWALSync:
 		return "wal_sync"
+	case PhasePostingsDecode:
+		return "postings_decode"
 	default:
 		return "unknown"
 	}

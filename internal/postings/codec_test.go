@@ -1,0 +1,412 @@
+package postings
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func sampleList() List {
+	return List{
+		{Key: "t9", Seq: 90},
+		{Key: "t7", Seq: 71, Del: true},
+		{Key: "t3", Seq: 30},
+		{Key: "", Seq: 12}, // empty keys must round-trip
+		{Key: "t1", Seq: 1},
+	}
+}
+
+func TestV2RoundTrip(t *testing.T) {
+	for _, l := range []List{nil, {}, sampleList()} {
+		enc := AppendList(nil, l)
+		if len(enc) == 0 || enc[0] != MagicV2 {
+			t.Fatalf("v2 encoding missing magic: %x", enc)
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(l) {
+			t.Fatalf("round trip %d entries, want %d", len(got), len(l))
+		}
+		for i := range l {
+			if got[i] != l[i] {
+				t.Fatalf("entry %d = %+v want %+v", i, got[i], l[i])
+			}
+		}
+	}
+}
+
+func TestV2RoundTripUnsortedAndHugeSeqs(t *testing.T) {
+	// Wrap-around delta encoding must round-trip any seq sequence, not
+	// just descending ones.
+	l := List{{Key: "a", Seq: 3}, {Key: "b", Seq: 1 << 63}, {Key: "c", Seq: 0}, {Key: "d", Seq: ^uint64(0)}}
+	got, err := Decode(AppendList(nil, l))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, l) {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestEncodeFormat(t *testing.T) {
+	l := sampleList()
+	v1 := EncodeFormat(l, FormatV1)
+	if v1[0] != '[' {
+		t.Fatalf("v1 encoding not JSON: %q", v1)
+	}
+	v2 := EncodeFormat(l, FormatUnset) // unset resolves to v2
+	if v2[0] != MagicV2 {
+		t.Fatalf("default encoding not v2: %x", v2)
+	}
+	if len(v2) >= len(v1) {
+		t.Fatalf("v2 (%d bytes) not smaller than v1 (%d bytes)", len(v2), len(v1))
+	}
+	for _, enc := range [][]byte{v1, v2} {
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, l) {
+			t.Fatalf("decode mismatch: %+v", got)
+		}
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for s, want := range map[string]Format{"": FormatV2, "v2": FormatV2, "v1": FormatV1} {
+		got, err := ParseFormat(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseFormat(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseFormat("v3"); err == nil {
+		t.Fatal("ParseFormat accepted v3")
+	}
+}
+
+func TestCursorEarlyStopConsumesPrefixOnly(t *testing.T) {
+	l := make(List, 100)
+	for i := range l {
+		l[i] = Entry{Key: "tweet-with-a-long-key-0000", Seq: uint64(1000 - i)}
+	}
+	enc := AppendList(nil, l)
+	var c Cursor
+	if err := c.Reset(enc); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5 && c.Next(); i++ {
+	}
+	if c.EntriesDecoded() != 5 {
+		t.Fatalf("EntriesDecoded = %d want 5", c.EntriesDecoded())
+	}
+	if c.BytesDecoded() >= int64(len(enc))/2 {
+		t.Fatalf("early stop consumed %d of %d bytes", c.BytesDecoded(), len(enc))
+	}
+}
+
+func TestCursorV1Fallback(t *testing.T) {
+	l := sampleList()
+	var c Cursor
+	if err := c.Reset(Encode(l)); err != nil {
+		t.Fatal(err)
+	}
+	var got List
+	for c.Next() {
+		got = append(got, Entry{Key: string(c.Key()), Seq: c.Seq(), Del: c.Del()})
+	}
+	if c.Err() != nil || !reflect.DeepEqual(got, l) {
+		t.Fatalf("v1 cursor = %+v, %v", got, c.Err())
+	}
+	if c.EntriesDecoded() != int64(len(l)) || c.BytesDecoded() == 0 {
+		t.Fatalf("v1 counters = %d entries, %d bytes", c.EntriesDecoded(), c.BytesDecoded())
+	}
+	// The same cursor must be reusable for v2 input afterwards.
+	if err := c.Reset(AppendList(nil, l)); err != nil {
+		t.Fatal(err)
+	}
+	got = got[:0]
+	for c.Next() {
+		got = append(got, Entry{Key: string(c.Key()), Seq: c.Seq(), Del: c.Del()})
+	}
+	if !reflect.DeepEqual(got, l) {
+		t.Fatalf("v2 cursor after reuse = %+v", got)
+	}
+}
+
+func TestCursorCorruptInputs(t *testing.T) {
+	valid := AppendList(nil, sampleList())
+	for _, data := range [][]byte{
+		{MagicV2, 0x80},             // truncated uvarint
+		{MagicV2, 0x04},             // key length 2 past the buffer
+		{MagicV2, 0x02, 0x80},       // truncated seq varint
+		{MagicV2, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01, 0x00}, // huge key length
+		valid[:len(valid)-1], // truncated key bytes
+	} {
+		var c Cursor
+		if err := c.Reset(data); err != nil {
+			t.Fatalf("Reset(%x) should defer corruption to Next: %v", data, err)
+		}
+		for c.Next() {
+		}
+		if c.Err() == nil {
+			t.Fatalf("corrupt input %x iterated cleanly", data)
+		}
+		if _, err := Decode(data); err == nil {
+			t.Fatalf("Decode accepted corrupt %x", data)
+		}
+	}
+}
+
+func TestAppendSingleMatchesSingle(t *testing.T) {
+	for _, f := range []Format{FormatV1, FormatV2} {
+		got, err := Decode(AppendSingle(nil, "t42", 7, true, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Decode(Single("t42", 7, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%v: AppendSingle = %+v want %+v", f, got, want)
+		}
+	}
+}
+
+func TestAppendAddEquivalence(t *testing.T) {
+	base := sampleList()
+	for _, inFmt := range []Format{FormatV1, FormatV2} {
+		for _, outFmt := range []Format{FormatV1, FormatV2} {
+			existing := EncodeFormat(base, inFmt)
+			out, decoded, err := AppendAdd(nil, existing, "t3", 99, false, outFmt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if decoded != int64(len(base)) {
+				t.Fatalf("decoded = %d want %d", decoded, len(base))
+			}
+			got, err := Decode(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := Add(base, "t3", 99, false)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("in=%v out=%v: AppendAdd = %+v want %+v", inFmt, outFmt, got, want)
+			}
+		}
+	}
+	// Missing list: prepend into nothing.
+	out, _, err := AppendAdd(nil, nil, "t1", 5, true, FormatV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := Decode(out)
+	if len(got) != 1 || got[0] != (Entry{Key: "t1", Seq: 5, Del: true}) {
+		t.Fatalf("AppendAdd(nil) = %+v", got)
+	}
+}
+
+// canonical sorts a list into a deterministic order for set comparison
+// (v1 Merge's sort is unstable for equal sequence numbers).
+func canonical(l List) List {
+	out := append(List(nil), l...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Seq != out[j].Seq {
+			return out[i].Seq > out[j].Seq
+		}
+		if out[i].Key != out[j].Key {
+			return out[i].Key < out[j].Key
+		}
+		return !out[i].Del && out[j].Del
+	})
+	return out
+}
+
+func TestMergeStreamsMatchesMerge(t *testing.T) {
+	newer := List{{Key: "t5", Seq: 50}, {Key: "t2", Seq: 42, Del: true}, {Key: "t1", Seq: 25}}
+	older := List{{Key: "t2", Seq: 10}, {Key: "t1", Seq: 8}, {Key: "t0", Seq: 2}}
+	for _, drop := range []bool{false, true} {
+		want := canonical(Merge([]List{newer, older}, drop))
+		// All four format combinations of the two fragments, both output formats.
+		for _, f1 := range []Format{FormatV1, FormatV2} {
+			for _, f2 := range []Format{FormatV1, FormatV2} {
+				for _, outFmt := range []Format{FormatV1, FormatV2} {
+					frags := [][]byte{EncodeFormat(newer, f1), EncodeFormat(older, f2)}
+					out, err := MergeStreams(nil, frags, drop, outFmt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := Decode(out)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(canonical(got), want) {
+						t.Fatalf("drop=%v %v+%v->%v: got %+v want %+v", drop, f1, f2, outFmt, got, want)
+					}
+					// Output must be newest-first.
+					for i := 1; i < len(got); i++ {
+						if got[i].Seq > got[i-1].Seq {
+							t.Fatalf("merge output not newest-first: %+v", got)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMergeStreamsUnsortedFallback(t *testing.T) {
+	// A fragment violating the newest-first invariant must still merge
+	// with the exact semantics of the reference Merge.
+	unsorted := List{{Key: "a", Seq: 1}, {Key: "b", Seq: 9}, {Key: "a", Seq: 5}}
+	other := List{{Key: "b", Seq: 3}, {Key: "c", Seq: 2}}
+	want := canonical(Merge([]List{unsorted, other}, false))
+	out, err := MergeStreams(nil, [][]byte{AppendList(nil, unsorted), AppendList(nil, other)}, false, FormatV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(canonical(got), want) {
+		t.Fatalf("fallback merge = %+v want %+v", got, want)
+	}
+}
+
+func TestMergeStreamsCorruptFragmentFails(t *testing.T) {
+	good := AppendList(nil, sampleList())
+	for _, bad := range [][]byte{{MagicV2, 0x04}, []byte("{not json")} {
+		if _, err := MergeStreams(nil, [][]byte{good, bad}, false, FormatV2); err == nil {
+			t.Fatalf("merge accepted corrupt fragment %x", bad)
+		}
+	}
+}
+
+func TestMergeScratchReuse(t *testing.T) {
+	var s MergeScratch
+	var buf []byte
+	a := AppendList(nil, List{{Key: "x", Seq: 4}})
+	b := AppendList(nil, List{{Key: "y", Seq: 2}})
+	for i := 0; i < 3; i++ {
+		out, err := s.Merge(buf[:0], [][]byte{a, b}, false, FormatV2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = out
+		got, err := Decode(out)
+		if err != nil || len(got) != 2 || got[0].Key != "x" || got[1].Key != "y" {
+			t.Fatalf("iteration %d: %+v, %v", i, got, err)
+		}
+		if s.FragmentsMerged() != 2 || s.EntriesDecoded() != 2 {
+			t.Fatalf("iteration %d stats: frags=%d entries=%d", i, s.FragmentsMerged(), s.EntriesDecoded())
+		}
+	}
+}
+
+// TestMergeScratchReuseChainedV1 chains write-merges through one scratch,
+// exactly like the Lazy index's WriteMerger does under load: each round
+// merges a fresh single-entry fragment with the accumulated list. A past
+// bug left stale Cursor structs in the scratch's slice after shift-
+// removal; on reuse two v1 cursors shared one keyBuf backing array and
+// clobbered each other's current key, collapsing the chain to two
+// mismatched entries. Both formats must grow the list by one per round.
+func TestMergeScratchReuseChainedV1(t *testing.T) {
+	for _, f := range []Format{FormatV1, FormatV2} {
+		t.Run(f.String(), func(t *testing.T) {
+			var sc MergeScratch
+			var existing []byte
+			for i := 0; i < 10; i++ {
+				incoming := AppendSingle(nil, fmt.Sprintf("t%04d", i), uint64(100+i), false, f)
+				out, err := sc.Merge(nil, [][]byte{incoming, existing}, false, f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				existing = out
+			}
+			got, err := Decode(existing)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 10 {
+				t.Fatalf("chain collapsed: %d entries, want 10: %v", len(got), got)
+			}
+			for i, e := range got {
+				wantKey := fmt.Sprintf("t%04d", 9-i)
+				wantSeq := uint64(100 + 9 - i)
+				if e.Key != wantKey || e.Seq != wantSeq {
+					t.Fatalf("entry %d = %s@%d, want %s@%d", i, e.Key, e.Seq, wantKey, wantSeq)
+				}
+			}
+		})
+	}
+}
+
+func TestAppendSingleAllocationFree(t *testing.T) {
+	dst := make([]byte, 0, 64)
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = AppendSingle(dst[:0], "tweet-0001234", 123456, false, FormatV2)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendSingle allocated %.1f times per call", allocs)
+	}
+}
+
+func TestCursorNextAllocationFree(t *testing.T) {
+	l := make(List, 64)
+	for i := range l {
+		l[i] = Entry{Key: "tweet-0001234", Seq: uint64(5000 - i)}
+	}
+	enc := AppendList(nil, l)
+	var c Cursor
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := c.Reset(enc); err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for c.Next() {
+			n += len(c.Key())
+		}
+		if c.Err() != nil {
+			t.Fatal(c.Err())
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("v2 cursor walk allocated %.1f times per list", allocs)
+	}
+}
+
+func TestAppendAddAllocationFree(t *testing.T) {
+	existing := AppendList(nil, sampleList())
+	dst := make([]byte, 0, 256)
+	allocs := testing.AllocsPerRun(100, func() {
+		out, _, err := AppendAdd(dst[:0], existing, "t3", 99, false, FormatV2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst = out[:0]
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendAdd allocated %.1f times per call", allocs)
+	}
+}
+
+func TestV1EncodingUnchangedBySniffing(t *testing.T) {
+	// Byte-for-byte: the v1 writer output must be exactly what the seed
+	// produced, so existing databases remain readable and re-writable.
+	l := List{{Key: "t4", Seq: 4}, {Key: "t1", Seq: 1, Del: true}}
+	want := `[{"k":"t4","s":4},{"k":"t1","s":1,"d":true}]`
+	if got := string(EncodeFormat(l, FormatV1)); got != want {
+		t.Fatalf("v1 bytes changed: %s", got)
+	}
+	if got := string(Encode(l)); got != want {
+		t.Fatalf("Encode bytes changed: %s", got)
+	}
+	if !bytes.Equal(Single("t9", 9, false), []byte(`[{"k":"t9","s":9}]`)) {
+		t.Fatalf("Single bytes changed: %s", Single("t9", 9, false))
+	}
+}

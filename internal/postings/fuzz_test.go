@@ -1,0 +1,158 @@
+package postings
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// listFromFuzz derives a structured posting list from raw fuzz bytes:
+// each byte contributes one entry whose key is drawn from a small
+// printable alphabet (JSON-safe, so v1 and v2 can represent the same
+// list), with sequence numbers descending-by-default but occasionally
+// jumping to exercise the unsorted fallback.
+func listFromFuzz(data []byte) List {
+	var l List
+	seq := uint64(len(data)) * 7
+	for i, b := range data {
+		key := fmt.Sprintf("k%d", b%13)
+		if b%17 == 0 {
+			key = "" // empty key
+		}
+		switch b % 5 {
+		case 0:
+			seq += uint64(b) // out-of-order jump
+		default:
+			if seq > uint64(b%3) {
+				seq -= uint64(b%3) + 1
+			}
+		}
+		l = append(l, Entry{Key: key, Seq: seq, Del: b%7 == 0})
+		_ = i
+	}
+	return l
+}
+
+// splitFuzz cuts the derived list into up to four fragments.
+func splitFuzz(l List, data []byte) []List {
+	if len(l) == 0 {
+		return nil
+	}
+	n := 1
+	if len(data) > 0 {
+		n = int(data[0]%4) + 1
+	}
+	var frags []List
+	for i := 0; i < n; i++ {
+		lo, hi := i*len(l)/n, (i+1)*len(l)/n
+		frags = append(frags, l[lo:hi])
+	}
+	return frags
+}
+
+func FuzzPostingsRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{17, 17, 0, 255, 128, 64, 5, 5, 5})
+	f.Add(bytes.Repeat([]byte{35, 7, 0}, 20))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l := listFromFuzz(data)
+
+		// Both encodings must round-trip exactly.
+		for _, fm := range []Format{FormatV1, FormatV2} {
+			got, err := Decode(EncodeFormat(l, fm))
+			if err != nil {
+				t.Fatalf("%v round trip: %v", fm, err)
+			}
+			if len(l) == 0 && len(got) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, l) {
+				t.Fatalf("%v round trip = %+v want %+v", fm, got, l)
+			}
+		}
+
+		// Streaming merge over any fragment mix must match the reference
+		// Merge up to its unstable equal-seq ordering.
+		frags := splitFuzz(l, data)
+		for _, drop := range []bool{false, true} {
+			want := canonical(Merge(frags, drop))
+			var enc [][]byte
+			for i, frag := range frags {
+				fm := FormatV2
+				if i%2 == 1 {
+					fm = FormatV1
+				}
+				enc = append(enc, EncodeFormat(frag, fm))
+			}
+			out, err := MergeStreams(nil, enc, drop, FormatV2)
+			if err != nil {
+				t.Fatalf("MergeStreams: %v", err)
+			}
+			got, err := Decode(out)
+			if err != nil {
+				t.Fatalf("decode merged: %v", err)
+			}
+			if !reflect.DeepEqual(canonical(got), want) {
+				t.Fatalf("drop=%v: MergeStreams = %+v want %+v", drop, got, want)
+			}
+		}
+
+		// AppendAdd must match the decoded-path Add for both encodings.
+		if len(l) > 0 {
+			key, seq := l[0].Key, l[0].Seq+100
+			want := Add(l, key, seq, false)
+			for _, fm := range []Format{FormatV1, FormatV2} {
+				out, _, err := AppendAdd(nil, EncodeFormat(l, fm), key, seq, false, fm)
+				if err != nil {
+					t.Fatalf("AppendAdd %v: %v", fm, err)
+				}
+				got, err := Decode(out)
+				if err != nil {
+					t.Fatalf("decode AppendAdd %v: %v", fm, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%v AppendAdd = %+v want %+v", fm, got, want)
+				}
+			}
+		}
+	})
+}
+
+func FuzzPostingsGarbage(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{MagicV2})
+	f.Add([]byte{MagicV2, 0x80})
+	f.Add([]byte{MagicV2, 0x04, 0x02, 'h', 'i'})
+	f.Add([]byte(`[{"k":"a","s":1}]`))
+	f.Add([]byte(`[{"k":"a","s"`))
+	f.Add([]byte{MagicV2, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// None of the decode entry points may panic on arbitrary bytes;
+		// they either succeed or return an error.
+		l, err := Decode(data)
+		var c Cursor
+		cerr := c.Reset(data)
+		var n int
+		for c.Next() {
+			n++
+		}
+		if cerr == nil {
+			cerr = c.Err()
+		}
+		if (err == nil) != (cerr == nil) {
+			t.Fatalf("Decode err=%v but Cursor err=%v", err, cerr)
+		}
+		if err == nil && n != len(l) {
+			t.Fatalf("Cursor yielded %d entries, Decode %d", n, len(l))
+		}
+
+		if _, merr := MergeStreams(nil, [][]byte{data, data}, false, FormatV2); (merr == nil) != (err == nil) {
+			t.Fatalf("Decode err=%v but MergeStreams err=%v", err, merr)
+		}
+		if _, _, aerr := AppendAdd(nil, data, "k", 1, false, FormatV2); (aerr == nil) != (err == nil) {
+			t.Fatalf("Decode err=%v but AppendAdd err=%v", err, aerr)
+		}
+	})
+}

@@ -1,0 +1,331 @@
+package postings
+
+import (
+	"bytes"
+	"encoding/binary"
+)
+
+// Streaming merge over encoded fragments (DESIGN.md §5.6). The Lazy
+// index's write-merge, compaction merge and RANGELOOKUP pooling all
+// reduce to the same operation Merge performs on decoded lists — newest
+// entry per primary key wins, optional tombstone elision — but paying a
+// []Entry materialization per fragment on every call is exactly the
+// ingestion overhead the paper attributes to the stand-alone indexes.
+// MergeScratch performs the k-way merge directly from the encoded bytes:
+// fragments are newest-first within themselves (the write path's
+// invariant), so walking all cursors in globally descending sequence
+// order makes the first occurrence of each key the winner, and the output
+// streams into a reused buffer without an intermediate slice. Fragments
+// that violate the invariant (hand-written or corrupted v1 lists) are
+// detected by a validation pre-pass and merged through the reference
+// map-based Merge instead, so the result is always equivalent.
+
+// MergeScratch holds the reusable state of streaming merges: cursors,
+// the per-key dedup set, and the fallback decode buffers. The zero value
+// is ready to use; a scratch is not safe for concurrent use.
+type MergeScratch struct {
+	cursors []Cursor
+	seen    keySet
+
+	// Fallback buffers for unsorted fragments and v1-encoded output.
+	frags []List
+	list  List
+
+	entries int64
+	bytes   int64
+	merged  int64
+	emitted int64
+}
+
+// EntriesDecoded returns the posting entries decoded by the last merge.
+func (s *MergeScratch) EntriesDecoded() int64 { return s.entries }
+
+// BytesDecoded returns the encoded bytes decoded by the last merge.
+func (s *MergeScratch) BytesDecoded() int64 { return s.bytes }
+
+// FragmentsMerged returns the fragment count of the last merge.
+func (s *MergeScratch) FragmentsMerged() int64 { return s.merged }
+
+// EntriesEmitted returns the surviving entry count of the last merge
+// (compaction uses 0 to elide the key entirely).
+func (s *MergeScratch) EntriesEmitted() int64 { return s.emitted }
+
+// Merge combines encoded fragments ordered newest-fragment-first into one
+// encoded list appended to dst (pass a reused buffer sliced to [:0]): per
+// primary key only the newest entry survives; dropDeleted removes
+// surviving deletion markers (bottom-level compaction). The output is
+// encoded in format f, ordered newest first. Any structurally corrupt
+// fragment fails the whole merge.
+func (s *MergeScratch) Merge(dst []byte, fragments [][]byte, dropDeleted bool, f Format) ([]byte, error) {
+	if f.OrDefault() == FormatV1 {
+		s.list = s.list[:0]
+		err := s.MergeFunc(fragments, dropDeleted, func(key []byte, seq uint64, del bool) {
+			s.list = append(s.list, Entry{Key: string(key), Seq: seq, Del: del})
+		})
+		if err != nil {
+			return nil, err
+		}
+		return append(dst, Encode(s.list)...), nil
+	}
+	dst = append(dst, MagicV2)
+	prev := uint64(0)
+	err := s.MergeFunc(fragments, dropDeleted, func(key []byte, seq uint64, del bool) {
+		dst, prev = appendEntry(dst, prev, key, seq, del)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// MergeFunc is Merge without the re-encoding: emit is called once per
+// surviving entry, in newest-first order. The key slice may alias a
+// fragment's encoded bytes and is only valid during the call.
+func (s *MergeScratch) MergeFunc(fragments [][]byte, dropDeleted bool, emit func(key []byte, seq uint64, del bool)) error {
+	s.entries, s.bytes, s.merged, s.emitted = 0, 0, int64(len(fragments)), 0
+	sorted, err := s.primeCursors(fragments)
+	if err != nil {
+		return err
+	}
+	if !sorted {
+		return s.mergeFallback(fragments, dropDeleted, emit)
+	}
+
+	s.seen.reset()
+
+	// live holds the indices of non-exhausted cursors, in fragment order;
+	// each cursor is positioned on its current (yet unconsumed) entry.
+	// Fragment count is small (one per stratum), so a linear max scan
+	// beats a heap.
+	for len(s.cursors) > 0 {
+		best := 0
+		for i := 1; i < len(s.cursors); i++ {
+			if s.cursors[i].Seq() > s.cursors[best].Seq() {
+				best = i
+			}
+		}
+		c := &s.cursors[best]
+		key, seq, del := c.Key(), c.Seq(), c.Del()
+		if s.seen.insert(key) {
+			if !(dropDeleted && del) {
+				s.emitted++
+				emit(key, seq, del)
+			}
+		}
+		if !c.Next() {
+			if err := c.Err(); err != nil {
+				return err
+			}
+			s.entries += c.EntriesDecoded()
+			s.bytes += c.BytesDecoded()
+			// Shift-remove, then zero the vacated tail slot: the shift
+			// duplicates the last cursor's struct (and so its keyBuf/list
+			// backing arrays) one slot down, and primeCursors revives stale
+			// slots by reslicing — two cursors sharing one buffer would
+			// clobber each other's current entry on the next reuse.
+			n := len(s.cursors)
+			copy(s.cursors[best:], s.cursors[best+1:])
+			s.cursors[n-1] = Cursor{}
+			s.cursors = s.cursors[:n-1]
+		}
+	}
+	return nil
+}
+
+// primeCursors validates every fragment (well-formed, newest-first) and
+// positions s.cursors on each fragment's first entry. It reports whether
+// all fragments honour the newest-first invariant; corruption is an
+// error either way.
+func (s *MergeScratch) primeCursors(fragments [][]byte) (sorted bool, err error) {
+	s.cursors = s.cursors[:0]
+	sorted = true
+	for _, frag := range fragments {
+		if len(s.cursors) == cap(s.cursors) {
+			s.cursors = append(s.cursors, Cursor{})
+		} else {
+			s.cursors = s.cursors[:len(s.cursors)+1]
+		}
+		c := &s.cursors[len(s.cursors)-1]
+		if err := c.Reset(frag); err != nil {
+			return false, err
+		}
+		if c.list != nil {
+			// v1: the entries are already materialized; check order on them
+			// rather than re-decoding the JSON.
+			for i := 1; i < len(c.list); i++ {
+				if c.list[i].Seq > c.list[i-1].Seq {
+					sorted = false
+				}
+			}
+		} else {
+			// v2: a throwaway walk over the raw bytes is allocation-free and
+			// surfaces corruption before the merge emits anything.
+			var v Cursor
+			_ = v.Reset(frag) // cannot fail: v2 Reset only slices
+			prev, first := uint64(0), true
+			for v.Next() {
+				if !first && v.Seq() > prev {
+					sorted = false
+				}
+				prev, first = v.Seq(), false
+			}
+			if err := v.Err(); err != nil {
+				return false, err
+			}
+		}
+		if !c.Next() {
+			s.cursors = s.cursors[:len(s.cursors)-1] // empty fragment
+		}
+	}
+	return sorted, nil
+}
+
+// mergeFallback handles fragments that violate the newest-first
+// invariant: decode everything and defer to the reference Merge, so the
+// outcome matches the v1 semantics exactly.
+func (s *MergeScratch) mergeFallback(fragments [][]byte, dropDeleted bool, emit func(key []byte, seq uint64, del bool)) error {
+	s.frags = s.frags[:0]
+	for _, frag := range fragments {
+		l, err := Decode(frag)
+		if err != nil {
+			return err
+		}
+		s.frags = append(s.frags, l)
+		s.entries += int64(len(l))
+		s.bytes += int64(len(frag))
+	}
+	for _, e := range Merge(s.frags, dropDeleted) {
+		s.emitted++
+		emit([]byte(e.Key), e.Seq, e.Del)
+	}
+	return nil
+}
+
+// keySet is the merge's per-call dedup set: an open-addressing hash
+// table whose keys live in one reusable byte arena. A map[string]struct{}
+// would allocate one string per distinct primary key on every merge
+// (`m[string(b)] = ...` always converts); the arena and table persist
+// across merges on the same scratch, so a warm set inserts without
+// touching the heap.
+type keySet struct {
+	arena []byte   // inserted keys, concatenated
+	ends  []uint32 // ends[i] = end offset of key i in arena (start = ends[i-1])
+	tab   []int32  // 1-based index into ends; 0 = empty slot
+}
+
+func (ks *keySet) reset() {
+	ks.arena = ks.arena[:0]
+	ks.ends = ks.ends[:0]
+	if ks.tab == nil {
+		ks.tab = make([]int32, 16)
+	}
+	clear(ks.tab)
+}
+
+func (ks *keySet) key(i int32) []byte {
+	start := uint32(0)
+	if i > 0 {
+		start = ks.ends[i-1]
+	}
+	return ks.arena[start:ks.ends[i]]
+}
+
+//lsm:hotpath
+func hashKey(b []byte) uint32 {
+	h := uint32(2166136261) // FNV-1a
+	for _, c := range b {
+		h = (h ^ uint32(c)) * 16777619
+	}
+	return h
+}
+
+// insert reports whether key was absent, adding it if so.
+//
+//lsm:hotpath
+func (ks *keySet) insert(key []byte) bool {
+	if 4*(len(ks.ends)+1) > 3*len(ks.tab) {
+		ks.grow()
+	}
+	mask := uint32(len(ks.tab) - 1)
+	h := hashKey(key) & mask
+	for {
+		idx := ks.tab[h]
+		if idx == 0 {
+			ks.arena = append(ks.arena, key...)
+			ks.ends = append(ks.ends, uint32(len(ks.arena)))
+			ks.tab[h] = int32(len(ks.ends)) // 1-based
+			return true
+		}
+		if bytes.Equal(ks.key(idx-1), key) {
+			return false
+		}
+		h = (h + 1) & mask
+	}
+}
+
+// grow doubles the table and rehashes from the arena (amortized; only
+// this path allocates, and only until the scratch has seen its peak).
+func (ks *keySet) grow() {
+	ks.tab = make([]int32, 2*len(ks.tab))
+	mask := uint32(len(ks.tab) - 1)
+	for i := range ks.ends {
+		h := hashKey(ks.key(int32(i))) & mask
+		for ks.tab[h] != 0 {
+			h = (h + 1) & mask
+		}
+		ks.tab[h] = int32(i + 1)
+	}
+}
+
+// MergeStreams is the convenience form of MergeScratch.Merge for callers
+// without a scratch to reuse.
+func MergeStreams(dst []byte, fragments [][]byte, dropDeleted bool, f Format) ([]byte, error) {
+	var s MergeScratch
+	return s.Merge(dst, fragments, dropDeleted, f)
+}
+
+// AppendAdd re-encodes existing (either format; nil for a missing list)
+// with a new posting for key prepended and any older entry for the same
+// primary key removed — the Eager index's read-modify-write — appending
+// the result to dst (pass a reused buffer sliced to [:0]) in format f.
+// The stored list is already newest-first, so the update is a streaming
+// prepend + dedup with no re-sort and, for v2 in/out with sufficient dst
+// capacity, no heap allocation. decoded reports the entries read from
+// existing (I/O accounting).
+func AppendAdd(dst []byte, existing []byte, key string, seq uint64, del bool, f Format) (out []byte, decoded int64, err error) {
+	var c Cursor
+	if err := c.Reset(existing); err != nil {
+		return nil, 0, err
+	}
+	if f.OrDefault() == FormatV1 {
+		l := List{{Key: key, Seq: seq, Del: del}}
+		for c.Next() {
+			if string(c.Key()) != key {
+				l = append(l, Entry{Key: string(c.Key()), Seq: c.Seq(), Del: c.Del()})
+			}
+		}
+		if err := c.Err(); err != nil {
+			return nil, 0, err
+		}
+		return append(dst, Encode(l)...), c.EntriesDecoded(), nil
+	}
+	dst = append(dst, MagicV2)
+	u := uint64(len(key)) << 1
+	if del {
+		u |= 1
+	}
+	dst = binary.AppendUvarint(dst, u)
+	dst = binary.AppendVarint(dst, int64(seq))
+	dst = append(dst, key...)
+	prev := seq
+	for c.Next() {
+		if string(c.Key()) == key {
+			continue
+		}
+		dst, prev = appendEntry(dst, prev, c.Key(), c.Seq(), c.Del())
+	}
+	if err := c.Err(); err != nil {
+		return nil, 0, err
+	}
+	return dst, c.EntriesDecoded(), nil
+}

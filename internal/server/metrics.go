@@ -47,6 +47,12 @@ var ioCounters = []struct {
 		func(sn metrics.Snapshot) int64 { return sn.EntriesDecoded }},
 	{"lsmpp_block_seeks_total", "In-block restart-array binary searches.",
 		func(sn metrics.Snapshot) int64 { return sn.BlockSeeks }},
+	{"lsmpp_postings_bytes_decoded_total", "Encoded posting-list bytes consumed by index paths.",
+		func(sn metrics.Snapshot) int64 { return sn.PostingsBytesDecoded }},
+	{"lsmpp_postings_entries_decoded_total", "Posting entries decoded by index paths.",
+		func(sn metrics.Snapshot) int64 { return sn.PostingsEntriesDecoded }},
+	{"lsmpp_postings_fragments_merged_total", "Posting-list fragments fed into merges.",
+		func(sn metrics.Snapshot) int64 { return sn.FragmentsMerged }},
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
