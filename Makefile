@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race short bench bench-json bench-ingest bench-postings verify experiments ci clean
+.PHONY: all build vet lint test race short bench bench-json bench-ingest bench-postings bench-compare verify experiments ci clean
 
 all: vet build test
 
@@ -58,15 +58,27 @@ bench-postings:
 		./internal/core/ ; } | $(GO) run ./cmd/benchjson > BENCH_pr7.json
 	@echo wrote BENCH_pr7.json
 
+# Benchmark regression gate: re-run the baseline's benchmarks and fail if
+# any ops/sec dropped more than MAX_DROP percent against the recorded
+# BASE JSON. Benchmarks missing from the base are reported and skipped.
+BASE ?= BENCH_pr7.json
+MAX_DROP ?= 25
+bench-compare:
+	{ $(GO) test -run '^$$' -bench 'BenchmarkPostingsMerge' -benchmem \
+		./internal/postings/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkEagerPut|BenchmarkLazyLookup' -benchmem \
+		./internal/core/ ; } | $(GO) run ./cmd/benchjson -compare $(BASE) -max-drop $(MAX_DROP)
+
 # Fast correctness gate for the read-path packages: static checks plus a
 # race-detector pass over the sstable block format and the lsm engine.
 verify: vet lint build
 	$(GO) test -race ./internal/sstable/... ./internal/lsm/...
 
 # The full pre-merge gate: static checks (go vet + lsmlint), a
-# race-detector pass over every package, and 10-second fuzz smokes of
+# race-detector pass over every package, 10-second fuzz smokes of
 # the sstable block round-trip and the posting-list codec (both seeded
-# from testdata/fuzz corpora). The experiments package alone runs ~18
+# from testdata/fuzz corpora), and the bench-compare regression smoke
+# against the recorded BENCH_pr7.json baseline. The experiments package alone runs ~18
 # minutes under the race detector on a small box, so the per-package
 # timeout (a hang guard, not a budget) is raised above go test's 10m
 # default.
@@ -74,6 +86,7 @@ ci: vet lint build
 	$(GO) test -race -timeout 45m ./...
 	$(GO) test -fuzz=FuzzBlockRoundTrip -fuzztime=10s ./internal/sstable/
 	$(GO) test -fuzz=FuzzPostingsRoundTrip -fuzztime=10s ./internal/postings/
+	$(MAKE) bench-compare
 
 # Regenerate the paper's evaluation at the default reduced scale.
 experiments:

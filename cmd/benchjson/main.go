@@ -5,6 +5,16 @@
 //
 //	go test -bench . ./internal/sstable/ | benchjson > BENCH_pr2.json
 //
+// With -compare it instead acts as a regression gate: new results (still
+// read from stdin as bench text) are matched by name against a baseline
+// JSON file and the process exits 1 when any benchmark's ops/sec dropped
+// by more than -max-drop percent:
+//
+//	go test -bench . ./internal/postings/ | benchjson -compare BENCH_pr7.json -max-drop 25
+//
+// Benchmarks absent from the baseline are reported and skipped — the gate
+// only judges pairs that exist on both sides.
+//
 // Lines that are not benchmark results (goos/pkg headers, PASS, ok) are
 // preserved under "env" when recognised, otherwise ignored.
 package main
@@ -12,7 +22,9 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -31,8 +43,37 @@ type output struct {
 }
 
 func main() {
+	var (
+		compare = flag.String("compare", "", "baseline JSON file; gate new results against it instead of printing JSON")
+		maxDrop = flag.Float64("max-drop", 25, "with -compare: maximum tolerated ops/sec drop in percent")
+	)
+	flag.Parse()
+
+	out, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+
+	if *compare != "" {
+		if err := compareBase(os.Stdout, out, *compare, *maxDrop); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: encode:", err)
+		os.Exit(1)
+	}
+}
+
+func parseBench(r io.Reader) (output, error) {
 	out := output{Env: map[string]string{}, Benchmarks: []record{}}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	pkg := ""
 	for sc.Scan() {
@@ -71,14 +112,59 @@ func main() {
 		}
 		out.Benchmarks = append(out.Benchmarks, rec)
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
-		os.Exit(1)
+	return out, sc.Err()
+}
+
+// compareBase gates new results against a baseline file: for every
+// benchmark present on both sides, the ops/sec drop derived from ns/op
+// must stay within maxDrop percent.
+func compareBase(w io.Writer, cur output, basePath string, maxDrop float64) error {
+	raw, err := os.ReadFile(basePath)
+	if err != nil {
+		return err
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson: encode:", err)
-		os.Exit(1)
+	var base output
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("decode %s: %w", basePath, err)
 	}
+	baseNS := map[string]float64{}
+	for _, b := range base.Benchmarks {
+		if ns, ok := b.Metrics["ns/op"]; ok && ns > 0 {
+			baseNS[b.Name] = ns
+		}
+	}
+	if len(cur.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark results on stdin")
+	}
+	failed := false
+	compared := 0
+	for _, b := range cur.Benchmarks {
+		ns, ok := b.Metrics["ns/op"]
+		if !ok || ns <= 0 {
+			continue
+		}
+		old, ok := baseNS[b.Name]
+		if !ok {
+			fmt.Fprintf(w, "SKIP %-55s not in baseline %s\n", b.Name, basePath)
+			continue
+		}
+		compared++
+		// ops/sec ratio = old_ns / new_ns; drop% = (1 - ratio) * 100.
+		drop := (1 - old/ns) * 100
+		status := "OK  "
+		if drop > maxDrop {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Fprintf(w, "%s %-55s base=%.0fns/op new=%.0fns/op drop=%+.1f%%\n",
+			status, b.Name, old, ns, drop)
+	}
+	if compared == 0 {
+		return fmt.Errorf("no benchmarks matched the baseline %s", basePath)
+	}
+	if failed {
+		return fmt.Errorf("ops/sec regression beyond %.0f%% against %s", maxDrop, basePath)
+	}
+	fmt.Fprintf(w, "benchjson: %d benchmark(s) within %.0f%% of %s\n", compared, maxDrop, basePath)
+	return nil
 }

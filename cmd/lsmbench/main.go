@@ -178,10 +178,18 @@ func main() {
 			h, rows := experiments.PostingsCSV(rs)
 			return csvOut("postings", h, rows)
 		},
+		"explain": func() error {
+			rs, err := experiments.ExplainValidation(cfg)
+			if err != nil {
+				return err
+			}
+			h, rows := experiments.ExplainCSV(rs)
+			return csvOut("explain", h, rows)
+		},
 	}
 
 	order := []string{"fig7", "fig2", "fig8a", "fig8b", "fig8c", "fig9", "fig10", "fig11",
-		"fig12", "table3", "table5", "c1", "c2", "ablation", "cache", "seek", "concurrency", "pipeline", "ingest", "postings", "ycsb"}
+		"fig12", "table3", "table5", "c1", "c2", "ablation", "cache", "seek", "concurrency", "pipeline", "ingest", "postings", "explain", "ycsb"}
 
 	if *exp == "all" {
 		for _, name := range order {

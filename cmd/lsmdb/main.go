@@ -12,6 +12,7 @@
 //	del <key>
 //	lookup <attr> <value> [topK]
 //	rangelookup <attr> <lo> <hi> [topK]
+//	explain <get|lookup|rangelookup> <args...>  (EXPLAIN report as JSON)
 //	stats
 //	flush
 //	check     (full checksum + structure audit of all tables)
@@ -20,6 +21,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,7 +29,12 @@ import (
 	"strings"
 
 	"leveldbpp/internal/core"
+	"leveldbpp/internal/explain"
 )
+
+// explainAll (-explain) routes every get/lookup/rangelookup through the
+// EXPLAIN path, printing the report after the results.
+var explainAll bool
 
 func main() {
 	var (
@@ -35,6 +42,8 @@ func main() {
 		index = flag.String("index", "lazy", "index kind: none|embedded|eager|lazy|composite")
 		attrs = flag.String("attrs", "UserID,CreationTime", "comma-separated indexed attributes")
 	)
+	flag.BoolVar(&explainAll, "explain", false,
+		"print an EXPLAIN report (plan, I/O, cost-model prediction) after every get/lookup/rangelookup")
 	flag.Parse()
 	if *dir == "" {
 		fatal(fmt.Errorf("-db is required"))
@@ -96,8 +105,14 @@ func execute(db *core.DB, args []string) error {
 	switch args[0] {
 	case "help":
 		fmt.Println("put <key> <json> | get <key> | del <key> | lookup <attr> <value> [k] |",
-			"rangelookup <attr> <lo> <hi> [k] | stats | flush | compact | check | checkpoint <dir> | exit")
+			"rangelookup <attr> <lo> <hi> [k] | explain <get|lookup|rangelookup> <args...> |",
+			"stats | flush | compact | check | checkpoint <dir> | exit")
 		return nil
+	case "explain":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: explain <get|lookup|rangelookup> <args...>")
+		}
+		return executeExplain(db, args[1:])
 	case "put":
 		if len(args) < 3 {
 			return fmt.Errorf("usage: put <key> <json-document>")
@@ -106,6 +121,9 @@ func execute(db *core.DB, args []string) error {
 	case "get":
 		if len(args) != 2 {
 			return fmt.Errorf("usage: get <key>")
+		}
+		if explainAll {
+			return executeExplain(db, args)
 		}
 		v, ok, err := db.Get(args[1])
 		if err != nil {
@@ -126,6 +144,9 @@ func execute(db *core.DB, args []string) error {
 		if len(args) < 3 {
 			return fmt.Errorf("usage: lookup <attr> <value> [topK]")
 		}
+		if explainAll {
+			return executeExplain(db, args)
+		}
 		k, err := optionalK(args, 3)
 		if err != nil {
 			return err
@@ -139,6 +160,9 @@ func execute(db *core.DB, args []string) error {
 	case "rangelookup":
 		if len(args) < 4 {
 			return fmt.Errorf("usage: rangelookup <attr> <lo> <hi> [topK]")
+		}
+		if explainAll {
+			return executeExplain(db, args)
 		}
 		k, err := optionalK(args, 4)
 		if err != nil {
@@ -202,6 +226,65 @@ func execute(db *core.DB, args []string) error {
 	default:
 		return fmt.Errorf("unknown command %q (try 'help')", args[0])
 	}
+}
+
+// executeExplain runs one operation through the EXPLAIN path and prints
+// results followed by the indented-JSON report and its one-line summary.
+func executeExplain(db *core.DB, args []string) error {
+	var rep *explain.Report
+	switch args[0] {
+	case "get":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: explain get <key>")
+		}
+		v, ok, r, err := db.ExplainGet(args[1])
+		if err != nil {
+			return err
+		}
+		if !ok {
+			fmt.Println("(not found)")
+		} else {
+			fmt.Println(string(v))
+		}
+		rep = r
+	case "lookup":
+		if len(args) < 3 {
+			return fmt.Errorf("usage: explain lookup <attr> <value> [topK]")
+		}
+		k, err := optionalK(args, 3)
+		if err != nil {
+			return err
+		}
+		entries, r, err := db.ExplainLookup(args[1], args[2], k)
+		if err != nil {
+			return err
+		}
+		printEntries(entries)
+		rep = r
+	case "rangelookup":
+		if len(args) < 4 {
+			return fmt.Errorf("usage: explain rangelookup <attr> <lo> <hi> [topK]")
+		}
+		k, err := optionalK(args, 4)
+		if err != nil {
+			return err
+		}
+		entries, r, err := db.ExplainRangeLookup(args[1], args[2], args[3], k)
+		if err != nil {
+			return err
+		}
+		printEntries(entries)
+		rep = r
+	default:
+		return fmt.Errorf("explain: unknown operation %q (get|lookup|rangelookup)", args[0])
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	fmt.Println(rep.String())
+	return nil
 }
 
 func optionalK(args []string, pos int) (int, error) {

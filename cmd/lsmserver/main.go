@@ -9,6 +9,8 @@
 //	PUT/GET/DELETE /doc/{key}
 //	GET  /lookup?attr=&value=&k=
 //	GET  /rangelookup?attr=&lo=&hi=&k=
+//	GET  /explain/lookup  /explain/rangelookup  /explain/get
+//	GET  /advisor
 //	GET  /scan?lo=&hi=&limit=
 //	POST /batch
 //	GET  /stats   POST /flush   GET /check
@@ -25,6 +27,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"leveldbpp/internal/core"
 	"leveldbpp/internal/lsm"
@@ -48,6 +51,7 @@ func main() {
 		syncMode  = flag.String("sync-mode", "off", "WAL durability: off|always|grouped (grouped = one fsync per commit group)")
 		groupOn   = flag.Bool("group-commit", false, "batch concurrent commits through the group-commit queue")
 		postFmt   = flag.String("postings-format", "v2", "posting-list encoding written by Eager/Lazy indexes: v2 (binary) or v1 (seed JSON); reads sniff either")
+		advisorIv = flag.Duration("advisor-check", 0, "re-run the online index advisor at this interval (0 disables); flips land in the event log")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -101,6 +105,18 @@ func main() {
 	}
 
 	handler := server.NewWith(db, server.Config{Metrics: *metricsOn, Pprof: *pprofOn})
+	if *advisorIv > 0 {
+		go func() {
+			t := time.NewTicker(*advisorIv)
+			defer t.Stop()
+			for range t.C {
+				res := handler.AdvisorMonitor().Check()
+				if res.Sufficient && !res.Match {
+					log.Printf("advisor: configured=%s recommended=%s", res.Configured, res.Recommended)
+				}
+			}
+		}()
+	}
 	srv := &http.Server{Addr: *addr, Handler: handler}
 	go func() {
 		sig := make(chan os.Signal, 1)

@@ -77,12 +77,13 @@ func (db *DB) compositeCollect(attr, lo, hi string, loK, hiExcl []byte, k int, t
 	heap := newTopK(k)
 	var candidates []postings.Entry
 	t0 := tr.Now()
-	err := idx.Scan(loK, hiExcl, func(key, _ []byte, seq uint64) bool {
+	err := idx.ScanTraced(loK, hiExcl, tr, func(key, _ []byte, seq uint64) bool {
 		av, pk, ok := splitCompositeKey(key)
 		if !ok || av < lo || av > hi {
 			return true
 		}
 		candidates = append(candidates, postings.Entry{Key: pk, Seq: seq})
+		tr.Count(metrics.CtrPostingEntries, 1)
 		return true
 	})
 	tr.Since(metrics.PhaseIndexProbe, t0)

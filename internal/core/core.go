@@ -28,8 +28,10 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"leveldbpp/internal/explain"
 	"leveldbpp/internal/lsm"
 	"leveldbpp/internal/metrics"
 	"leveldbpp/internal/postings"
@@ -187,6 +189,13 @@ type DB struct {
 	tracer *metrics.Tracer
 	ops    *metrics.OpStats
 	events *metrics.EventLog
+
+	// profiler aggregates the live op mix, top-K/matched distributions,
+	// attribute time correlation and model-drift ratios (DESIGN.md §5.7).
+	profiler *explain.WorkloadProfiler
+	// putCount drives the every-Nth sampling of PUT attribute values into
+	// the profiler's time-correlation estimator.
+	putCount atomic.Int64
 }
 
 // ErrUnknownAttr is returned by lookups on attributes that were not
@@ -300,7 +309,8 @@ func Open(dir string, opts Options) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{opts: opts, primary: primary, pf: opts.PostingsFormat.OrDefault(),
-		tracer: tracer, ops: metrics.NewOpStats(), events: events}
+		tracer: tracer, ops: metrics.NewOpStats(), events: events,
+		profiler: explain.NewWorkloadProfiler(events)}
 
 	switch opts.Index {
 	case IndexEager, IndexLazy, IndexComposite:
@@ -354,8 +364,16 @@ func (db *DB) Get(key string) ([]byte, bool, error) {
 	t0 := time.Now()
 	tr := db.tracer.Start(metrics.OpGet)
 	value, ok, err := db.primary.GetTraced([]byte(key), tr)
+	var io metrics.Counters
+	if tr != nil && err == nil {
+		io = tr.Counters() // read before Finish returns tr to the pool
+	}
 	tr.Finish()
 	db.ops.Observe(metrics.OpGet, time.Since(t0))
+	db.profiler.RecordOp(metrics.OpGet)
+	if io.PointGets > 0 && err == nil {
+		db.recordModelRatio(metrics.OpGet, "", "", "", 1, io)
+	}
 	return value, ok, err
 }
 
@@ -367,6 +385,14 @@ func (db *DB) Put(key string, value []byte) error {
 	err := db.putTraced(key, value, tr)
 	tr.Finish()
 	db.ops.Observe(metrics.OpPut, time.Since(t0))
+	db.profiler.RecordOp(metrics.OpPut)
+	// Sample every 16th PUT's attribute values into the time-correlation
+	// estimator — it needs consecutive-pair counts, not every write.
+	if len(db.opts.Attrs) > 0 && db.putCount.Add(1)&15 == 0 {
+		for _, av := range extractAttrs(value, db.opts.Attrs) {
+			db.profiler.RecordAttrValue(av.Attr, av.Value)
+		}
+	}
 	return err
 }
 
@@ -403,6 +429,7 @@ func (db *DB) Delete(key string) error {
 	err := db.deleteTraced(key, tr)
 	tr.Finish()
 	db.ops.Observe(metrics.OpDelete, time.Since(t0))
+	db.profiler.RecordOp(metrics.OpDelete)
 	return err
 }
 
@@ -454,10 +481,20 @@ func (db *DB) Lookup(attr, value string, k int) ([]Entry, error) {
 	}
 	t0 := time.Now()
 	tr := db.tracer.Start(metrics.OpLookup)
-	tr.SetDetail(attr + "=" + value)
+	if tr != nil {
+		tr.SetDetail(attr + "=" + value + " plan=" + db.planName(metrics.OpLookup))
+	}
 	out, err := db.lookupTraced(attr, value, k, tr)
+	var io metrics.Counters
+	if tr != nil && err == nil {
+		io = tr.Counters() // read before Finish returns tr to the pool
+	}
 	tr.Finish()
 	db.ops.Observe(metrics.OpLookup, time.Since(t0))
+	db.profiler.RecordQuery(metrics.OpLookup, k, len(out))
+	if io.BlockAccesses() > 0 && err == nil {
+		db.recordModelRatio(metrics.OpLookup, attr, value, value, len(out), io)
+	}
 	return out, err
 }
 
@@ -487,10 +524,20 @@ func (db *DB) RangeLookup(attr, lo, hi string, k int) ([]Entry, error) {
 	}
 	t0 := time.Now()
 	tr := db.tracer.Start(metrics.OpRangeLookup)
-	tr.SetDetail(attr + "=[" + lo + "," + hi + "]")
+	if tr != nil {
+		tr.SetDetail(attr + "=[" + lo + "," + hi + "] plan=" + db.planName(metrics.OpRangeLookup))
+	}
 	out, err := db.rangeLookupTraced(attr, lo, hi, k, tr)
+	var io metrics.Counters
+	if tr != nil && err == nil {
+		io = tr.Counters() // read before Finish returns tr to the pool
+	}
 	tr.Finish()
 	db.ops.Observe(metrics.OpRangeLookup, time.Since(t0))
+	db.profiler.RecordQuery(metrics.OpRangeLookup, k, len(out))
+	if io.BlockAccesses() > 0 && err == nil {
+		db.recordModelRatio(metrics.OpRangeLookup, attr, lo, hi, len(out), io)
+	}
 	return out, err
 }
 
@@ -646,7 +693,11 @@ func (db *DB) FilterMemoryUsage() int {
 // stand-alone lookup performs on each candidate (paper §4: "We make sure
 // val(A_i) = a ... as there could be invalid keys ... caused by updates").
 func (db *DB) validate(pk, attr, lo, hi string) ([]byte, bool, error) {
-	value, ok, err := db.primary.Get([]byte(pk))
+	return db.validateWith(pk, attr, lo, hi, nil)
+}
+
+func (db *DB) validateWith(pk, attr, lo, hi string, tr *metrics.Trace) ([]byte, bool, error) {
+	value, ok, err := db.primary.GetTraced([]byte(pk), tr)
 	if err != nil || !ok {
 		return nil, false, err
 	}
@@ -658,10 +709,15 @@ func (db *DB) validate(pk, attr, lo, hi string) ([]byte, bool, error) {
 }
 
 // validateTraced is validate with its whole cost (primary GET + attribute
-// re-check) attributed to the validate phase. tr may be nil.
+// re-check) attributed to the validate phase; the nested GET contributes
+// I/O counters only (IOOnly), so its internal probe phases cannot
+// double-count inside the validate window. tr may be nil.
 func (db *DB) validateTraced(pk, attr, lo, hi string, tr *metrics.Trace) ([]byte, bool, error) {
 	t0 := tr.Now()
-	value, valid, err := db.validate(pk, attr, lo, hi)
+	tr.Count(metrics.CtrValidations, 1)
+	tr.IOOnlyBegin()
+	value, valid, err := db.validateWith(pk, attr, lo, hi, tr)
+	tr.IOOnlyEnd()
 	tr.Since(metrics.PhaseValidate, t0)
 	return value, valid, err
 }
@@ -792,6 +848,9 @@ func (db *DB) OpStats() *metrics.OpStats { return db.ops }
 // EventLog returns the in-memory lifecycle event log shared by the
 // primary table and every index table.
 func (db *DB) EventLog() *metrics.EventLog { return db.events }
+
+// Profiler returns the DB's live workload profiler (never nil).
+func (db *DB) Profiler() *explain.WorkloadProfiler { return db.profiler }
 
 // Health reports the first unhealthy condition across the primary table
 // and every index table (lsm.ErrClosed, lsm.ErrStalled, or a sticky

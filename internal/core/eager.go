@@ -68,11 +68,17 @@ func (db *DB) eagerUpdate(idx *lsm.DB, attrValue, key string, seq uint64, del bo
 func (db *DB) eagerLookup(attr, value string, k int, tr *metrics.Trace) ([]Entry, error) {
 	idx := db.indexes[attr]
 	t0 := tr.Now()
-	data, found, err := idx.Get([]byte(value))
+	// IOOnly: the nested GET's own top-level phases (mem/l0/level probes)
+	// must not tile inside this op's index_probe window; only its block
+	// counters carry through to the trace.
+	tr.IOOnlyBegin()
+	data, found, err := idx.GetTraced([]byte(value), tr)
+	tr.IOOnlyEnd()
 	tr.Since(metrics.PhaseIndexProbe, t0)
 	if err != nil || !found {
 		return nil, err
 	}
+	tr.Count(metrics.CtrPostingFragments, 1)
 	// Stream the list instead of materializing it: the cursor decodes
 	// entries one at a time (v2), so reaching K valid results leaves the
 	// tail of the list undecoded. The mark alternates the trace between
@@ -112,6 +118,7 @@ func (db *DB) eagerLookup(attr, value string, k int, tr *metrics.Trace) ([]Entry
 	st := idx.Stats()
 	st.PostingsBytesDecoded.Add(c.BytesDecoded())
 	st.PostingsEntriesDecoded.Add(c.EntriesDecoded())
+	tr.Count(metrics.CtrPostingEntries, c.EntriesDecoded())
 	return out, nil
 }
 
@@ -130,7 +137,7 @@ func (db *DB) eagerRangeLookup(attr, lo, hi string, k int, tr *metrics.Trace) ([
 	var candidates []postings.Entry
 	var decodedBytes, decodedEntries int64
 	mark := tr.Now()
-	err := idx.Scan([]byte(lo), upperBoundExclusive(hi), func(key, value []byte, _ uint64) bool {
+	err := idx.ScanTraced([]byte(lo), upperBoundExclusive(hi), tr, func(key, value []byte, _ uint64) bool {
 		tr.Since(metrics.PhaseIndexProbe, mark)
 		tD := tr.Now()
 		list, err := postings.Decode(value)
@@ -138,6 +145,8 @@ func (db *DB) eagerRangeLookup(attr, lo, hi string, k int, tr *metrics.Trace) ([
 			candidates = append(candidates, postings.Live(list)...)
 			decodedBytes += int64(len(value))
 			decodedEntries += int64(len(list))
+			tr.Count(metrics.CtrPostingFragments, 1)
+			tr.Count(metrics.CtrPostingEntries, int64(len(list)))
 		} // else: skip undecodable lists rather than abort
 		tr.Since(metrics.PhasePostingMerge, tD)
 		tr.Since(metrics.PhasePostingsDecode, tD)

@@ -31,6 +31,7 @@ type stratum struct {
 	isMem  bool
 	isImm  bool
 	memMax uint64 // max seq of a MemTable stratum (tables empty)
+	level  int    // LSM level of a table stratum (block attribution)
 	tables []*lsm.FileMeta
 }
 
@@ -61,7 +62,7 @@ func strataOf(v *lsm.View) []stratum {
 	}
 	for l := 1; l <= v.MaxLevel(); l++ {
 		if files := v.Level(l); len(files) > 0 {
-			out = append(out, stratum{tables: files})
+			out = append(out, stratum{level: l, tables: files})
 		}
 	}
 	return out
@@ -235,6 +236,7 @@ func (db *DB) embeddedScanTable(v *lsm.View, strata []stratum, si int, fm *lsm.F
 		for i := range candidates {
 			candidates[i] = i
 		}
+		tr.Count(metrics.CtrCandidateBlocks, int64(len(candidates)))
 	} else {
 		if !db.opts.DisableFileZoneMap {
 			if _, _, ok := tbl.FileZone(attr); !ok {
@@ -242,17 +244,20 @@ func (db *DB) embeddedScanTable(v *lsm.View, strata []stratum, si int, fm *lsm.F
 			}
 		}
 		if lo == hi {
-			candidates = tbl.SecondaryCandidates(attr, lo)
+			candidates = tbl.SecondaryCandidatesTraced(attr, lo, tr)
 		} else {
-			candidates = tbl.SecondaryRangeCandidates(attr, lo, hi)
+			candidates = tbl.SecondaryRangeCandidatesTraced(attr, lo, hi, tr)
 		}
 	}
 
 	for _, bi := range candidates {
+		m := tr.BlockMark()
 		it, err := tbl.BlockIteratorTraced(bi, false, tr)
+		tr.CountLevelSince(strata[si].level, m)
 		if err != nil {
 			return err
 		}
+		matchedInBlock := false
 		for it.Next() {
 			ik := it.Key()
 			if ikey.KindOf(ik) == ikey.KindDelete {
@@ -262,12 +267,13 @@ func (db *DB) embeddedScanTable(v *lsm.View, strata []stratum, si int, fm *lsm.F
 			if !ok || av < lo || av > hi {
 				continue
 			}
+			matchedInBlock = true
 			seq := ikey.Seq(ik)
 			if !heap.Worth(seq) {
 				continue
 			}
 			pk := string(ikey.UserKey(ik))
-			valid, err := db.candidateValid(v, strata, si, pk, seq, attr, lo, hi, seen)
+			valid, err := db.candidateValid(v, strata, si, pk, seq, attr, lo, hi, seen, tr)
 			if err != nil {
 				return err
 			}
@@ -277,6 +283,11 @@ func (db *DB) embeddedScanTable(v *lsm.View, strata []stratum, si int, fm *lsm.F
 		}
 		if err := it.Err(); err != nil {
 			return err
+		}
+		if useFilters && lo == hi && !matchedInBlock {
+			// The block's secondary bloom passed for this exact value but
+			// the block held no match: a secondary-filter false positive.
+			tr.Count(metrics.CtrBloomFalsePositives, 1)
 		}
 	}
 	return nil
@@ -289,13 +300,16 @@ func (db *DB) embeddedScanTable(v *lsm.View, strata []stratum, si int, fm *lsm.F
 // the check degrades to the paper's alternative — a full GET from the top
 // with value comparison — which costs real block reads.
 func (db *DB) candidateValid(v *lsm.View, strata []stratum, si int, pk string, seq uint64,
-	attr, lo, hi string, seen map[string]bool) (bool, error) {
+	attr, lo, hi string, seen map[string]bool, tr *metrics.Trace) (bool, error) {
 
+	tr.Count(metrics.CtrValidations, 1)
 	if db.opts.DisableGetLite {
 		if seen[pk] {
 			return false, nil
 		}
-		value, ok, err := v.Get([]byte(pk))
+		tr.IOOnlyBegin()
+		value, ok, err := v.GetTraced([]byte(pk), tr)
+		tr.IOOnlyEnd()
 		if err != nil || !ok {
 			return false, err
 		}
@@ -309,6 +323,7 @@ func (db *DB) candidateValid(v *lsm.View, strata []stratum, si int, pk string, s
 
 	pkb := []byte(pk)
 	var sc sstable.GetScratch // reused across every bloom-positive probe
+	sc.Trace = tr
 	for _, s := range strata[:si] {
 		if s.isMem {
 			if _, _, _, ok := v.MemGet(pkb); ok {
@@ -324,12 +339,14 @@ func (db *DB) candidateValid(v *lsm.View, strata []stratum, si int, pk string, s
 		}
 		for _, fm := range s.tables {
 			tbl := fm.Table()
-			if !tbl.MayContainPrimary(pkb) {
+			if !tbl.MayContainPrimaryTraced(pkb, tr) {
 				continue // pure in-memory rejection: the common case
 			}
 			// Bloom positive: confirm with a real read so a false
 			// positive cannot wrongly invalidate the candidate.
+			m := tr.BlockMark()
 			_, _, found, err := tbl.GetWith(&sc, pkb)
+			tr.CountLevelSince(s.level, m)
 			if err != nil {
 				return false, err
 			}
@@ -439,7 +456,7 @@ func (db *DB) embeddedCollectTable(v *lsm.View, strata []stratum, si int, fm *ls
 				continue
 			}
 			pk := string(ikey.UserKey(ik))
-			valid, err := db.candidateValid(v, strata, si, pk, seq, attr, lo, hi, nil)
+			valid, err := db.candidateValid(v, strata, si, pk, seq, attr, lo, hi, nil, nil)
 			if err != nil {
 				return nil, err
 			}

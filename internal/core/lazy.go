@@ -56,7 +56,7 @@ func (db *DB) lazyDelete(key string, oldValue []byte, seq uint64) error {
 // one per deeper level. fn receives the fragment's encoded bytes (either
 // posting-list format; they alias stable arena/block memory) and returns
 // false to stop early.
-func lazyFragments(v *lsm.View, value []byte, fn func(data []byte) (bool, error)) error {
+func lazyFragments(v *lsm.View, value []byte, tr *metrics.Trace, fn func(data []byte) (bool, error)) error {
 	if data, _, deleted, ok := v.MemGet(value); ok && !deleted {
 		if cont, err := fn(data); err != nil || !cont {
 			return err
@@ -76,8 +76,11 @@ func lazyFragments(v *lsm.View, value []byte, fn func(data []byte) (bool, error)
 	// One scratch across every index-table probe; fragment bytes alias
 	// stable block contents, only the internal key is scratch-backed.
 	var sc sstable.GetScratch
+	sc.Trace = tr
 	for _, fm := range v.L0() {
+		m := tr.BlockMark()
 		ik, data, found, err := fm.Table().GetWith(&sc, value)
+		tr.CountLevelSince(0, m)
 		if err != nil {
 			return err
 		}
@@ -96,7 +99,9 @@ func lazyFragments(v *lsm.View, value []byte, fn func(data []byte) (bool, error)
 		if fm == nil {
 			continue
 		}
+		m := tr.BlockMark()
 		ik, data, found, err := fm.Table().GetWith(&sc, value)
+		tr.CountLevelSince(l, m)
 		if err != nil {
 			return err
 		}
@@ -128,8 +133,9 @@ func (db *DB) lazyLookup(attr, value string, k int, tr *metrics.Trace) ([]Entry,
 	// two phases tile the traversal without overlap.
 	mark := tr.Now()
 	err := idx.View(func(v *lsm.View) error {
-		return lazyFragments(v, []byte(value), func(data []byte) (bool, error) {
+		return lazyFragments(v, []byte(value), tr, func(data []byte) (bool, error) {
 			frags++
+			tr.Count(metrics.CtrPostingFragments, 1)
 			tD := tr.Now()
 			if err := c.Reset(data); err != nil {
 				return false, err
@@ -184,6 +190,7 @@ func (db *DB) lazyLookup(attr, value string, k int, tr *metrics.Trace) ([]Entry,
 	if err != nil {
 		return nil, err
 	}
+	tr.Count(metrics.CtrPostingEntries, decodedEntries)
 	st := idx.Stats()
 	st.PostingsBytesDecoded.Add(decodedBytes)
 	st.PostingsEntriesDecoded.Add(decodedEntries)
@@ -242,7 +249,7 @@ func (db *DB) lazyRangeLookup(attr, lo, hi string, k int, tr *metrics.Trace) ([]
 		// Table strata: each L0 file, then each deeper level. Iterator
 		// value bytes are reused across Next, so fragments are copied.
 		scanTable := func(fm *lsm.FileMeta) error {
-			ti := fm.Table().NewIterator(false)
+			ti := fm.Table().NewIteratorTraced(false, tr)
 			var prev []byte
 			for ok := ti.SeekGE(ikey.SeekKey(loB)); ok; ok = ti.Next() {
 				ik := ti.Key()
@@ -302,6 +309,8 @@ func (db *DB) lazyRangeLookup(attr, lo, hi string, k int, tr *metrics.Trace) ([]
 	}
 	tr.Since(metrics.PhasePostingMerge, t0)
 	tr.Since(metrics.PhasePostingsDecode, t0)
+	tr.Count(metrics.CtrPostingFragments, frags)
+	tr.Count(metrics.CtrPostingEntries, decodedEntries)
 	st := idx.Stats()
 	st.PostingsBytesDecoded.Add(decodedBytes)
 	st.PostingsEntriesDecoded.Add(decodedEntries)

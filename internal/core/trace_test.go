@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"leveldbpp/internal/metrics"
@@ -90,7 +91,7 @@ func TestLookupTraceCoverage(t *testing.T) {
 					t.Fatalf("unnamed phase in trace: %+v", rec)
 				}
 			}
-			if rec.Detail != "UserID=u01" {
+			if !strings.HasPrefix(rec.Detail, "UserID=u01 plan=") {
 				t.Fatalf("lookup detail = %q", rec.Detail)
 			}
 		})

@@ -18,6 +18,10 @@ type Params struct {
 	AvgPostingLen float64 // PL_S: average posting-list length
 	NumAttrs      int     // l: number of indexed secondary attributes
 	RangeBlocks   int     // M: index-table blocks holding keys in range
+	// LevelBlocks, when set, replaces the geometric b·N^i series with the
+	// actual per-level block counts observed in a live tree (EXPLAIN's
+	// "live Params" derivation, DESIGN.md §5.7). LevelBlocks[0] is L0.
+	LevelBlocks []int `json:",omitempty"`
 }
 
 func (p Params) withDefaults() Params {
@@ -45,6 +49,12 @@ func EmbeddedLookupIO(p Params, k, epsilon int) float64 {
 	p = p.withDefaults()
 	fp := p.FalsePositiveRate()
 	fpCost := 0.0
+	if len(p.LevelBlocks) > 0 {
+		for _, b := range p.LevelBlocks {
+			fpCost += fp * float64(b)
+		}
+		return float64(k+epsilon) + fpCost
+	}
 	levelBlocks := float64(p.BlocksL0)
 	for i := 0; i < p.Levels; i++ {
 		fpCost += fp * levelBlocks

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+
+	"leveldbpp/internal/core"
+	"leveldbpp/internal/workload"
+)
+
+// ExplainResult aggregates one (index kind, op) cell of the cost-model
+// validation: total observed logical block accesses across the queries
+// against the total the Table 3/5 formulas predicted with live Params.
+type ExplainResult struct {
+	Kind        core.IndexKind
+	Op          string
+	Queries     int
+	MeanResults float64 // mean K' per query
+	ObservedIO  int64   // sum of per-query observed block accesses
+	PredictedIO float64 // sum of per-query model predictions
+	Ratio       float64 // ObservedIO / PredictedIO
+}
+
+// ExplainValidation (DESIGN.md §5.7) runs top-10 LOOKUPs and user-range
+// RANGELOOKUPs through the EXPLAIN path on every index kind and reports
+// the aggregate observed/predicted I/O ratio — the live check that the
+// paper's worst-case formulas bound reality within a small constant. The
+// acceptance band for LOOKUP on the four indexed kinds is [0.5, 2.0].
+func ExplainValidation(c Config) ([]ExplainResult, error) {
+	c = c.withDefaults()
+	tweets := c.dataset()
+	c.printf("EXPLAIN cost-model validation — %d tweets, %d queries per cell\n",
+		len(tweets), c.Queries)
+	c.printf("%-10s %-12s %8s %10s %12s %12s %8s\n",
+		"index", "op", "queries", "mean K'", "observed", "predicted", "ratio")
+
+	var out []ExplainResult
+	for _, kind := range Variants {
+		db, err := c.openDB("explain-"+kind.String(), kind)
+		if err != nil {
+			return nil, err
+		}
+		if err := func() error {
+			if err := ingest(db, tweets, nil); err != nil {
+				return err
+			}
+			if err := db.Flush(); err != nil {
+				return err
+			}
+			queries := c.Queries
+			if kind == core.IndexNone && queries > 10 {
+				queries = 10 // every NoIndex query is a full scan
+			}
+			q := workload.NewStaticQueries(tweets, c.Seed)
+			cells := []struct {
+				op   string
+				next func() workload.Op
+			}{
+				{"LOOKUP", func() workload.Op { return q.Lookup(workload.AttrUser, 10) }},
+				{"RANGELOOKUP", func() workload.Op { return q.RangeLookupUsers(10, 10) }},
+			}
+			for _, cell := range cells {
+				r := ExplainResult{Kind: kind, Op: cell.op, Queries: queries}
+				var results int
+				for i := 0; i < queries; i++ {
+					op := cell.next()
+					var obs int64
+					var pred float64
+					var n int
+					if op.Kind == workload.OpLookup {
+						entries, rp, err := db.ExplainLookup(op.Attr, op.Lo, op.K)
+						if err != nil {
+							return err
+						}
+						obs, pred, n = rp.ObservedIO, rp.PredictedIO, len(entries)
+					} else {
+						entries, rp, err := db.ExplainRangeLookup(op.Attr, op.Lo, op.Hi, op.K)
+						if err != nil {
+							return err
+						}
+						obs, pred, n = rp.ObservedIO, rp.PredictedIO, len(entries)
+					}
+					r.ObservedIO += obs
+					r.PredictedIO += pred
+					results += n
+				}
+				r.MeanResults = float64(results) / float64(queries)
+				if r.PredictedIO > 0 {
+					r.Ratio = float64(r.ObservedIO) / r.PredictedIO
+				}
+				out = append(out, r)
+				c.printf("%s %-12s %8d %10.1f %12d %12.1f %8.2f\n",
+					kindLabel(r.Kind), r.Op, r.Queries, r.MeanResults,
+					r.ObservedIO, r.PredictedIO, r.Ratio)
+			}
+			return nil
+		}(); err != nil {
+			_ = db.Close()
+			return nil, err
+		}
+		if err := db.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ExplainCSV renders ExplainValidation results for csvOut.
+func ExplainCSV(rs []ExplainResult) ([]string, [][]string) {
+	header := []string{"index", "op", "queries", "mean_results",
+		"observed_io", "predicted_io", "ratio"}
+	var rows [][]string
+	for _, r := range rs {
+		rows = append(rows, []string{
+			r.Kind.String(), r.Op,
+			fmt.Sprintf("%d", r.Queries),
+			fmt.Sprintf("%.1f", r.MeanResults),
+			fmt.Sprintf("%d", r.ObservedIO),
+			fmt.Sprintf("%.1f", r.PredictedIO),
+			fmt.Sprintf("%.3f", r.Ratio),
+		})
+	}
+	return header, rows
+}

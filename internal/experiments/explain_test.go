@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"testing"
+
+	"leveldbpp/internal/core"
+)
+
+// TestExplainValidation is the acceptance gate for the EXPLAIN cost
+// accounting: on every indexed kind the aggregate observed/predicted I/O
+// ratio for LOOKUP must land in [0.5, 2.0] — the model's worst-case
+// formulas should bound reality within a small constant at the default
+// geometry.
+func TestExplainValidation(t *testing.T) {
+	c := testConfig(t)
+	c.Scale = 4000
+	c.Queries = 40
+	rs, err := ExplainValidation(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2*len(Variants) {
+		t.Fatalf("rows = %d, want %d", len(rs), 2*len(Variants))
+	}
+	lookup := map[core.IndexKind]ExplainResult{}
+	for _, r := range rs {
+		if r.ObservedIO <= 0 || r.PredictedIO <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		if r.Op == "LOOKUP" {
+			lookup[r.Kind] = r
+		}
+	}
+	for _, kind := range []core.IndexKind{
+		core.IndexEmbedded, core.IndexEager, core.IndexLazy, core.IndexComposite,
+	} {
+		r, ok := lookup[kind]
+		if !ok {
+			t.Fatalf("no LOOKUP row for %s", kind)
+		}
+		if r.Ratio < 0.5 || r.Ratio > 2.0 {
+			t.Errorf("%s LOOKUP observed/predicted = %.2f, want [0.5, 2.0] (obs=%d pred=%.1f)",
+				kind, r.Ratio, r.ObservedIO, r.PredictedIO)
+		}
+	}
+	h, rows := ExplainCSV(rs)
+	if len(h) != 7 || len(rows) != len(rs) {
+		t.Fatalf("CSV shape %d×%d", len(h), len(rows))
+	}
+}

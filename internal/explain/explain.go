@@ -1,0 +1,57 @@
+// Package explain holds the EXPLAIN/ANALYZE layer (DESIGN.md §5.7): the
+// per-operation Report pairing a trace's exact observed I/O with the cost
+// model's prediction, and the online WorkloadProfiler that aggregates the
+// live operation mix into the advisor's inputs and tracks model drift.
+//
+// The package sits below core (which builds Reports from its five index
+// implementations) and is imported by advisor (which converts a Workload
+// snapshot into a Profile) — it depends only on metrics and costmodel, so
+// no import cycle forms.
+package explain
+
+import (
+	"fmt"
+
+	"leveldbpp/internal/costmodel"
+	"leveldbpp/internal/metrics"
+)
+
+// Report is one operation's execution report: the chosen plan, the phase
+// timings and exact I/O attribution from a detached trace, and the cost
+// model's prediction for the same operation evaluated with live Params.
+type Report struct {
+	Op      string `json:"op"`
+	Index   string `json:"index"`
+	Plan    string `json:"plan"`
+	Detail  string `json:"detail,omitempty"`
+	K       int    `json:"k,omitempty"` // requested top-K (0 = unbounded)
+	Results int    `json:"results"`     // entries returned (the model's K')
+
+	TotalUS float64             `json:"total_us"`
+	Phases  []metrics.PhaseTime `json:"phases,omitempty"`
+	IO      metrics.Counters    `json:"io"`
+
+	// ObservedIO is the logical block-access count (disk reads + block
+	// cache hits); PredictedIO is the Table 3/5 formula evaluated with
+	// Params; Ratio is observed/predicted.
+	ObservedIO  int64            `json:"observed_io"`
+	PredictedIO float64          `json:"predicted_io"`
+	Ratio       float64          `json:"ratio"`
+	Formula     string           `json:"formula"`
+	Params      costmodel.Params `json:"params"`
+}
+
+// Fill computes the derived fields (ObservedIO from the counters, Ratio
+// from the prediction) after the caller has set IO and PredictedIO.
+func (r *Report) Fill() {
+	r.ObservedIO = r.IO.BlockAccesses()
+	if r.PredictedIO > 0 {
+		r.Ratio = float64(r.ObservedIO) / r.PredictedIO
+	}
+}
+
+// String renders a one-line summary for CLI output.
+func (r *Report) String() string {
+	return fmt.Sprintf("%s[%s] plan=%s results=%d observed=%d predicted=%.1f ratio=%.2f (%s)",
+		r.Op, r.Index, r.Plan, r.Results, r.ObservedIO, r.PredictedIO, r.Ratio, r.Formula)
+}

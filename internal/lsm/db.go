@@ -418,7 +418,9 @@ func (db *DB) getLocked(key []byte, tr *metrics.Trace) ([]byte, bool, error) {
 	sc.Trace = tr
 	t0 = tr.Now()
 	for _, fm := range db.v.levels[0] { // newest first
+		m := tr.BlockMark()
 		ik, val, ok, err := fm.tbl.GetWith(&sc, key)
+		tr.CountLevelSince(0, m)
 		if err != nil {
 			return nil, false, err
 		}
@@ -437,7 +439,9 @@ func (db *DB) getLocked(key []byte, tr *metrics.Trace) ([]byte, bool, error) {
 		if fm == nil {
 			continue
 		}
+		m := tr.BlockMark()
 		ik, val, ok, err := fm.tbl.GetWith(&sc, key)
+		tr.CountLevelSince(l, m)
 		if err != nil {
 			return nil, false, err
 		}
@@ -543,6 +547,7 @@ type LevelInfo struct {
 	Files   int   `json:"files"`
 	Bytes   int64 `json:"bytes"`
 	Entries int   `json:"entries"`
+	Blocks  int   `json:"blocks"`
 }
 
 // LevelShape returns per-level file counts, byte totals and entry counts
@@ -563,6 +568,7 @@ func (db *DB) LevelShape() []LevelInfo {
 		for _, fm := range db.v.levels[l] {
 			li.Bytes += fm.Size
 			li.Entries += fm.tbl.EntryCount()
+			li.Blocks += fm.tbl.NumBlocks()
 		}
 		out = append(out, li)
 	}
@@ -776,6 +782,30 @@ func (v *View) NumStrata() int {
 	for l := 1; l < len(v.levels); l++ {
 		if len(v.levels[l]) > 0 {
 			n++
+		}
+	}
+	return n
+}
+
+// NumStrata is the DB-scoped variant of View.NumStrata: the live stratum
+// count of the tree, the cost model's "L" for stand-alone index lookups.
+func (db *DB) NumStrata() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return (&View{mem: db.mem, imm: db.imm, levels: db.v.levels}).NumStrata()
+}
+
+// OverlappingBlockCount sums, across every SSTable, the data blocks whose
+// key span intersects the user-key range [loUser, hiExcl) — metadata only,
+// no I/O. It is the live "M" (blocks a range scan must visit) of the cost
+// model's RANGELOOKUP formulas.
+func (db *DB) OverlappingBlockCount(loUser, hiExcl []byte) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n := 0
+	for _, level := range db.v.levels {
+		for _, fm := range level {
+			n += fm.tbl.OverlappingBlockCount(loUser, hiExcl)
 		}
 	}
 	return n

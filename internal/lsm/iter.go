@@ -5,6 +5,7 @@ import (
 	"container/heap"
 
 	"leveldbpp/internal/ikey"
+	"leveldbpp/internal/metrics"
 	"leveldbpp/internal/skiplist"
 	"leveldbpp/internal/sstable"
 )
@@ -57,20 +58,32 @@ func (h *scanHeap) Pop() interface{} {
 // false stops the scan. The callback receives the key's newest sequence
 // number (insertion-time ordering for top-K processing).
 func (db *DB) Scan(lo, hiExcl []byte, fn func(key, value []byte, seq uint64) bool) error {
+	return db.ScanTraced(lo, hiExcl, nil, fn)
+}
+
+// ScanTraced is Scan with every SSTable block fetch attributed to tr
+// (block-load/cache-hit sub-phases plus the per-op block counters). tr may
+// be nil.
+func (db *DB) ScanTraced(lo, hiExcl []byte, tr *metrics.Trace, fn func(key, value []byte, seq uint64) bool) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if db.closed {
 		return ErrClosed
 	}
-	return scanView(&View{db: db, mem: db.mem, imm: db.imm, levels: db.v.levels}, lo, hiExcl, fn)
+	return scanView(&View{db: db, mem: db.mem, imm: db.imm, levels: db.v.levels}, lo, hiExcl, tr, fn)
 }
 
 // Scan is the View-scoped variant of DB.Scan.
 func (v *View) Scan(lo, hiExcl []byte, fn func(key, value []byte, seq uint64) bool) error {
-	return scanView(v, lo, hiExcl, fn)
+	return scanView(v, lo, hiExcl, nil, fn)
 }
 
-func scanView(v *View, lo, hiExcl []byte, fn func(key, value []byte, seq uint64) bool) error {
+// ScanTraced is the View-scoped variant of DB.ScanTraced.
+func (v *View) ScanTraced(lo, hiExcl []byte, tr *metrics.Trace, fn func(key, value []byte, seq uint64) bool) error {
+	return scanView(v, lo, hiExcl, tr, fn)
+}
+
+func scanView(v *View, lo, hiExcl []byte, tr *metrics.Trace, fn func(key, value []byte, seq uint64) bool) error {
 	seekKey := ikey.SeekKey(lo)
 
 	var h scanHeap
@@ -91,7 +104,7 @@ func scanView(v *View, lo, hiExcl []byte, fn func(key, value []byte, seq uint64)
 		}
 	}
 	seekTable := func(fm *FileMeta) error {
-		it := fm.tbl.NewIterator(false)
+		it := fm.tbl.NewIteratorTraced(false, tr)
 		if it.SeekGE(seekKey) {
 			add(&tableIterAdapter{it: it, positioned: true})
 		}

@@ -34,6 +34,12 @@ const (
 	EventStopOn          EventType = "throttle_stop_engage"
 	EventStopOff         EventType = "throttle_stop_release"
 	EventWALRotate       EventType = "wal_rotate"
+	// Model/advisor observability (DESIGN.md §5.7): emitted by the
+	// workload profiler when the observed/predicted cost ratio leaves the
+	// model's confidence band, and by the advisor monitor when the live
+	// recommendation flips away from the configured index kind.
+	EventModelDrift  EventType = "model_drift"
+	EventAdvisorFlip EventType = "advisor_flip"
 )
 
 // Event is one structured lifecycle record. Seq and TS are assigned by

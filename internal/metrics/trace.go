@@ -140,6 +140,68 @@ func (p Phase) String() string {
 // TopLevel reports whether the phase counts toward wall-clock coverage.
 func (p Phase) TopLevel() bool { return p < PhaseBlockLoad }
 
+// Counter identifies one exact-count I/O statistic accumulated on a Trace.
+// Unlike the process-wide IOStats counters these are per-operation: an
+// EXPLAIN report (DESIGN.md §5.7) is built from one trace's counters, and
+// the per-kind golden tests assert they equal the IOStats deltas for the
+// same operation. Counters are incremented at the same code sites as their
+// IOStats twins, so the equality holds by construction.
+type Counter uint8
+
+// The counter taxonomy.
+const (
+	CtrBlockReads          Counter = iota // data blocks fetched from disk
+	CtrCacheHits                          // data blocks served by the block cache
+	CtrBloomProbes                        // bloom filters consulted (primary or secondary)
+	CtrBloomNegatives                     // bloom filters that excluded a block
+	CtrBloomFalsePositives                // blocks read on a bloom pass that held no match
+	CtrZoneMapPrunes                      // blocks excluded by zone maps (incl. whole-file zones)
+	CtrCandidateBlocks                    // blocks that survived zone+bloom filtering
+	CtrPointGets                          // SSTable point reads issued
+	CtrEntriesDecoded                     // block entries decoded during point reads
+	CtrPostingFragments                   // posting-list fragments fetched/merged
+	CtrPostingEntries                     // posting-list entries decoded
+	CtrValidations                        // GetLite validity probes / primary-table validations
+	NumCounters
+)
+
+// String returns the counter's wire name.
+func (c Counter) String() string {
+	switch c {
+	case CtrBlockReads:
+		return "block_reads"
+	case CtrCacheHits:
+		return "cache_hits"
+	case CtrBloomProbes:
+		return "bloom_probes"
+	case CtrBloomNegatives:
+		return "bloom_negatives"
+	case CtrBloomFalsePositives:
+		return "bloom_false_positives"
+	case CtrZoneMapPrunes:
+		return "zone_map_prunes"
+	case CtrCandidateBlocks:
+		return "candidate_blocks"
+	case CtrPointGets:
+		return "point_gets"
+	case CtrEntriesDecoded:
+		return "entries_decoded"
+	case CtrPostingFragments:
+		return "posting_fragments"
+	case CtrPostingEntries:
+		return "posting_entries"
+	case CtrValidations:
+		return "validations"
+	default:
+		return "unknown"
+	}
+}
+
+// MaxTraceLevels bounds the per-level block-access attribution array;
+// deeper levels clamp into the last bucket (MaxLevels defaults to 7, so in
+// practice nothing clamps).
+const MaxTraceLevels = 8
+
 // Trace accumulates the phase timings of one sampled operation. A nil
 // *Trace is a valid no-op receiver — call sites never branch beyond the
 // nil checks inside these methods. A Trace must not be shared across
@@ -151,7 +213,18 @@ type Trace struct {
 	start  time.Time
 	ns     [NumPhases]int64
 	counts [NumPhases]uint32
+	ctrs   [NumCounters]int64
+	levels [MaxTraceLevels]int64 // block accesses attributed per LSM level
+	ioOnly int                   // >0 suppresses phase attribution (counters still record)
 	tracer *Tracer
+}
+
+// StartDetached returns a trace bound to no tracer: it always records
+// (regardless of any sampling rate) and Finish is a no-op, so the caller
+// owns its lifetime. EXPLAIN uses detached traces to guarantee a report
+// even when operation sampling is disabled.
+func StartDetached(op Op) *Trace {
+	return &Trace{op: op, start: time.Now()}
 }
 
 // Now returns the current time for a subsequent Since, or the zero time
@@ -166,7 +239,7 @@ func (tr *Trace) Now() time.Time {
 // Since attributes the time elapsed from t0 to phase p. No-op on a nil
 // trace or a zero t0 (the pair produced by a nil Now).
 func (tr *Trace) Since(p Phase, t0 time.Time) {
-	if tr == nil || t0.IsZero() {
+	if tr == nil || t0.IsZero() || tr.ioOnly > 0 {
 		return
 	}
 	tr.ns[p] += int64(time.Since(t0))
@@ -175,11 +248,88 @@ func (tr *Trace) Since(p Phase, t0 time.Time) {
 
 // Add attributes d to phase p directly.
 func (tr *Trace) Add(p Phase, d time.Duration) {
-	if tr == nil {
+	if tr == nil || tr.ioOnly > 0 {
 		return
 	}
 	tr.ns[p] += int64(d)
 	tr.counts[p]++
+}
+
+// IOOnlyBegin suppresses phase attribution until the matching IOOnlyEnd;
+// Count keeps recording. Used when a traced operation nests another traced
+// call path (the Eager index GET, validation's primary GET) whose internal
+// top-level phases would otherwise double-count inside the outer op's
+// phase window and break coverage accounting.
+//
+//lsm:hotpath
+func (tr *Trace) IOOnlyBegin() {
+	if tr == nil {
+		return
+	}
+	tr.ioOnly++
+}
+
+// IOOnlyEnd reverses one IOOnlyBegin.
+//
+//lsm:hotpath
+func (tr *Trace) IOOnlyEnd() {
+	if tr == nil {
+		return
+	}
+	tr.ioOnly--
+}
+
+// Count adds n to counter c. Nil-safe and allocation-free: the disabled
+// path costs one pointer check.
+//
+//lsm:hotpath
+func (tr *Trace) Count(c Counter, n int64) {
+	if tr == nil {
+		return
+	}
+	tr.ctrs[c] += n
+}
+
+// CounterValue returns the current value of counter c (0 on nil).
+func (tr *Trace) CounterValue(c Counter) int64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.ctrs[c]
+}
+
+// BlockMark snapshots the block-access total (reads + cache hits) so a
+// caller that knows which level it is probing can attribute the delta via
+// CountLevelSince.
+//
+//lsm:hotpath
+func (tr *Trace) BlockMark() int64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.ctrs[CtrBlockReads] + tr.ctrs[CtrCacheHits]
+}
+
+// CountLevelSince attributes the block accesses since mark (a BlockMark
+// result) to level. Levels beyond the attribution array clamp into the
+// last bucket.
+//
+//lsm:hotpath
+func (tr *Trace) CountLevelSince(level int, mark int64) {
+	if tr == nil {
+		return
+	}
+	d := tr.ctrs[CtrBlockReads] + tr.ctrs[CtrCacheHits] - mark
+	if d == 0 {
+		return
+	}
+	if level < 0 {
+		level = 0
+	}
+	if level >= MaxTraceLevels {
+		level = MaxTraceLevels - 1
+	}
+	tr.levels[level] += d
 }
 
 // SetDetail annotates the trace (e.g. the looked-up attribute).
@@ -195,10 +345,110 @@ func (tr *Trace) SetDetail(s string) {
 // the threshold, and the object returns to the pool. The trace must not be
 // used afterwards.
 func (tr *Trace) Finish() {
-	if tr == nil {
+	if tr == nil || tr.tracer == nil {
 		return
 	}
 	tr.tracer.finish(tr)
+}
+
+// Counters is the JSON form of a trace's exact I/O attribution.
+type Counters struct {
+	BlockReads          int64   `json:"block_reads"`
+	CacheHits           int64   `json:"cache_hits"`
+	BloomProbes         int64   `json:"bloom_probes"`
+	BloomNegatives      int64   `json:"bloom_negatives"`
+	BloomFalsePositives int64   `json:"bloom_false_positives"`
+	ZoneMapPrunes       int64   `json:"zone_map_prunes"`
+	CandidateBlocks     int64   `json:"candidate_blocks"`
+	PointGets           int64   `json:"point_gets"`
+	EntriesDecoded      int64   `json:"entries_decoded"`
+	PostingFragments    int64   `json:"posting_fragments"`
+	PostingEntries      int64   `json:"posting_entries"`
+	Validations         int64   `json:"validations"`
+	BlocksPerLevel      []int64 `json:"blocks_per_level,omitempty"`
+}
+
+// BlockAccesses is the observed logical I/O: blocks fetched from disk plus
+// blocks served by the block cache. It is the quantity compared against
+// the cost model's predicted block count (the model counts logical block
+// accesses; whether the OS or the block cache absorbs them is orthogonal).
+func (c Counters) BlockAccesses() int64 { return c.BlockReads + c.CacheHits }
+
+// Counters returns a snapshot of the trace's I/O counters. Zero value on a
+// nil trace.
+func (tr *Trace) Counters() Counters {
+	if tr == nil {
+		return Counters{}
+	}
+	c := Counters{
+		BlockReads:          tr.ctrs[CtrBlockReads],
+		CacheHits:           tr.ctrs[CtrCacheHits],
+		BloomProbes:         tr.ctrs[CtrBloomProbes],
+		BloomNegatives:      tr.ctrs[CtrBloomNegatives],
+		BloomFalsePositives: tr.ctrs[CtrBloomFalsePositives],
+		ZoneMapPrunes:       tr.ctrs[CtrZoneMapPrunes],
+		CandidateBlocks:     tr.ctrs[CtrCandidateBlocks],
+		PointGets:           tr.ctrs[CtrPointGets],
+		EntriesDecoded:      tr.ctrs[CtrEntriesDecoded],
+		PostingFragments:    tr.ctrs[CtrPostingFragments],
+		PostingEntries:      tr.ctrs[CtrPostingEntries],
+		Validations:         tr.ctrs[CtrValidations],
+	}
+	max := -1
+	for l, n := range tr.levels {
+		if n != 0 {
+			max = l
+		}
+	}
+	if max >= 0 {
+		c.BlocksPerLevel = append([]int64(nil), tr.levels[:max+1]...)
+	}
+	return c
+}
+
+// Record builds the TraceRecord for the trace as it stands, without
+// finishing it. EXPLAIN uses this on detached traces to extract phase
+// timings and I/O counters into a report.
+func (tr *Trace) Record() TraceRecord {
+	if tr == nil {
+		return TraceRecord{}
+	}
+	return tr.record(int64(time.Since(tr.start)))
+}
+
+func (tr *Trace) record(total int64) TraceRecord {
+	rec := TraceRecord{
+		Op:      tr.op.String(),
+		Detail:  tr.detail,
+		Start:   tr.start,
+		TotalUS: float64(total) / 1e3,
+	}
+	var attributed int64
+	for p := Phase(0); p < NumPhases; p++ {
+		if tr.ns[p] == 0 && tr.counts[p] == 0 {
+			continue
+		}
+		if p.TopLevel() {
+			attributed += tr.ns[p]
+		}
+		rec.Phases = append(rec.Phases, PhaseTime{
+			Phase: p.String(),
+			US:    float64(tr.ns[p]) / 1e3,
+			Count: tr.counts[p],
+		})
+	}
+	rec.AttributedUS = float64(attributed) / 1e3
+	if total > 0 {
+		rec.Coverage = float64(attributed) / float64(total)
+	}
+	for _, n := range tr.ctrs {
+		if n != 0 {
+			io := tr.Counters()
+			rec.IO = &io
+			break
+		}
+	}
+	return rec
 }
 
 // PhaseTime is one phase entry of a completed TraceRecord.
@@ -219,6 +469,9 @@ type TraceRecord struct {
 	AttributedUS float64     `json:"attributed_us"`
 	Coverage     float64     `json:"coverage"`
 	Phases       []PhaseTime `json:"phases,omitempty"`
+	// IO carries the exact per-op I/O attribution when any counter fired
+	// (DESIGN.md §5.7); nil for traces with no counter activity.
+	IO *Counters `json:"io,omitempty"`
 }
 
 // Tracer samples operations and collects their traces. Safe for
@@ -304,30 +557,7 @@ func (t *Tracer) Start(op Op) *Trace {
 
 func (t *Tracer) finish(tr *Trace) {
 	total := int64(time.Since(tr.start))
-	rec := TraceRecord{
-		Op:      tr.op.String(),
-		Detail:  tr.detail,
-		Start:   tr.start,
-		TotalUS: float64(total) / 1e3,
-	}
-	var attributed int64
-	for p := Phase(0); p < NumPhases; p++ {
-		if tr.ns[p] == 0 && tr.counts[p] == 0 {
-			continue
-		}
-		if p.TopLevel() {
-			attributed += tr.ns[p]
-		}
-		rec.Phases = append(rec.Phases, PhaseTime{
-			Phase: p.String(),
-			US:    float64(tr.ns[p]) / 1e3,
-			Count: tr.counts[p],
-		})
-	}
-	rec.AttributedUS = float64(attributed) / 1e3
-	if total > 0 {
-		rec.Coverage = float64(attributed) / float64(total)
-	}
+	rec := tr.record(total)
 
 	slow := total >= t.slowNS.Load()
 	t.mu.Lock()

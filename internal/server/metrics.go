@@ -225,6 +225,63 @@ func (s *Server) writeMetrics(w io.Writer) {
 		"Configured per-operation trace sampling rate.", "gauge")
 	metrics.WriteSample(w, "lsmpp_trace_sample_rate", "", s.db.Tracer().Rate())
 
+	// Cost-model accuracy (DESIGN.md §5.7): per-op rolling mean of the
+	// observed/predicted I/O ratio, its sample count, and the drift flag —
+	// from the workload profiler's snapshot, so scrapes emit no events.
+	workload := s.db.Profiler().Snapshot()
+	ratioOps := make([]string, 0, len(workload.Ratios))
+	for op := range workload.Ratios {
+		ratioOps = append(ratioOps, op)
+	}
+	sort.Strings(ratioOps)
+	metrics.WriteMetricHeader(w, "lsmpp_model_ratio_mean",
+		"Rolling mean of observed/predicted I/O per operation kind.", "gauge")
+	for _, op := range ratioOps {
+		metrics.WriteSample(w, "lsmpp_model_ratio_mean",
+			metrics.Labels(map[string]string{"op": op}), workload.Ratios[op].Mean)
+	}
+	metrics.WriteMetricHeader(w, "lsmpp_model_ratio_samples",
+		"Observed/predicted ratios in the rolling window, per operation kind.", "gauge")
+	for _, op := range ratioOps {
+		metrics.WriteSample(w, "lsmpp_model_ratio_samples",
+			metrics.Labels(map[string]string{"op": op}), float64(workload.Ratios[op].Count))
+	}
+	metrics.WriteMetricHeader(w, "lsmpp_model_drifted",
+		"1 when an operation kind's cost-model drift flag is raised.", "gauge")
+	for _, op := range ratioOps {
+		v := 0.0
+		if workload.Ratios[op].Drifted {
+			v = 1
+		}
+		metrics.WriteSample(w, "lsmpp_model_drifted",
+			metrics.Labels(map[string]string{"op": op}), v)
+	}
+
+	// Online advisor (pure evaluation — no advisor_flip events from
+	// scrapes): whether the configured kind matches the recommendation,
+	// and the recommended kind as a one-hot gauge.
+	check := s.monitor.Evaluate()
+	metrics.WriteMetricHeader(w, "lsmpp_advisor_match",
+		"1 when the advisor's recommended index kind matches the configured one.", "gauge")
+	matchV := 0.0
+	if check.Match {
+		matchV = 1
+	}
+	metrics.WriteSample(w, "lsmpp_advisor_match", "", matchV)
+	metrics.WriteMetricHeader(w, "lsmpp_advisor_recommended",
+		"One-hot: 1 on the index kind the advisor currently recommends.", "gauge")
+	for _, kind := range []string{"NoIndex", "Embedded", "Eager", "Lazy", "Composite"} {
+		v := 0.0
+		if kind == check.Recommended {
+			v = 1
+		}
+		metrics.WriteSample(w, "lsmpp_advisor_recommended",
+			metrics.Labels(map[string]string{"kind": kind}), v)
+	}
+	metrics.WriteMetricHeader(w, "lsmpp_advisor_profiled_ops",
+		"Operations aggregated by the workload profiler.", "gauge")
+	metrics.WriteSample(w, "lsmpp_advisor_profiled_ops", "", float64(workload.TotalOps))
+
 	metrics.WriteMetricHeader(w, "lsmpp_http_encode_errors_total",
 		"HTTP responses whose JSON encoding failed mid-write.", "counter")
 	metrics.WriteSample(w, "lsmpp_http_encode_errors_total", "", float64(s.encodeErrors.Load()))

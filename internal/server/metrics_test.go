@@ -141,6 +141,9 @@ func TestMetricsPrometheusRoundTrip(t *testing.T) {
 		do(t, http.MethodGet, ts.URL+"/lookup?attr=UserID&value=u1&k=3", "")
 		do(t, http.MethodGet, ts.URL+"/rangelookup?attr=CreationTime&lo=0000000000&hi=0000000020", "")
 	}
+	// One EXPLAIN feeds the model-drift tracker so lsmpp_model_* gauges
+	// have a sample to export.
+	do(t, http.MethodGet, ts.URL+"/explain/lookup?attr=UserID&value=u1&k=3", "")
 
 	resp, body := do(t, http.MethodGet, ts.URL+"/metrics", "")
 	if resp.StatusCode != http.StatusOK {
@@ -211,6 +214,34 @@ func TestMetricsPrometheusRoundTrip(t *testing.T) {
 	// The flush left lifecycle events behind.
 	if ss := find(samples, "lsmpp_events_total", map[string]string{"type": "flush_done"}); len(ss) != 1 || ss[0].value <= 0 {
 		t.Fatalf("lsmpp_events_total{type=flush_done} missing or zero: %v", ss)
+	}
+
+	// Advisor gauges: the profiled op count moved, the match flag is 0/1,
+	// and the recommendation one-hot has exactly one kind set.
+	if ss := find(samples, "lsmpp_advisor_profiled_ops", nil); len(ss) != 1 || ss[0].value <= 0 {
+		t.Fatalf("lsmpp_advisor_profiled_ops: %v", ss)
+	}
+	if ss := find(samples, "lsmpp_advisor_match", nil); len(ss) != 1 || (ss[0].value != 0 && ss[0].value != 1) {
+		t.Fatalf("lsmpp_advisor_match: %v", ss)
+	}
+	hot := 0.0
+	for _, s := range find(samples, "lsmpp_advisor_recommended", nil) {
+		hot += s.value
+	}
+	if hot != 1 {
+		t.Fatalf("lsmpp_advisor_recommended one-hot sums to %v", hot)
+	}
+
+	// Model-drift gauges exist for the op the EXPLAIN call fed.
+	lbl := map[string]string{"op": "lookup"}
+	if ss := find(samples, "lsmpp_model_ratio_samples", lbl); len(ss) != 1 || ss[0].value <= 0 {
+		t.Fatalf("lsmpp_model_ratio_samples{op=lookup}: %v", ss)
+	}
+	if ss := find(samples, "lsmpp_model_ratio_mean", lbl); len(ss) != 1 || ss[0].value <= 0 {
+		t.Fatalf("lsmpp_model_ratio_mean{op=lookup}: %v", ss)
+	}
+	if ss := find(samples, "lsmpp_model_drifted", lbl); len(ss) != 1 {
+		t.Fatalf("lsmpp_model_drifted{op=lookup}: %v", ss)
 	}
 }
 

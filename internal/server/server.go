@@ -8,6 +8,10 @@
 //	DELETE /doc/{key}                         delete document
 //	GET    /lookup?attr=A&value=a&k=K         LOOKUP(A, a, K)
 //	GET    /rangelookup?attr=A&lo=a&hi=b&k=K  RANGELOOKUP(A, a, b, K)
+//	GET    /explain/lookup?attr=A&value=a&k=K EXPLAIN LOOKUP (report + results)
+//	GET    /explain/rangelookup?...           EXPLAIN RANGELOOKUP
+//	GET    /explain/get?key=k                 EXPLAIN GET
+//	GET    /advisor                           live workload profile + index advice
 //	GET    /scan?lo=a&hi=b&limit=N            primary-key range scan
 //	POST   /batch                             atomic batch (JSON body)
 //	GET    /stats                             I/O counters, sizes, WAMF
@@ -18,7 +22,7 @@
 //	GET    /healthz                           liveness (503 when stalled/closed)
 //	GET    /metrics                           Prometheus text format
 //	GET    /events                            lifecycle event log (JSON)
-//	GET    /trace/slow                        recent slow traces + breakdown
+//	GET    /trace/slow?op=O&limit=N           recent slow traces + breakdown
 //	GET    /debug/pprof/*                     Go profiling (opt-in)
 //
 // All responses are JSON. Errors use standard status codes with a
@@ -37,6 +41,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"leveldbpp/internal/advisor"
 	"leveldbpp/internal/core"
 )
 
@@ -52,8 +57,9 @@ type Config struct {
 
 // Server is an http.Handler over one database.
 type Server struct {
-	db  *core.DB
-	mux *http.ServeMux
+	db      *core.DB
+	mux     *http.ServeMux
+	monitor *advisor.Monitor
 
 	// encodeErrors counts responses whose JSON encoding failed mid-write
 	// (the status line is already gone by then, so the failure is logged
@@ -66,10 +72,14 @@ func New(db *core.DB) *Server { return NewWith(db, Config{Metrics: true}) }
 
 // NewWith wraps db with the given observability configuration.
 func NewWith(db *core.DB, cfg Config) *Server {
-	s := &Server{db: db, mux: http.NewServeMux()}
+	s := &Server{db: db, mux: http.NewServeMux(), monitor: advisor.NewMonitor(db)}
 	s.mux.HandleFunc("/doc/", s.handleDoc)
 	s.mux.HandleFunc("/lookup", s.handleLookup)
 	s.mux.HandleFunc("/rangelookup", s.handleRangeLookup)
+	s.mux.HandleFunc("/explain/lookup", s.handleExplainLookup)
+	s.mux.HandleFunc("/explain/rangelookup", s.handleExplainRangeLookup)
+	s.mux.HandleFunc("/explain/get", s.handleExplainGet)
+	s.mux.HandleFunc("/advisor", s.handleAdvisor)
 	s.mux.HandleFunc("/scan", s.handleScan)
 	s.mux.HandleFunc("/batch", s.handleBatch)
 	s.mux.HandleFunc("/stats", s.handleStats)
@@ -98,6 +108,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 // EncodeErrors returns the number of responses whose JSON encoding failed.
 func (s *Server) EncodeErrors() int64 { return s.encodeErrors.Load() }
+
+// AdvisorMonitor returns the server's online index advisor — lsmserver's
+// -advisor-check loop drives Check() on it so flips land in the event log.
+func (s *Server) AdvisorMonitor() *advisor.Monitor { return s.monitor }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
@@ -135,9 +149,30 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleTraceSlow(w http.ResponseWriter, r *http.Request) {
 	t := s.db.Tracer()
+	q := r.URL.Query()
+	slow := t.Slow()
+	if op := q.Get("op"); op != "" {
+		filtered := slow[:0]
+		for _, rec := range slow {
+			if rec.Op == op {
+				filtered = append(filtered, rec)
+			}
+		}
+		slow = filtered
+	}
+	if ls := q.Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 0 {
+			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", ls))
+			return
+		}
+		if n < len(slow) {
+			slow = slow[len(slow)-n:] // most recent last; keep the newest n
+		}
+	}
 	s.writeJSON(w, http.StatusOK, map[string]interface{}{
 		"sample_rate": t.Rate(),
-		"slow":        t.Slow(),
+		"slow":        slow,
 		"breakdown":   t.Breakdown(),
 	})
 }
@@ -274,6 +309,77 @@ func (s *Server) handleRangeLookup(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, toWire(entries))
 }
 
+func (s *Server) handleExplainLookup(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	attr := q.Get("attr")
+	if attr == "" {
+		s.writeErr(w, http.StatusBadRequest, errors.New("attr parameter required"))
+		return
+	}
+	k, err := parseK(r)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	entries, rep, err := s.db.ExplainLookup(attr, q.Get("value"), k)
+	if errors.Is(err, core.ErrUnknownAttr) {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err != nil {
+		s.writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]interface{}{
+		"report": rep, "results": toWire(entries)})
+}
+
+func (s *Server) handleExplainRangeLookup(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	attr := q.Get("attr")
+	if attr == "" {
+		s.writeErr(w, http.StatusBadRequest, errors.New("attr parameter required"))
+		return
+	}
+	k, err := parseK(r)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	entries, rep, err := s.db.ExplainRangeLookup(attr, q.Get("lo"), q.Get("hi"), k)
+	if errors.Is(err, core.ErrUnknownAttr) {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err != nil {
+		s.writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]interface{}{
+		"report": rep, "results": toWire(entries)})
+}
+
+func (s *Server) handleExplainGet(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		s.writeErr(w, http.StatusBadRequest, errors.New("key parameter required"))
+		return
+	}
+	_, found, rep, err := s.db.ExplainGet(key)
+	if err != nil {
+		s.writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]interface{}{
+		"report": rep, "found": found})
+}
+
+func (s *Server) handleAdvisor(w http.ResponseWriter, r *http.Request) {
+	// Evaluate, not Check: a dashboard polling /advisor must not emit
+	// advisor_flip events — only the -advisor-check loop does.
+	s.writeJSON(w, http.StatusOK, s.monitor.Evaluate())
+}
+
 func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	limit := 1000
@@ -360,15 +466,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	st := s.db.Stats()
 	pWAMF, idxWAMF := s.db.WriteAmplification()
+	commitPrimary, commitIndex := s.db.CommitStats()
 	s.writeJSON(w, http.StatusOK, map[string]interface{}{
-		"index_kind":           s.db.Kind().String(),
-		"disk_primary_bytes":   prim,
-		"disk_index_bytes":     idx,
-		"filter_memory_bytes":  s.db.FilterMemoryUsage(),
-		"primary_io":           st.Primary,
-		"index_io":             st.Index,
-		"primary_wamf":         pWAMF,
-		"index_wamf_per_attr":  idxWAMF,
+		"index_kind":          s.db.Kind().String(),
+		"disk_primary_bytes":  prim,
+		"disk_index_bytes":    idx,
+		"filter_memory_bytes": s.db.FilterMemoryUsage(),
+		"primary_io":          st.Primary,
+		"index_io":            st.Index,
+		"primary_wamf":        pWAMF,
+		"index_wamf_per_attr": idxWAMF,
+		"commit_primary":      commitPrimary,
+		"commit_index":        commitIndex,
+		"postings": map[string]int64{
+			"bytes_decoded":    st.Primary.PostingsBytesDecoded + st.Index.PostingsBytesDecoded,
+			"entries_decoded":  st.Primary.PostingsEntriesDecoded + st.Index.PostingsEntriesDecoded,
+			"fragments_merged": st.Primary.FragmentsMerged + st.Index.FragmentsMerged,
+		},
 		"last_sequence_number": s.db.LastSeq(),
 		"encode_errors":        s.encodeErrors.Load(),
 	})

@@ -241,6 +241,7 @@ func (t *Table) readBlockT(i int, compaction bool, tr *metrics.Trace) ([]byte, e
 			if t.stats != nil {
 				t.stats.CacheHits.Add(1)
 			}
+			tr.Count(metrics.CtrCacheHits, 1)
 			tr.Since(metrics.PhaseCacheHit, t0)
 			return raw, nil
 		}
@@ -261,6 +262,9 @@ func (t *Table) readBlockT(i int, compaction bool, tr *metrics.Trace) ([]byte, e
 			t.stats.BlockReads.Add(1)
 			t.stats.BlockReadBytes.Add(int64(len(phys)))
 		}
+	}
+	if !compaction {
+		tr.Count(metrics.CtrBlockReads, 1)
 	}
 	raw, err := decodeBlock(phys)
 	if err != nil {
@@ -292,13 +296,41 @@ func (t *Table) candidateBlocks(userKey []byte) (int, int) {
 // bloom filters) and reports whether userKey may exist in this table. It
 // performs no disk I/O — the cheap probe behind GetLite (paper §3).
 func (t *Table) MayContainPrimary(userKey []byte) bool {
+	return t.MayContainPrimaryTraced(userKey, nil)
+}
+
+// MayContainPrimaryTraced is MayContainPrimary counting each bloom filter
+// consulted (and each that excluded a block) on the trace.
+//
+//lsm:hotpath
+func (t *Table) MayContainPrimaryTraced(userKey []byte, tr *metrics.Trace) bool {
 	lo, hi := t.candidateBlocks(userKey)
 	for i := lo; i < hi; i++ {
+		tr.Count(metrics.CtrBloomProbes, 1)
 		if t.blocks[i].primaryBloom.MayContain(userKey) {
 			return true
 		}
+		tr.Count(metrics.CtrBloomNegatives, 1)
 	}
 	return false
+}
+
+// OverlappingBlockCount returns how many data blocks overlap the user-key
+// range [loUser, hiExcl) — pure metadata, no I/O. A nil hiExcl is
+// unbounded above. This is the live "M" of the cost model's RANGELOOKUP
+// formulas (Table 5), derived from actual level geometry.
+func (t *Table) OverlappingBlockCount(loUser, hiExcl []byte) int {
+	lo := sort.Search(len(t.blocks), func(i int) bool {
+		return bytes.Compare(ikey.UserKey(t.blocks[i].lastKey), loUser) >= 0
+	})
+	hi := lo
+	for hi < len(t.blocks) {
+		if hiExcl != nil && bytes.Compare(ikey.UserKey(t.blocks[hi].firstKey), hiExcl) >= 0 {
+			break
+		}
+		hi++
+	}
+	return hi - lo
 }
 
 // FormatVersion reports the table's block format: 1 (seed, linear-only
@@ -349,13 +381,17 @@ func (t *Table) GetWith(sc *GetScratch, userKey []byte) (internalKey, value []by
 	if t.stats != nil {
 		t.stats.PointGets.Add(1)
 	}
+	tr := sc.Trace
+	tr.Count(metrics.CtrPointGets, 1)
 	lo, hi := t.candidateBlocks(userKey)
 	var seek []byte
 	for i := lo; i < hi; i++ {
+		tr.Count(metrics.CtrBloomProbes, 1)
 		if !t.blocks[i].primaryBloom.MayContain(userKey) {
+			tr.Count(metrics.CtrBloomNegatives, 1)
 			continue
 		}
-		raw, err := t.readBlockT(i, false, sc.Trace)
+		raw, err := t.readBlockT(i, false, tr)
 		if err != nil {
 			return nil, nil, false, err
 		}
@@ -377,6 +413,7 @@ func (t *Table) GetWith(sc *GetScratch, userKey []byte) (internalKey, value []by
 				if t.stats != nil {
 					t.stats.EntriesDecoded.Add(int64(it.decoded))
 				}
+				tr.Count(metrics.CtrEntriesDecoded, int64(it.decoded))
 				return it.key, it.val, true, nil
 			}
 		} else {
@@ -387,6 +424,7 @@ func (t *Table) GetWith(sc *GetScratch, userKey []byte) (internalKey, value []by
 					if t.stats != nil {
 						t.stats.EntriesDecoded.Add(int64(it.decoded))
 					}
+					tr.Count(metrics.CtrEntriesDecoded, int64(it.decoded))
 					return it.key, it.val, true, nil
 				}
 				if c > 0 {
@@ -400,6 +438,9 @@ func (t *Table) GetWith(sc *GetScratch, userKey []byte) (internalKey, value []by
 		if t.stats != nil {
 			t.stats.EntriesDecoded.Add(int64(it.decoded))
 		}
+		tr.Count(metrics.CtrEntriesDecoded, int64(it.decoded))
+		// The block passed its bloom filter but held no match for userKey.
+		tr.Count(metrics.CtrBloomFalsePositives, 1)
 	}
 	return nil, nil, false, nil
 }
@@ -422,18 +463,38 @@ func (t *Table) HasAttr(attr string) bool { return t.attrs[attr] != nil }
 // with attr == value: the file zone map, per-block zone maps, and
 // per-block bloom filters must all pass (paper §3 LOOKUP).
 func (t *Table) SecondaryCandidates(attr, value string) []int {
+	return t.SecondaryCandidatesTraced(attr, value, nil)
+}
+
+// SecondaryCandidatesTraced is SecondaryCandidates with per-filter
+// attribution on the trace: blocks pruned by zone maps (a whole-file zone
+// reject prunes every block), secondary bloom probes/negatives, and the
+// surviving candidate count.
+func (t *Table) SecondaryCandidatesTraced(attr, value string, tr *metrics.Trace) []int {
 	am := t.attrs[attr]
-	if am == nil || !am.fileZone.contains(value) {
+	if am == nil {
+		return nil
+	}
+	if !am.fileZone.contains(value) {
+		tr.Count(metrics.CtrZoneMapPrunes, int64(len(am.blocks)))
 		return nil
 	}
 	v := []byte(value)
 	var out []int
 	for i := range am.blocks {
 		sb := &am.blocks[i]
-		if sb.zone.contains(value) && sb.filter.MayContain(v) {
-			out = append(out, i)
+		if !sb.zone.contains(value) {
+			tr.Count(metrics.CtrZoneMapPrunes, 1)
+			continue
 		}
+		tr.Count(metrics.CtrBloomProbes, 1)
+		if !sb.filter.MayContain(v) {
+			tr.Count(metrics.CtrBloomNegatives, 1)
+			continue
+		}
+		out = append(out, i)
 	}
+	tr.Count(metrics.CtrCandidateBlocks, int64(len(out)))
 	return out
 }
 
@@ -441,16 +502,29 @@ func (t *Table) SecondaryCandidates(attr, value string) []int {
 // overlaps [lo, hi] (paper §3 RANGELOOKUP; bloom filters cannot help range
 // predicates).
 func (t *Table) SecondaryRangeCandidates(attr, lo, hi string) []int {
+	return t.SecondaryRangeCandidatesTraced(attr, lo, hi, nil)
+}
+
+// SecondaryRangeCandidatesTraced is SecondaryRangeCandidates with
+// zone-map prune and candidate counts attributed to the trace.
+func (t *Table) SecondaryRangeCandidatesTraced(attr, lo, hi string, tr *metrics.Trace) []int {
 	am := t.attrs[attr]
-	if am == nil || !am.fileZone.overlaps(lo, hi) {
+	if am == nil {
+		return nil
+	}
+	if !am.fileZone.overlaps(lo, hi) {
+		tr.Count(metrics.CtrZoneMapPrunes, int64(len(am.blocks)))
 		return nil
 	}
 	var out []int
 	for i := range am.blocks {
-		if am.blocks[i].zone.overlaps(lo, hi) {
-			out = append(out, i)
+		if !am.blocks[i].zone.overlaps(lo, hi) {
+			tr.Count(metrics.CtrZoneMapPrunes, 1)
+			continue
 		}
+		out = append(out, i)
 	}
+	tr.Count(metrics.CtrCandidateBlocks, int64(len(out)))
 	return out
 }
 
@@ -476,6 +550,7 @@ type Iterator struct {
 	blockIdx   int
 	bi         *BlockIter // nil when unpositioned / between blocks
 	biStore    BlockIter  // backing store: key buffer reused across blocks
+	tr         *metrics.Trace
 	err        error
 }
 
@@ -483,6 +558,14 @@ type Iterator struct {
 // block reads to compaction I/O counters.
 func (t *Table) NewIterator(compaction bool) *Iterator {
 	return &Iterator{t: t, compaction: compaction, blockIdx: -1}
+}
+
+// NewIteratorTraced is NewIterator with every block fetch attributed to
+// the trace (block-load/cache-hit sub-phases plus block counters) — the
+// scan path of Composite prefix scans, Eager range scans and Lazy
+// range-fragment gathering.
+func (t *Table) NewIteratorTraced(compaction bool, tr *metrics.Trace) *Iterator {
+	return &Iterator{t: t, compaction: compaction, blockIdx: -1, tr: tr}
 }
 
 // BlockIterator reads block i and returns an iterator over just that
@@ -511,7 +594,7 @@ func (it *Iterator) loadBlock(i int) bool {
 		it.bi = nil
 		return false
 	}
-	raw, err := it.t.readBlock(i, it.compaction)
+	raw, err := it.t.readBlockT(i, it.compaction, it.tr)
 	if err != nil {
 		it.err = err
 		it.bi = nil
