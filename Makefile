@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race short bench bench-json bench-ingest bench-postings bench-compare verify experiments ci clean
+.PHONY: all build vet lint lint-json lint-race test race short bench bench-json bench-ingest bench-postings bench-compare verify experiments ci clean
 
 all: vet build test
 
@@ -16,6 +16,20 @@ vet:
 # any finding.
 lint:
 	$(GO) run ./cmd/lsmlint ./...
+
+# Same findings as lint, one JSON object per line on stdout — for CI
+# annotators and editor integrations.
+lint-json:
+	$(GO) run ./cmd/lsmlint -json ./...
+
+# Race-detector smoke over the packages the concurrency analyzers
+# (lockorder/goleak/atomicmix) reason about: the commit-queue stress
+# tests in internal/lsm and the concurrent workload profiler in
+# internal/explain. Dynamic confirmation that the statically blessed
+# lock order holds under contention.
+lint-race:
+	$(GO) test -race -run 'TestGroupCommit|TestCommit' ./internal/lsm/
+	$(GO) test -race -run 'TestProfilerConcurrent|TestWorkloadSnapshot' ./internal/explain/
 
 test: build
 	$(GO) test ./...
@@ -82,7 +96,7 @@ verify: vet lint build
 # minutes under the race detector on a small box, so the per-package
 # timeout (a hang guard, not a budget) is raised above go test's 10m
 # default.
-ci: vet lint build
+ci: vet lint lint-race build
 	$(GO) test -race -timeout 45m ./...
 	$(GO) test -fuzz=FuzzBlockRoundTrip -fuzztime=10s ./internal/sstable/
 	$(GO) test -fuzz=FuzzPostingsRoundTrip -fuzztime=10s ./internal/postings/

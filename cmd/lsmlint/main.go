@@ -3,9 +3,12 @@
 //
 // Usage:
 //
-//	lsmlint [-list] [-only name,name] [patterns...]
+//	lsmlint [-list] [-only name,name] [-json] [patterns...]
 //
 // With no patterns it analyzes ./... relative to the current directory.
+// -json prints newline-delimited JSON (one diagnostic object per line:
+// analyzer, file, line, col, message, suppression) instead of the
+// file:line:col text form, for CI annotators and editor integrations.
 // Exit status: 0 clean, 1 findings, 2 load or usage failure.
 package main
 
@@ -21,6 +24,7 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := flag.Bool("json", false, "print diagnostics as newline-delimited JSON")
 	flag.Parse()
 
 	if *list {
@@ -55,8 +59,15 @@ func main() {
 	}
 
 	diags := lint.RunAnalyzers(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d.String())
+	if *asJSON {
+		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "lsmlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "lsmlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))

@@ -34,7 +34,13 @@ func main() {
 	flag.Parse()
 
 	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
+	defer func() {
+		// The last buffered lines hit the pipe here; a full disk or a
+		// closed stdout must not exit 0.
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+	}()
 	enc := json.NewEncoder(w)
 
 	switch *mode {

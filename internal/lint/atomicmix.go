@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"leveldbpp/internal/lint/lockfacts"
+)
+
+// AtomicMix catches split-brain field access: a struct field updated
+// through the sync/atomic package-level functions (atomic.AddInt64(&x.f)
+// and friends) in one function and read or written plainly in another —
+// across package boundaries, since fields are keyed canonically (the
+// typed atomics, atomic.Int64 etc., cannot be mixed and need no check).
+// A plain access is accepted when:
+//
+//   - the field carries a `// guarded by <mu>` annotation and the
+//     accessor visibly locks that mutex, follows the *Locked suffix
+//     convention, or carries //lsm:locked — the annotated mutex is the
+//     declared alternative to the atomic;
+//   - the object is unpublished (just built from a composite literal in
+//     the same body): constructors initialize plainly by design;
+//   - the line carries //lsm:atomicok.
+//
+// Everything else is a data race waiting for a weaker memory model.
+var AtomicMix = &Analyzer{
+	Name:        "atomicmix",
+	Doc:         "fields touched via sync/atomic are never accessed plainly without the guarding mutex, across the whole program",
+	Suppression: "lsm:atomicok",
+	RunProgram:  runAtomicMix,
+}
+
+func runAtomicMix(pass *ProgramPass) {
+	// Pass 1: every field reached by &x.f arguments of sync/atomic
+	// package-level calls, plus the positions of those selector uses
+	// (they are not "plain" accesses).
+	atomicFields := map[string]token.Pos{}
+	atomicUse := map[token.Pos]bool{}
+	for _, pkg := range pass.Pkgs {
+		fpkg := pass.FactsPkg(pkg)
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicPkgCall(pkg.Info, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					ue, ok := unparen(arg).(*ast.UnaryExpr)
+					if !ok || ue.Op != token.AND {
+						continue
+					}
+					sel, ok := unparen(ue.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					key := fieldKey(fpkg, sel)
+					if key == "" {
+						continue
+					}
+					if _, seen := atomicFields[key]; !seen {
+						atomicFields[key] = sel.Pos()
+					}
+					atomicUse[sel.Pos()] = true
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	// Pass 2: plain selector accesses of those fields, judged in the
+	// context of their enclosing function.
+	for _, pkg := range pass.Pkgs {
+		fpkg := pass.FactsPkg(pkg)
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkPlainAccess(pass, pkg, fpkg, fd, atomicFields, atomicUse)
+			}
+		}
+	}
+}
+
+func checkPlainAccess(pass *ProgramPass, pkg *Package, fpkg *lockfacts.Pkg, fd *ast.FuncDecl, atomicFields map[string]token.Pos, atomicUse map[token.Pos]bool) {
+	lockedSuffix := strings.HasSuffix(fd.Name.Name, "Locked") || strings.HasSuffix(fd.Name.Name, "locked")
+	trusted := lockedSuffix || funcHasDirective(fd, "lsm:locked")
+	locked := visiblyLockedNames(fd.Body)
+	unpublished := localCompositeInits(pkg.Info, fd.Body)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		key := fieldKey(fpkg, sel)
+		if key == "" {
+			return true
+		}
+		if _, hot := atomicFields[key]; !hot || atomicUse[sel.Pos()] {
+			return true
+		}
+		guard := pass.Prog.Guards[key]
+		if guard != "" && (trusted || locked[guard]) {
+			return true
+		}
+		if root := rootIdent(sel.X); root != nil {
+			if rObj := objOf(pkg.Info, root); rObj != nil && unpublished[rObj] {
+				return true
+			}
+		}
+		if pass.SuppressedAt(sel.Pos(), "lsm:atomicok") {
+			return true
+		}
+		field := sel.Sel.Name
+		if guard != "" {
+			pass.Reportf(sel.Sel.Pos(),
+				"%s is updated with sync/atomic elsewhere but accessed plainly here without holding %s",
+				field, guard)
+		} else {
+			pass.Reportf(sel.Sel.Pos(),
+				"%s is updated with sync/atomic elsewhere but accessed plainly here; no guarded-by mutex excuses the mix",
+				field)
+		}
+		return true
+	})
+}
+
+// isAtomicPkgCall reports whether call invokes a package-level function
+// of sync/atomic (AddInt64, StorePointer, ...) — not a typed-atomic
+// method, whose receiver cannot be accessed plainly anyway.
+func isAtomicPkgCall(info *types.Info, call *ast.CallExpr) bool {
+	fn, ok := calleeObj(info, call).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// fieldKey canonicalizes a field selector to "<pkg tail>.<Type>.<field>",
+// matching lockfacts.Program.Guards keys; "" for non-fields.
+func fieldKey(fpkg *lockfacts.Pkg, sel *ast.SelectorExpr) string {
+	if fpkg == nil {
+		return ""
+	}
+	obj, ok := fpkg.Info.Uses[sel.Sel].(*types.Var)
+	if !ok || !obj.IsField() {
+		return ""
+	}
+	s, ok := fpkg.Info.Selections[sel]
+	if !ok {
+		return ""
+	}
+	named := namedOf(s.Recv())
+	if named == nil || named.Obj().Pkg() == nil {
+		return ""
+	}
+	path := named.Obj().Pkg().Path()
+	tail := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		tail = path[i+1:]
+	}
+	return tail + "." + named.Obj().Name() + "." + obj.Name()
+}
+
+// visiblyLockedNames collects the final names of mutexes the body locks,
+// the same flow-insensitive evidence lockguard accepts.
+func visiblyLockedNames(body *ast.BlockStmt) map[string]bool {
+	locked := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch mu := unparen(sel.X).(type) {
+		case *ast.Ident:
+			locked[mu.Name] = true
+		case *ast.SelectorExpr:
+			locked[mu.Sel.Name] = true
+		}
+		return true
+	})
+	return locked
+}

@@ -20,10 +20,18 @@ import (
 // Deferred and go'd calls are exempt from rule 1: `defer f.Close()` on a
 // read-only file is idiomatic, and the flagged pattern is the inline
 // statement where the error was simply forgotten.
+//
+// Exception to the exemption (rule 3): flush/sync calls that durability
+// depends on. The group-commit pipeline buffers the WAL behind a
+// bufio.Writer, so `defer bw.Flush()` or `go w.Sync()` silently drops
+// the very error that says "your acked commit is not on disk". Deferred
+// (*bufio.Writer).Flush and wal writer Sync/Flush are flagged: call them
+// inline and check the error (or wrap them in a closure that stores it).
 var ErrCheck = &Analyzer{
-	Name: "errcheck",
-	Doc:  "no silently ignored error returns; fmt.Errorf wraps with %w",
-	Run:  runErrCheck,
+	Name:        "errcheck",
+	Doc:         "no silently ignored error returns; fmt.Errorf wraps with %w",
+	Suppression: "lsm:errok",
+	Run:         runErrCheck,
 }
 
 var errType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
@@ -42,12 +50,58 @@ func runErrCheck(pass *Pass) {
 					return true
 				}
 				pass.Reportf(call.Pos(), "error returned by %s is silently ignored; handle it or assign to _ explicitly", calleeText(call))
+			case *ast.DeferStmt:
+				checkDeferredFlush(pass, st.Call, "deferred")
+			case *ast.GoStmt:
+				checkDeferredFlush(pass, st.Call, "go'd")
 			case *ast.CallExpr:
 				checkErrorfWrap(pass, st)
 			}
 			return true
 		})
 	}
+}
+
+// checkDeferredFlush implements rule 3: a deferred or go'd Flush/Sync on
+// a durability-bearing writer discards the error that write path exists
+// to surface.
+func checkDeferredFlush(pass *Pass, call *ast.CallExpr, how string) {
+	if !isDurabilityFlush(pass.Info, call) {
+		return
+	}
+	if pass.SuppressedAt(call.Pos(), "lsm:errok") {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s %s discards its error, and durability depends on it; call it inline and check the error", how, calleeText(call))
+}
+
+// isDurabilityFlush matches (*bufio.Writer).Flush and Sync/Flush methods
+// on the wal package's Writer.
+func isDurabilityFlush(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := objOf(info, sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	named := namedOf(sig.Recv().Type())
+	if named == nil || named.Obj().Name() != "Writer" {
+		return false
+	}
+	switch {
+	case fn.Pkg().Path() == "bufio":
+		return fn.Name() == "Flush"
+	case pkgPathTail(fn.Pkg().Path(), "wal"):
+		return fn.Name() == "Sync" || fn.Name() == "Flush"
+	}
+	return false
 }
 
 // callReturnsOnlyError reports whether call's signature is exactly

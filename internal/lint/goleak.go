@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"leveldbpp/internal/lint/lockfacts"
+)
+
+// GoLeak checks that every goroutine the program spawns can terminate.
+// For each go statement it collects the bodies reachable through the
+// lockfacts call graph (the spawned literal or named function plus
+// everything it calls) and reports the spawn site when those bodies
+// contain an unbounded loop — a `for {}` with no return, no break out of
+// the loop, and no goto — and no termination signal anywhere:
+//
+//   - a channel receive (<-ch, for range ch, or a select arm), the
+//     done-channel / context.Done pattern;
+//   - a sync.WaitGroup.Done call, marking the goroutine as joined.
+//
+// Bounded loops (a for with a condition, range over a collection) and
+// loops that exit via return/break are fine without a signal: the
+// goroutine runs off the end of its body. Calls through function values
+// and interfaces outside the program are invisible to the call graph, so
+// a spawned method value is not checked. Suppress one spawn site with
+// //lsm:leakok.
+var GoLeak = &Analyzer{
+	Name:        "goleak",
+	Doc:         "every go statement reaches a termination signal: done-channel select, channel receive, WaitGroup.Done, or a bounded loop",
+	Suppression: "lsm:leakok",
+	RunProgram:  runGoLeak,
+}
+
+func runGoLeak(pass *ProgramPass) {
+	for _, pkg := range pass.Pkgs {
+		fpkg := pass.FactsPkg(pkg)
+		if fpkg == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkGoStmt(pass, fpkg, g)
+				return true
+			})
+		}
+	}
+}
+
+func checkGoStmt(pass *ProgramPass, pkg *lockfacts.Pkg, g *ast.GoStmt) {
+	if pass.SuppressedAt(g.Pos(), "lsm:leakok") {
+		return
+	}
+	var roots []string
+	name := "goroutine"
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		fn := pass.Prog.LitFuncs[lit]
+		if fn == nil {
+			return
+		}
+		roots = []string{fn.ID}
+		name = fn.Display
+	} else {
+		roots = pass.Prog.Callees(pkg, g.Call)
+		if len(roots) == 0 {
+			return // method value / function value: outside the call graph
+		}
+	}
+
+	var bodies []*lockfacts.Func
+	seen := map[string]bool{}
+	for _, root := range roots {
+		if fn := pass.Prog.Funcs[root]; fn != nil && name == "goroutine" {
+			name = fn.Display
+		}
+		for _, fn := range pass.Prog.Reachable(root) {
+			if !seen[fn.ID] {
+				seen[fn.ID] = true
+				bodies = append(bodies, fn)
+			}
+		}
+	}
+	if len(bodies) == 0 {
+		return
+	}
+
+	unbounded := false
+	signal := false
+	for _, fn := range bodies {
+		b := goLeakScan(fn)
+		unbounded = unbounded || b.unbounded
+		signal = signal || b.signal
+	}
+	if unbounded && !signal {
+		pass.Reportf(g.Pos(),
+			"goroutine %s may never exit: unbounded loop with no termination signal (done-channel select, channel receive, or WaitGroup.Done)",
+			name)
+	}
+}
+
+type goLeakFacts struct {
+	unbounded bool // a for{} with no return/break/goto escape
+	signal    bool // receive, select, range-over-channel, or WaitGroup.Done
+}
+
+// goLeakScan inspects one function body, skipping nested go statements
+// (they are separate spawn sites with their own report).
+func goLeakScan(fn *lockfacts.Func) goLeakFacts {
+	var out goLeakFacts
+	info := fn.Pkg.Info
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" {
+				out.signal = true
+			}
+		case *ast.SelectStmt:
+			out.signal = true
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[x.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					out.signal = true
+				}
+			}
+		case *ast.CallExpr:
+			if isWaitGroupDone(info, x) {
+				out.signal = true
+			}
+		case *ast.ForStmt:
+			if x.Cond == nil && !loopEscapes(x) {
+				out.unbounded = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isWaitGroupDone(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	fn, ok := objOf(info, sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	named := namedOf(sig.Recv().Type())
+	return named != nil && named.Obj().Name() == "WaitGroup"
+}
+
+// loopEscapes reports whether a `for {}` can exit on its own: a return
+// anywhere in its body (outside nested function literals), an unlabeled
+// break at the loop's own level, or any labeled break/goto (assumed to
+// leave the loop — the check errs toward silence).
+func loopEscapes(loop *ast.ForStmt) bool {
+	escapes := false
+	var walk func(n ast.Node, depth int)
+	walk = func(n ast.Node, depth int) {
+		if n == nil || escapes {
+			return
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return
+		case *ast.ReturnStmt:
+			escapes = true
+			return
+		case *ast.BranchStmt:
+			switch x.Tok.String() {
+			case "break":
+				if depth == 0 || x.Label != nil {
+					escapes = true
+				}
+			case "goto":
+				escapes = true
+			}
+			return
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SelectStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt:
+			if n != ast.Node(loop) {
+				depth++
+			}
+		}
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n || c == nil {
+				return true
+			}
+			walk(c, depth)
+			return false
+		})
+	}
+	walk(loop.Body, 0)
+	return escapes
+}

@@ -24,9 +24,10 @@ import (
 // off the hot path by definition. Individual sites are waived with
 // //lsm:allocok.
 var HotPath = &Analyzer{
-	Name: "hotpath",
-	Doc:  "//lsm:hotpath functions avoid time.Now, fmt.Sprintf and unbounded append",
-	Run:  runHotPath,
+	Name:        "hotpath",
+	Doc:         "//lsm:hotpath functions avoid time.Now, fmt.Sprintf and unbounded append",
+	Suppression: "lsm:allocok",
+	Run:         runHotPath,
 }
 
 func runHotPath(pass *Pass) {

@@ -20,9 +20,10 @@ import (
 //     ikb, an "ik"-prefixed or "internalKey"-prefixed identifier, or the
 //     manifest bound fields Smallest/Largest
 var IKeyCmp = &Analyzer{
-	Name: "ikeycmp",
-	Doc:  "internal keys are compared with ikey.Compare, never bytes.Compare/bytes.Equal",
-	Run:  runIKeyCmp,
+	Name:        "ikeycmp",
+	Doc:         "internal keys are compared with ikey.Compare, never bytes.Compare/bytes.Equal",
+	Suppression: "lsm:aliasok",
+	Run:         runIKeyCmp,
 }
 
 func runIKeyCmp(pass *Pass) {

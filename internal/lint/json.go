@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+)
+
+// jsonDiagnostic is the NDJSON wire form of one finding: what `lsmlint
+// -json` prints, one object per line, for CI annotators and editors.
+// Suppression, when non-empty, is the //lsm: directive that accepts the
+// finding at its line.
+type jsonDiagnostic struct {
+	Analyzer    string `json:"analyzer"`
+	File        string `json:"file"`
+	Line        int    `json:"line"`
+	Col         int    `json:"col"`
+	Message     string `json:"message"`
+	Suppression string `json:"suppression,omitempty"`
+}
+
+// WriteJSON writes diags as newline-delimited JSON, one diagnostic per
+// line, in the given (already sorted) order.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends the newline NDJSON wants
+	for _, d := range diags {
+		jd := jsonDiagnostic{
+			Analyzer:    d.Analyzer,
+			File:        d.Pos.Filename,
+			Line:        d.Pos.Line,
+			Col:         d.Pos.Column,
+			Message:     d.Message,
+			Suppression: d.Suppression,
+		}
+		if err := enc.Encode(jd); err != nil {
+			return fmt.Errorf("lint: encode diagnostic: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSON decodes a stream produced by WriteJSON. It is the round-trip
+// counterpart consumers embed in tooling; offsets are not preserved
+// (only file:line:col travels on the wire).
+func ReadJSON(r io.Reader) ([]Diagnostic, error) {
+	dec := json.NewDecoder(r)
+	var out []Diagnostic
+	for {
+		var jd jsonDiagnostic
+		if err := dec.Decode(&jd); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decode diagnostic: %w", err)
+		}
+		out = append(out, Diagnostic{
+			Analyzer:    jd.Analyzer,
+			Pos:         token.Position{Filename: jd.File, Line: jd.Line, Column: jd.Col},
+			Message:     jd.Message,
+			Suppression: jd.Suppression,
+		})
+	}
+}

@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"bytes"
+	"go/token"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestJSONRoundTrip pins the NDJSON encoder: one object per line, all
+// fields preserved, suppression omitted when empty.
+func TestJSONRoundTrip(t *testing.T) {
+	diags := []Diagnostic{
+		{
+			Analyzer:    "lockorder",
+			Pos:         token.Position{Filename: "db.go", Line: 42, Column: 7},
+			Message:     `acquires lsm.DB.logMu while holding cache.shard.mu`,
+			Suppression: "lsm:lockok",
+		},
+		{
+			Analyzer: "niltrace",
+			Pos:      token.Position{Filename: "trace.go", Line: 9, Column: 1},
+			Message:  "message with \"quotes\" and\nnewline",
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, diags); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(diags) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), len(diags), buf.String())
+	}
+	if strings.Contains(lines[1], "suppression") {
+		t.Errorf("empty suppression not omitted: %s", lines[1])
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	// Offset does not travel; compare the wire fields.
+	for i := range diags {
+		diags[i].Pos.Offset = 0
+	}
+	if !reflect.DeepEqual(got, diags) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, diags)
+	}
+}
+
+// TestJSONEmpty: an empty run writes nothing and reads back nothing.
+func TestJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("empty run wrote %q", buf.String())
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil || got != nil {
+		t.Errorf("ReadJSON = %v, %v; want nil, nil", got, err)
+	}
+}

@@ -22,6 +22,11 @@
 //	//lsm:aliasok  (end of line)   — sliceretain/ikeycmp accept this line
 //	//lsm:allocok  (end of line)   — hotpath accepts this allocation
 //	//lsm:errok    (end of line)   — errcheck accepts this line
+//	//lsm:lockok   (end of line)   — lockorder accepts this acquisition
+//	//lsm:leakok   (end of line)   — goleak accepts this go statement
+//	//lsm:atomicok (end of line)   — atomicmix accepts this access
+//	//lsm:lockorder A < B < C      — declares a chain of the blessed
+//	                                 lock partial order (DESIGN.md §5.8)
 package lint
 
 import (
@@ -33,11 +38,15 @@ import (
 	"strings"
 )
 
-// Diagnostic is one analyzer finding.
+// Diagnostic is one analyzer finding. Suppression names the //lsm:
+// directive that would accept the finding at its line, "" when the
+// analyzer has no suppression; it rides along so machine consumers
+// (-json) can render the escape hatch next to the finding.
 type Diagnostic struct {
-	Analyzer string
-	Pos      token.Position
-	Message  string
+	Analyzer    string
+	Pos         token.Position
+	Message     string
+	Suppression string
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
@@ -45,12 +54,17 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
 }
 
-// Analyzer is one named check. Run inspects the package wrapped by the
-// Pass and reports findings through pass.Reportf.
+// Analyzer is one named check. Package analyzers set Run, which inspects
+// one type-checked package at a time; whole-program analyzers set
+// RunProgram instead, which sees every loaded package plus the lockfacts
+// call graph at once. Suppression names the //lsm: line directive that
+// silences the analyzer at a site (empty when there is none).
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name        string
+	Doc         string
+	Suppression string
+	Run         func(*Pass)
+	RunProgram  func(*ProgramPass)
 }
 
 // Pass carries one type-checked package through one analyzer.
@@ -70,9 +84,10 @@ type Pass struct {
 // Reportf records a diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	*p.diags = append(*p.diags, Diagnostic{
-		Analyzer: p.Analyzer.Name,
-		Pos:      p.Fset.Position(pos),
-		Message:  fmt.Sprintf(format, args...),
+		Analyzer:    p.Analyzer.Name,
+		Pos:         p.Fset.Position(pos),
+		Message:     fmt.Sprintf(format, args...),
+		Suppression: p.Analyzer.Suppression,
 	})
 }
 
@@ -141,13 +156,17 @@ func funcHasDirective(decl *ast.FuncDecl, directive string) bool {
 	return false
 }
 
-// RunAnalyzers applies every analyzer to every package and returns the
-// combined findings sorted by position.
+// RunAnalyzers applies every analyzer to every package — whole-program
+// analyzers once over all packages together — and returns the combined
+// findings sorted by position.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		directives := buildLineDirectives(pkg.Fset, pkg.Files)
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer:       a,
 				Fset:           pkg.Fset,
@@ -159,6 +178,18 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			}
 			a.Run(pass)
 		}
+	}
+	var progPass *ProgramPass
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		if progPass == nil {
+			progPass = newProgramPass(pkgs, &diags)
+		}
+		pp := *progPass
+		pp.Analyzer = a
+		a.RunProgram(&pp)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -186,6 +217,9 @@ func Analyzers() []*Analyzer {
 		ChanClose,
 		HotPath,
 		ErrCheck,
+		LockOrder,
+		GoLeak,
+		AtomicMix,
 	}
 }
 

@@ -1,0 +1,65 @@
+// Package atomicmix exercises the atomic-consistency analyzer: fields
+// updated through sync/atomic package functions must not be read or
+// written plainly elsewhere unless the guarding mutex (annotated
+// `// guarded by <mu>`) is visibly held, the accessor follows the
+// *Locked convention, the object is unpublished, or the line carries
+// //lsm:atomicok.
+package atomicmix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu sync.Mutex
+	// guarded by mu
+	hits int64
+	raw  int64 // no guard annotation: atomics are the only legal access
+}
+
+// inc establishes both fields as atomically accessed.
+func (c *counter) inc() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.raw, 1)
+}
+
+// reset mixes in plain writes with no lock in sight.
+func (c *counter) reset() {
+	c.hits = 0 // want "hits is updated with sync/atomic elsewhere but accessed plainly here without holding mu"
+	c.raw = 0  // want "raw is updated with sync/atomic elsewhere but accessed plainly here; no guarded-by mutex excuses the mix"
+}
+
+// peek is a plain cross-function read, equally racy.
+func (c *counter) peek() int64 {
+	return c.hits // want "accessed plainly here without holding mu"
+}
+
+// resetSlow holds the annotated guard: the mutex path is the declared
+// alternative to the atomic for hits.
+func (c *counter) resetSlow() {
+	c.mu.Lock()
+	c.hits = 0
+	c.mu.Unlock()
+}
+
+// drainLocked follows the *Locked convention: the caller holds mu.
+func (c *counter) drainLocked() int64 {
+	v := c.hits
+	c.hits = 0
+	return v
+}
+
+// newCounter writes plainly into an unpublished object: constructors
+// initialize before any concurrent access exists.
+func newCounter() *counter {
+	c := &counter{}
+	c.hits = 1
+	c.raw = 1
+	return c
+}
+
+// snapshot documents an accepted race at one audited site.
+func (c *counter) snapshot() int64 {
+	return c.raw //lsm:atomicok
+}

@@ -1,8 +1,14 @@
 // Package errcheck exercises the errcheck-lite analyzer: silently
-// dropped error returns and fmt.Errorf without %w.
+// dropped error returns, fmt.Errorf without %w, and deferred
+// durability-critical Flush/Sync calls.
 package errcheck
 
-import "fmt"
+import (
+	"bufio"
+	"fmt"
+
+	"leveldbpp/internal/wal"
+)
 
 type closer struct{}
 
@@ -31,3 +37,23 @@ func good(c *closer, err error) error {
 }
 
 func badlyNamed(c *closer) { _ = c.Close() }
+
+// ownWriter is not bufio's or wal's Writer; its deferred Flush stays in
+// the idiomatic-defer exemption.
+type ownWriter struct{}
+
+func (w *ownWriter) Flush() error { return nil }
+
+func deferredFlush(bw *bufio.Writer, ww *wal.Writer, ow *ownWriter) {
+	defer bw.Flush() // want "deferred bw.Flush discards its error, and durability depends on it"
+	defer ww.Sync()  // want "deferred ww.Sync discards its error, and durability depends on it"
+	defer ww.Flush() // want "deferred ww.Flush discards its error, and durability depends on it"
+	go bw.Flush()    // want "go'd bw.Flush discards its error, and durability depends on it"
+	defer ow.Flush() // non-durability writer: ok
+	defer func() {
+		if err := bw.Flush(); err != nil { // checked inside a closure: ok
+			_ = err
+		}
+	}()
+	defer ww.Sync() //lsm:errok
+}

@@ -1,0 +1,113 @@
+// Package goleak exercises the goroutine-leak analyzer: a spawned body
+// that loops forever with no termination signal is flagged at the go
+// statement; WaitGroup.Done, channel receives / select arms, bounded
+// loops, and loops that exit via return are accepted, as is //lsm:leakok.
+package goleak
+
+import "sync"
+
+func work() {}
+
+// spinner's literal loops forever with no signal: flagged.
+func spinner() {
+	go func() { // want "may never exit: unbounded loop with no termination signal"
+		for {
+			work()
+		}
+	}()
+}
+
+// named spawns a declared function whose leak is two calls deep — the
+// unbounded loop is found through the call graph.
+func named() {
+	go spin() // want "goroutine goleak.spin may never exit"
+}
+
+func spin() {
+	spinLoop()
+}
+
+func spinLoop() {
+	for {
+		work()
+	}
+}
+
+// joined loops forever but signs off via WaitGroup.Done: the goroutine
+// is joinable, so it is the surrounding Wait's job to end it.
+func joined(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			work()
+		}
+	}()
+}
+
+// signalled drains a done channel: the select (and its receive) is the
+// termination signal.
+func signalled(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			work()
+		}
+	}()
+}
+
+// ranger exits when the channel closes.
+func ranger(ch chan int) {
+	go func() {
+		for range ch {
+			work()
+		}
+	}()
+}
+
+// bounded loops have a condition: no report.
+func bounded() {
+	go func() {
+		for i := 0; i < 3; i++ {
+			work()
+		}
+	}()
+}
+
+// exits leaves its for{} through a return: not unbounded.
+func exits(done func() bool) {
+	go func() {
+		for {
+			if done() {
+				return
+			}
+			work()
+		}
+	}()
+}
+
+// innerBreak only breaks the nested loop — the outer for{} never exits
+// and nothing signals.
+func innerBreak() {
+	go func() { // want "unbounded loop with no termination signal"
+		for {
+			for {
+				break
+			}
+			work()
+		}
+	}()
+}
+
+// suppressed is accepted at the spawn site.
+func suppressed() {
+	go func() { //lsm:leakok
+		for {
+			work()
+		}
+	}()
+}

@@ -1,0 +1,39 @@
+package lockorder
+
+import "sync"
+
+// pair's two locks are acquired in both orders — a -> b directly, and
+// b -> a three calls deep — forming the deadlock-candidate cycle. The
+// analyzer reports the cycle once, at the first edge, with the witness
+// chain of every hop naming the intermediate functions; the member edges
+// are not additionally reported one by one.
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func holdADirect(p *pair) {
+	p.a.Lock()
+	defer p.a.Unlock()
+	lockB(p) // want "lock-acquisition cycle: lockorder.pair.a -> lockorder.pair.b .via lockorder.holdADirect -> lockorder.lockB. -> lockorder.pair.a .via lockorder.holdB -> lockorder.viaMiddle -> lockorder.locksA."
+}
+
+func lockB(p *pair) {
+	p.b.Lock()
+	p.b.Unlock()
+}
+
+func holdB(p *pair) {
+	p.b.Lock()
+	defer p.b.Unlock()
+	viaMiddle(p)
+}
+
+func viaMiddle(p *pair) {
+	locksA(p)
+}
+
+func locksA(p *pair) {
+	p.a.Lock()
+	p.a.Unlock()
+}

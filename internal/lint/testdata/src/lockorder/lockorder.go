@@ -1,0 +1,76 @@
+// Package lockorder exercises the lockorder analyzer: blessed nesting is
+// silent, inversions and unblessed pairs are flagged at the acquisition
+// site, a cycle through an intermediate function is reported once with
+// the full witness chain, and //lsm:lockok suppresses a site.
+//
+// The package-local blessed order:
+//
+//lsm:lockorder lockorder.store.mu < lockorder.store.logMu
+package lockorder
+
+import "sync"
+
+type store struct {
+	mu    sync.Mutex
+	logMu sync.Mutex
+	side  sync.Mutex
+}
+
+// blessed follows the declared chain: silent.
+func blessed(s *store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.logMu.Lock()
+	s.logMu.Unlock()
+}
+
+// inverted acquires the chain backwards.
+func inverted(s *store) {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	s.mu.Lock() // want "inverting the blessed lock order lockorder.store.mu < lockorder.store.logMu"
+	s.mu.Unlock()
+}
+
+// transitiveInverted inverts the chain through a callee: the witness
+// names the intermediate helper.
+func transitiveInverted(s *store) {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	lockMain(s) // want "inverting the blessed lock order"
+}
+
+func lockMain(s *store) {
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// unblessed nests a pair no //lsm:lockorder chain covers.
+func unblessed(s *store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.side.Lock() // want "not covered by any //lsm:lockorder chain"
+	s.side.Unlock()
+}
+
+// earlyReturn's unlock-and-bail branch must not leak into the
+// fallthrough path: after the if, mu is still held, so the logMu
+// acquisition is blessed and silent.
+func earlyReturn(s *store, bail bool) {
+	s.mu.Lock()
+	if bail {
+		s.mu.Unlock()
+		return
+	}
+	s.logMu.Lock()
+	s.logMu.Unlock()
+	s.mu.Unlock()
+}
+
+// suppressed: same unblessed pair, accepted at this one site.
+func suppressed(s *store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.side.Lock() //lsm:lockok
+	s.side.Unlock()
+}

@@ -1,0 +1,37 @@
+// Package caller is the calling half of the lockfacts cross-package
+// fixture: it holds its own class lock while calling into impl, once
+// through a static method call and once through a locally declared
+// interface that both impl types satisfy.
+package caller
+
+import (
+	"sync"
+
+	"leveldbpp/internal/lint/testdata/src/xcall/impl"
+)
+
+// Sink is satisfied by impl.Store and impl.Null.
+type Sink interface {
+	Drain() error
+}
+
+type Pool struct {
+	mu    sync.Mutex
+	store *impl.Store
+}
+
+// Write holds caller.Pool.mu across a static cross-package call that
+// acquires impl.Store.mu.
+func (p *Pool) Write(k, v string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.store.Put(k, v)
+}
+
+// Flush holds caller.Pool.mu across an interface call that resolves to
+// every declared implementation.
+func (p *Pool) Flush(s Sink) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return s.Drain()
+}

@@ -1,0 +1,31 @@
+// Package impl is the callee half of the lockfacts cross-package
+// fixture: a store whose methods acquire the class lock impl.Store.mu,
+// plus a lock-free second implementation of the caller's Sink
+// interface.
+package impl
+
+import "sync"
+
+// Store is the lock-owning concrete type.
+type Store struct {
+	mu   sync.Mutex
+	vals map[string]string
+}
+
+func (s *Store) Put(k, v string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vals[k] = v
+}
+
+func (s *Store) Drain() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vals = nil
+	return nil
+}
+
+// Null satisfies the caller's Sink without touching any lock.
+type Null struct{}
+
+func (Null) Drain() error { return nil }

@@ -26,6 +26,21 @@ var ErrClosed = errors.New("lsm: database is closed")
 // throttle is engaged: writes block until compaction drains level 0.
 var ErrStalled = errors.New("lsm: write stall: level-0 at stop trigger")
 
+// The engine-wide blessed lock order, enforced whole-program by
+// lsmlint's lockorder analyzer (DESIGN.md §5.8). A lock may be acquired
+// only while holding locks strictly earlier in some chain; the order is
+// the transitive closure of all chains. core's writeMu is the outermost
+// (it serializes primary+index write pairs above this package), then the
+// compaction interlock, then db.mu, then the WAL lock; cache shards and
+// metrics histograms are leaves taken under db.mu. The commit queue's
+// own mutex is deliberately unordered against db.mu — the group-commit
+// protocol never holds one while taking the other.
+//
+//lsm:lockorder core.DB.writeMu < lsm.background.compactionMu < lsm.DB.mu < lsm.DB.logMu
+//lsm:lockorder lsm.DB.mu < cache.shard.mu
+//lsm:lockorder lsm.DB.mu < metrics.Histogram.mu
+//lsm:lockorder core.DB.writeMu < lsm.commitQueue.mu
+
 // DB is a single-node LSM key-value store. Writes are serialized. By
 // default flushes and compactions run inline on the writing goroutine
 // (see package doc); with Options.BackgroundCompaction they move to
