@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-json lint-race test race short bench bench-json bench-ingest bench-postings bench-compare verify experiments ci clean
+.PHONY: all build vet lint lint-json lint-race test race short bench bench-json bench-ingest bench-postings bench-compaction bench-compare verify experiments ci clean
 
 all: vet build test
 
@@ -23,12 +23,12 @@ lint-json:
 	$(GO) run ./cmd/lsmlint -json ./...
 
 # Race-detector smoke over the packages the concurrency analyzers
-# (lockorder/goleak/atomicmix) reason about: the commit-queue stress
-# tests in internal/lsm and the concurrent workload profiler in
-# internal/explain. Dynamic confirmation that the statically blessed
-# lock order holds under contention.
+# (lockorder/goleak/atomicmix) reason about: the commit-queue and
+# parallel sub-compaction stress tests in internal/lsm and the
+# concurrent workload profiler in internal/explain. Dynamic confirmation
+# that the statically blessed lock order holds under contention.
 lint-race:
-	$(GO) test -race -run 'TestGroupCommit|TestCommit' ./internal/lsm/
+	$(GO) test -race -run 'TestGroupCommit|TestCommit|TestParallelCompaction' ./internal/lsm/
 	$(GO) test -race -run 'TestProfilerConcurrent|TestWorkloadSnapshot' ./internal/explain/
 
 test: build
@@ -72,15 +72,28 @@ bench-postings:
 		./internal/core/ ; } | $(GO) run ./cmd/benchjson > BENCH_pr7.json
 	@echo wrote BENCH_pr7.json
 
+# Run the sub-compaction engine benchmarks: full-compaction throughput at
+# parallelism 1/2/4 over the primary-only and Lazy-index workloads. Emits
+# machine-readable results for the PR record. Speedups at parallelism > 1
+# require GOMAXPROCS >= parallelism (EXPERIMENTS.md).
+bench-compaction:
+	$(GO) test -run '^$$' -bench 'BenchmarkCompactionThroughput' -benchmem \
+		./internal/core/ | $(GO) run ./cmd/benchjson > BENCH_pr10.json
+	@echo wrote BENCH_pr10.json
+
 # Benchmark regression gate: re-run the baseline's benchmarks and fail if
 # any ops/sec dropped more than MAX_DROP percent against the recorded
-# BASE JSON. Benchmarks missing from the base are reported and skipped.
+# BASE JSON. Benchmarks missing from the base are reported and skipped
+# (BenchmarkCompactionThroughput is new in BENCH_pr10.json and gates once
+# a future BASE includes it).
 BASE ?= BENCH_pr7.json
 MAX_DROP ?= 25
 bench-compare:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkPostingsMerge' -benchmem \
 		./internal/postings/ ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkEagerPut|BenchmarkLazyLookup' -benchmem \
+		./internal/core/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkCompactionThroughput' -benchmem \
 		./internal/core/ ; } | $(GO) run ./cmd/benchjson -compare $(BASE) -max-drop $(MAX_DROP)
 
 # Fast correctness gate for the read-path packages: static checks plus a

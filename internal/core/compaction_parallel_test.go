@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestCompactionParallelismEquivalence runs the same workload with
+// CompactionParallelism 1 and 4 for all five index kinds: every observable
+// result (scan, LOOKUP, RANGELOOKUP), every fig8a/fig12 I/O counter, and
+// every on-disk byte must be identical. The only permitted difference is
+// CompactionReads/CompactionReadBytes: adjacent sub-compaction partitions
+// each re-read the boundary block they share, so the parallel engine may
+// read slightly more during compaction without changing what it writes.
+func TestCompactionParallelismEquivalence(t *testing.T) {
+	run := func(t *testing.T, kind IndexKind, parallelism int) postingsResult {
+		opts := smallOptions(kind)
+		opts.CompactionParallelism = parallelism
+		db, err := Open(t.TempDir(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		postingsWorkload(t, db)
+		if err := db.CompactAll(); err != nil {
+			t.Fatal(err)
+		}
+		return collectPostingsResult(t, db)
+	}
+
+	// maskCompactionReads zeroes the one counter pair the parallel engine
+	// is allowed to change, so the rest of the snapshot compares exactly.
+	maskCompactionReads := func(s Stats) Stats {
+		s.Primary.CompactionReads, s.Primary.CompactionReadBytes = 0, 0
+		s.Index.CompactionReads, s.Index.CompactionReadBytes = 0, 0
+		return s
+	}
+
+	for _, kind := range allKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			serial := run(t, kind, 1)
+			parallel := run(t, kind, 4)
+			if !reflect.DeepEqual(serial.scan, parallel.scan) {
+				t.Errorf("scan differs: serial %d keys, parallel %d keys", len(serial.scan), len(parallel.scan))
+			}
+			if !reflect.DeepEqual(serial.lookups, parallel.lookups) {
+				t.Errorf("LOOKUP results differ:\nserial=%v\nparallel=%v", serial.lookups, parallel.lookups)
+			}
+			if !reflect.DeepEqual(serial.rngs, parallel.rngs) {
+				t.Errorf("RANGELOOKUP results differ:\nserial=%v\nparallel=%v", serial.rngs, parallel.rngs)
+			}
+			ss, ps := maskCompactionReads(serial.stats), maskCompactionReads(parallel.stats)
+			if !reflect.DeepEqual(ss, ps) {
+				t.Errorf("I/O counters differ beyond CompactionReads:\nserial=%+v\nparallel=%+v", ss, ps)
+			}
+			if serial.primary != parallel.primary || serial.index != parallel.index {
+				t.Errorf("disk usage differs: serial=(%d,%d) parallel=(%d,%d)",
+					serial.primary, serial.index, parallel.primary, parallel.index)
+			}
+		})
+	}
+}
+
+// TestCompactionParallelismLevels proves the equivalence holds at every
+// parallelism level the benchmarks exercise, not just the 1-vs-4 pair, on
+// the Lazy kind (the one whose compactions also merge posting lists
+// through the per-worker Merger fork).
+func TestCompactionParallelismLevels(t *testing.T) {
+	results := map[int]postingsResult{}
+	for _, p := range []int{1, 2, 4, 8} {
+		opts := smallOptions(IndexLazy)
+		opts.CompactionParallelism = p
+		db, err := Open(t.TempDir(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		postingsWorkload(t, db)
+		if err := db.CompactAll(); err != nil {
+			t.Fatal(err)
+		}
+		results[p] = collectPostingsResult(t, db)
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := results[1]
+	for _, p := range []int{2, 4, 8} {
+		r := results[p]
+		if !reflect.DeepEqual(base.scan, r.scan) ||
+			!reflect.DeepEqual(base.lookups, r.lookups) ||
+			!reflect.DeepEqual(base.rngs, r.rngs) {
+			t.Errorf("parallelism %d: query results differ from serial", p)
+		}
+		if base.primary != r.primary || base.index != r.index {
+			t.Errorf("parallelism %d: disk usage (%d,%d) differs from serial (%d,%d)",
+				p, r.primary, r.index, base.primary, base.index)
+		}
+	}
+}
+
+// TestCompactionStatsSurface checks the observability counters the
+// /metrics endpoint exports: a parallel compaction records its partitions
+// in Subcompactions and leaves no worker marked busy afterwards.
+func TestCompactionStatsSurface(t *testing.T) {
+	opts := smallOptions(IndexLazy)
+	opts.CompactionParallelism = 4
+	db, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 600; i++ {
+		user := fmt.Sprintf("u%02d", i%9)
+		if err := db.Put(fmt.Sprintf("t%04d", i), tweetDoc(user, 1000+i, "body")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	primary, index := db.CompactionStats()
+	if primary.Subcompactions == 0 {
+		t.Error("primary table recorded no sub-compactions")
+	}
+	if index.Subcompactions == 0 {
+		t.Error("index table recorded no sub-compactions")
+	}
+	if primary.WorkersBusy != 0 || index.WorkersBusy != 0 {
+		t.Errorf("workers still busy after quiescence: primary=%d index=%d",
+			primary.WorkersBusy, index.WorkersBusy)
+	}
+}

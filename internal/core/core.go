@@ -116,6 +116,11 @@ type Options struct {
 	// lsm.Options.BackgroundCompaction). Off by default so the paper's
 	// experiments stay deterministic.
 	BackgroundCompaction bool
+	// CompactionParallelism bounds the key-range sub-compaction worker
+	// pool of the primary table and every index table (see
+	// lsm.Options.CompactionParallelism). 0 or 1 keeps the serial merge
+	// engine; results are byte-identical at every setting.
+	CompactionParallelism int
 	// LookupParallelism > 1 fans LOOKUP/RANGELOOKUP candidate work out
 	// over that many goroutines: per-SSTable probing in the Embedded
 	// index, and candidate validation in the Eager, Lazy and Composite
@@ -281,22 +286,24 @@ func Open(dir string, opts Options) (*DB, error) {
 	events.Attach(opts.Events)
 
 	primaryOpts := &lsm.Options{
-		Events:               events.Named("primary"),
-		MemTableBytes:        opts.MemTableBytes,
-		BlockSize:            opts.BlockSize,
-		BitsPerKey:           opts.BitsPerKey,
-		SecondaryBitsPerKey:  opts.SecondaryBitsPerKey,
-		DisableCompression:   opts.DisableCompression,
-		L0CompactionTrigger:  opts.L0CompactionTrigger,
-		BaseLevelBytes:       opts.BaseLevelBytes,
-		LevelMultiplier:      opts.LevelMultiplier,
-		MaxLevels:            opts.MaxLevels,
-		SyncWAL:              opts.SyncWAL,
-		SyncMode:             opts.SyncMode,
-		GroupCommit:          opts.GroupCommit,
-		RestartInterval:      opts.RestartInterval,
-		BlockCacheBytes:      opts.BlockCacheBytes,
-		BackgroundCompaction: opts.BackgroundCompaction,
+		Events:                events.Named("primary"),
+		MemTableBytes:         opts.MemTableBytes,
+		BlockSize:             opts.BlockSize,
+		BitsPerKey:            opts.BitsPerKey,
+		SecondaryBitsPerKey:   opts.SecondaryBitsPerKey,
+		DisableCompression:    opts.DisableCompression,
+		L0CompactionTrigger:   opts.L0CompactionTrigger,
+		BaseLevelBytes:        opts.BaseLevelBytes,
+		LevelMultiplier:       opts.LevelMultiplier,
+		MaxLevels:             opts.MaxLevels,
+		SyncWAL:               opts.SyncWAL,
+		SyncMode:              opts.SyncMode,
+		GroupCommit:           opts.GroupCommit,
+		RestartInterval:       opts.RestartInterval,
+		BlockCacheBytes:       opts.BlockCacheBytes,
+		BackgroundCompaction:  opts.BackgroundCompaction,
+		CompactionParallelism: opts.CompactionParallelism,
+		Tracer:                tracer,
 	}
 	if opts.Index == IndexEmbedded {
 		primaryOpts.SecondaryAttrs = attrs
@@ -317,21 +324,23 @@ func Open(dir string, opts Options) (*DB, error) {
 		db.indexes = make(map[string]*lsm.DB, len(attrs))
 		for _, attr := range attrs {
 			idxOpts := &lsm.Options{
-				Events:               events.Named("index-" + attr),
-				MemTableBytes:        opts.MemTableBytes,
-				BlockSize:            opts.BlockSize,
-				BitsPerKey:           opts.BitsPerKey,
-				DisableCompression:   opts.DisableCompression,
-				L0CompactionTrigger:  opts.L0CompactionTrigger,
-				BaseLevelBytes:       opts.BaseLevelBytes,
-				LevelMultiplier:      opts.LevelMultiplier,
-				MaxLevels:            opts.MaxLevels,
-				SyncWAL:              opts.SyncWAL,
-				SyncMode:             opts.SyncMode,
-				GroupCommit:          opts.GroupCommit,
-				RestartInterval:      opts.RestartInterval,
-				BlockCacheBytes:      opts.BlockCacheBytes,
-				BackgroundCompaction: opts.BackgroundCompaction,
+				Events:                events.Named("index-" + attr),
+				MemTableBytes:         opts.MemTableBytes,
+				BlockSize:             opts.BlockSize,
+				BitsPerKey:            opts.BitsPerKey,
+				DisableCompression:    opts.DisableCompression,
+				L0CompactionTrigger:   opts.L0CompactionTrigger,
+				BaseLevelBytes:        opts.BaseLevelBytes,
+				LevelMultiplier:       opts.LevelMultiplier,
+				MaxLevels:             opts.MaxLevels,
+				SyncWAL:               opts.SyncWAL,
+				SyncMode:              opts.SyncMode,
+				GroupCommit:           opts.GroupCommit,
+				RestartInterval:       opts.RestartInterval,
+				BlockCacheBytes:       opts.BlockCacheBytes,
+				BackgroundCompaction:  opts.BackgroundCompaction,
+				CompactionParallelism: opts.CompactionParallelism,
+				Tracer:                tracer,
 			}
 			if opts.Index == IndexLazy {
 				// The mergers run inside the engine (write path and
@@ -636,6 +645,36 @@ func (db *DB) CommitStats() (primary, index lsm.CommitStats) {
 	return primary, index
 }
 
+// CompactionStats returns the sub-compaction counters of the primary
+// table and (summed) of all index tables: partitions merged, workers busy
+// now, and cumulative L0 write-stall time (DESIGN.md §5.9).
+func (db *DB) CompactionStats() (primary, index lsm.CompactionStats) {
+	primary = db.primary.CompactionStats()
+	for _, idx := range db.indexes {
+		is := idx.CompactionStats()
+		index.Subcompactions += is.Subcompactions
+		index.WorkersBusy += is.WorkersBusy
+		index.StallSeconds += is.StallSeconds
+	}
+	return primary, index
+}
+
+// CompactAll drives a full manual compaction of the primary table and
+// every index table through the sub-compaction engine — lsm.CompactRange
+// over the unbounded range, surfacing any mid-merge failure (the event
+// log carries the failing partition's key range).
+func (db *DB) CompactAll() error {
+	if err := db.primary.CompactRange(nil, nil); err != nil {
+		return fmt.Errorf("core: compact primary: %w", err)
+	}
+	for attr, idx := range db.indexes {
+		if err := idx.CompactRange(nil, nil); err != nil {
+			return fmt.Errorf("core: compact index-%s: %w", attr, err)
+		}
+	}
+	return nil
+}
+
 // GroupSizeHists returns the commits-per-WAL-write histogram of every
 // table, keyed like LevelShapes ("primary", "index-<attr>").
 func (db *DB) GroupSizeHists() map[string]*metrics.Histogram {
@@ -776,6 +815,13 @@ func (m *lazyCompactionMerger) Merge(_ []byte, values [][]byte, bottom bool) ([]
 		return nil, false
 	}
 	return out, true
+}
+
+// ForkMerger implements lsm.MergerForker: each key-range sub-compaction
+// worker gets a private MergeScratch and output buffer, while the shared
+// IOStats keeps aggregating decode counters (its fields are atomic).
+func (m *lazyCompactionMerger) ForkMerger() lsm.Merger {
+	return &lazyCompactionMerger{f: m.f, st: m.st}
 }
 
 // mergeSalvage preserves the seed behaviour when a fragment is corrupt:

@@ -12,19 +12,25 @@ import (
 
 // background holds the state of the concurrent write pipeline
 // (Options.BackgroundCompaction): one flusher goroutine that turns frozen
-// MemTables into L0 tables, and one compactor goroutine that restores the
-// tree shape. All fields except compactionMu and wg are guarded by db.mu;
-// db.cond is broadcast whenever any of them changes.
+// MemTables into L0 tables, and one compaction scheduler that restores
+// the tree shape by dispatching jobs to runner goroutines — up to two at
+// once on disjoint level pairs when Options.CompactionParallelism > 1.
+// All fields except compactionMu and wg are guarded by db.mu; db.cond is
+// broadcast whenever any of them changes.
 type background struct {
-	wg         sync.WaitGroup
-	closing    bool  // guarded by db.mu; Close in progress: drain, accept no new work
-	quit       bool  // guarded by db.mu; goroutines must exit
-	compacting bool  // guarded by db.mu; a compaction job is in flight
-	err        error // guarded by db.mu; sticky first background failure; poisons writes
+	wg      sync.WaitGroup
+	closing bool  // guarded by db.mu; Close in progress: drain, accept no new work
+	quit    bool  // guarded by db.mu; goroutines must exit
+	jobs    int   // guarded by db.mu; compaction jobs in flight
+	maxJobs int   // immutable after startBackground; job-slot bound
+	err     error // guarded by db.mu; sticky first background failure; poisons writes
 
-	// compactionMu serializes the off-lock merge phase between the
-	// background compactor and manual CompactRange. Lock order:
-	// compactionMu before db.mu, never the reverse.
+	// compactionMu serializes compaction *scheduling* between the
+	// background scheduler and manual CompactRange: the scheduler holds it
+	// only while picking and reserving a job; CompactRange holds it for
+	// its whole duration, so once running jobs drain no new ones start.
+	// Runner goroutines never take it. Lock order: compactionMu before
+	// db.mu, never the reverse.
 	compactionMu sync.Mutex
 
 	flushes       int64 // guarded by db.mu; background flushes completed
@@ -63,7 +69,13 @@ func (db *DB) BackgroundStats() BackgroundStats {
 }
 
 func (db *DB) startBackground() {
-	db.bg = &background{}
+	db.bg = &background{maxJobs: 1}
+	if db.opts.CompactionParallelism > 1 {
+		// With the parallel engine on, let an L0→L1 job and one deeper
+		// Ln→Ln+1 job overlap; the per-level reservation in
+		// pickCompactionLocked keeps their file sets disjoint.
+		db.bg.maxJobs = 2
+	}
 	db.bg.wg.Add(2)
 	go db.flusher()
 	go db.compactor()
@@ -84,7 +96,7 @@ func (db *DB) stopBackground() error {
 		bg.closing = true
 		db.cond.Broadcast()
 	}
-	for (db.imm != nil || bg.compacting) && bg.err == nil {
+	for (db.imm != nil || bg.jobs > 0) && bg.err == nil {
 		db.cond.Wait()
 	}
 	bg.quit = true
@@ -124,7 +136,9 @@ func (db *DB) throttleLocked() error {
 		}
 		bg.throttleWaits++
 		stalled = true
+		t0 := time.Now()
 		db.cond.Wait()
+		db.stallNS.Add(int64(time.Since(t0)))
 	}
 	if bg.stopEngaged && len(db.v.levels[0]) < db.opts.L0StopTrigger {
 		bg.stopEngaged = false
@@ -218,7 +232,7 @@ func (db *DB) freezeMemLocked(force bool) error {
 // analogue of inline Flush's flush-then-compact-to-quiescence.
 func (db *DB) waitPipelineIdleLocked() error {
 	bg := db.bg
-	for (db.imm != nil || bg.compacting || db.needsCompactionLocked()) &&
+	for (db.imm != nil || bg.jobs > 0 || db.needsCompactionLocked()) &&
 		bg.err == nil && !bg.closing && !db.closed {
 		db.cond.Wait()
 	}
@@ -287,15 +301,26 @@ func (db *DB) flusher() {
 	}
 }
 
-// compactor is the background goroutine that keeps the tree within shape
-// budgets: it picks a job under db.mu (same L0-first, round-robin policy
-// as inline mode), merges off-lock, and installs the result under db.mu.
+// compactor is the background scheduler: it waits until some unreserved
+// level pair needs compaction and a job slot is free, picks a job under
+// compactionMu+db.mu (same L0-first, round-robin policy as inline mode),
+// reserves the job's two levels, and hands it to a runner goroutine. The
+// merge itself runs entirely outside both locks, so with maxJobs > 1 an
+// L0→L1 job and a deeper Ln→Ln+1 job overlap.
+//
+// Pick-time job.base stays valid for tombstone base checks under
+// concurrent jobs: a job at levels (l, l+1) only consults levels deeper
+// than l+1, and every other runnable job moves keys *between* such deeper
+// levels (or shallower ones), so a key present below the target at pick
+// time can at worst disappear — which makes the check conservative
+// (bottom=false retains a tombstone one round longer), never wrong.
 func (db *DB) compactor() {
 	bg := db.bg
 	defer bg.wg.Done()
 	for {
 		db.mu.Lock()
-		for !db.needsCompactionLocked() && !bg.quit && !bg.closing && bg.err == nil {
+		for !(bg.jobs < bg.maxJobs && db.compactionReadyLocked()) &&
+			!bg.quit && !bg.closing && bg.err == nil {
 			db.cond.Wait()
 		}
 		if bg.quit || bg.closing || bg.err != nil {
@@ -305,36 +330,55 @@ func (db *DB) compactor() {
 		db.mu.Unlock()
 
 		// Lock order: compactionMu first (see background.compactionMu).
+		// The tree may have changed between the wait and reacquisition;
+		// a nil pick just loops back to the wait.
 		bg.compactionMu.Lock()
 		db.mu.Lock()
-		job := db.pickCompactionLocked()
+		var job *compactionJob
+		if bg.jobs < bg.maxJobs {
+			job = db.pickCompactionLocked()
+		}
 		if job == nil {
 			db.mu.Unlock()
 			bg.compactionMu.Unlock()
 			continue
 		}
-		bg.compacting = true
+		bg.jobs++
+		db.compactingLevels[job.level] = true
+		db.compactingLevels[job.level+1] = true
 		db.emitCompactionStart(job)
-		t0 := time.Now()
-		db.mu.Unlock()
-
-		outputs, err := db.runCompactionMerge(job)
-
-		db.mu.Lock()
-		if err == nil {
-			err = db.installCompactionLocked(job, outputs)
-		}
-		bg.compacting = false
-		if err != nil {
-			bg.failLocked(db, err)
-			db.mu.Unlock()
-			bg.compactionMu.Unlock()
-			return
-		}
-		db.emitCompactionDone(job, outputs, t0)
-		bg.compactions++
-		db.cond.Broadcast() // wake throttled writers and Flush waiters
+		bg.wg.Add(1)
+		go db.runCompactionJob(job)
 		db.mu.Unlock()
 		bg.compactionMu.Unlock()
 	}
+}
+
+// runCompactionJob is one compaction job's runner goroutine: merge
+// off-lock (possibly fanned out over key-range sub-compactions), then
+// install, release the job's level reservation, and wake waiters.
+func (db *DB) runCompactionJob(job *compactionJob) {
+	bg := db.bg
+	defer bg.wg.Done()
+	t0 := time.Now()
+	tr := db.opts.Tracer.Start(metrics.OpCompact)
+	outputs, err := db.runCompactionMerge(job, tr)
+	tr.Finish()
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err == nil {
+		err = db.installCompactionLocked(job, outputs)
+	}
+	bg.jobs--
+	db.compactingLevels[job.level] = false
+	db.compactingLevels[job.level+1] = false
+	if err != nil {
+		db.emitCompactionError(job, err)
+		bg.failLocked(db, err)
+		return
+	}
+	db.emitCompactionDone(job, outputs, t0)
+	bg.compactions++
+	db.cond.Broadcast() // wake throttled writers, Flush waiters and the scheduler
 }

@@ -2,7 +2,7 @@ package lsm
 
 import (
 	"bytes"
-	"container/heap"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -162,6 +162,28 @@ func (db *DB) needsCompactionLocked() bool {
 	return false
 }
 
+// levelBusyLocked reports whether a job out of level l would touch a
+// level reserved by an in-flight background job.
+func (db *DB) levelBusyLocked(l int) bool {
+	return db.compactingLevels[l] || db.compactingLevels[l+1]
+}
+
+// compactionReadyLocked reports whether some *unreserved* level pair
+// violates a shape invariant — the background scheduler's wake predicate.
+// Unlike pickCompactionLocked it is side-effect free (no compaction
+// pointer advance), so it is safe to evaluate repeatedly in a wait loop.
+func (db *DB) compactionReadyLocked() bool {
+	if len(db.v.levels[0]) >= db.opts.L0CompactionTrigger && !db.levelBusyLocked(0) {
+		return true
+	}
+	for l := 1; l < db.opts.MaxLevels-1; l++ {
+		if db.v.levelBytes(l) > db.maxBytesForLevel(l) && !db.levelBusyLocked(l) {
+			return true
+		}
+	}
+	return false
+}
+
 // maybeCompactLocked runs compactions until the tree satisfies all shape
 // invariants. Caller holds db.mu. (Inline mode only.)
 func (db *DB) maybeCompactLocked() error {
@@ -191,11 +213,11 @@ type compactionJob struct {
 // then the shallowest over-budget level, one file round-robin (LevelDB's
 // compaction pointer, paper §4.2). Returns nil when the tree is in shape.
 func (db *DB) pickCompactionLocked() *compactionJob {
-	if len(db.v.levels[0]) >= db.opts.L0CompactionTrigger {
+	if len(db.v.levels[0]) >= db.opts.L0CompactionTrigger && !db.levelBusyLocked(0) {
 		return db.pickL0Locked()
 	}
 	for l := 1; l < db.opts.MaxLevels-1; l++ {
-		if db.v.levelBytes(l) > db.maxBytesForLevel(l) {
+		if db.v.levelBytes(l) > db.maxBytesForLevel(l) && !db.levelBusyLocked(l) {
 			return db.pickLevelLocked(l)
 		}
 	}
@@ -250,11 +272,15 @@ func (db *DB) pickLevelLocked(l int) *compactionJob {
 func (db *DB) runCompactionInlineLocked(job *compactionJob) error {
 	db.emitCompactionStart(job)
 	t0 := time.Now()
-	outputs, err := db.runCompactionMerge(job)
+	tr := db.opts.Tracer.Start(metrics.OpCompact)
+	outputs, err := db.runCompactionMerge(job, tr)
+	tr.Finish()
 	if err != nil {
+		db.emitCompactionError(job, err)
 		return err
 	}
 	if err := db.installCompactionLocked(job, outputs); err != nil {
+		db.emitCompactionError(job, err)
 		return err
 	}
 	db.emitCompactionDone(job, outputs, t0)
@@ -296,6 +322,22 @@ func (db *DB) emitCompactionDone(job *compactionJob, outputs []*FileMeta, t0 tim
 		DurationUS: time.Since(t0).Microseconds()})
 }
 
+// emitCompactionError reports a failed job. A sub-compaction failure
+// carries the partition's user-key range, so a mid-merge error is
+// attributable to the data that caused it.
+func (db *DB) emitCompactionError(job *compactionJob, err error) {
+	if db.opts.Events == nil {
+		return
+	}
+	detail := err.Error()
+	var se *subcompactionError
+	if errors.As(err, &se) {
+		detail = fmt.Sprintf("partition %s: %v", se.r, se.err)
+	}
+	db.emit(metrics.Event{Type: metrics.EventCompactionError, Level: job.level,
+		Inputs: len(job.inputs) + len(job.next), Detail: detail})
+}
+
 // mergeSource is one input iterator of a compaction.
 type mergeSource struct {
 	it *sstable.Iterator
@@ -319,169 +361,41 @@ func (h *mergeHeap) Pop() interface{} {
 // (from job.level+1) into new tables for job.level+1 and returns them. It
 // reads only the job and immutable DB state, so the background compactor
 // runs it without holding db.mu: input tables are immutable files, and
-// job.base stays valid because at most one compaction mutates levels at a
-// time (background.compactionMu).
-func (db *DB) runCompactionMerge(job *compactionJob) ([]*FileMeta, error) {
-	target := job.level + 1
+// job.base stays valid because concurrent jobs only move keys between
+// levels deeper than this job's target (see compactor). With
+// Options.CompactionParallelism > 1 the span is partitioned into key-range
+// sub-compactions merged concurrently (subcompact.go); the ordered write
+// stage keeps the outputs byte-identical either way.
+func (db *DB) runCompactionMerge(job *compactionJob, tr *metrics.Trace) ([]*FileMeta, error) {
 	all := append(append([]*FileMeta(nil), job.inputs...), job.next...)
-
-	var h mergeHeap
-	for _, fm := range all {
-		it := fm.tbl.NewIterator(true)
-		if it.Next() {
-			heap.Push(&h, &mergeSource{it: it})
-		} else if err := it.Err(); err != nil {
-			return nil, err
-		}
+	if bounds := partitionBoundaries(all, db.opts.CompactionParallelism); len(bounds) > 0 {
+		return db.runCompactionParallel(job, all, bounds, tr)
 	}
+	return db.runCompactionSerial(job, all, tr)
+}
 
+// runCompactionSerial merges the whole span on the calling goroutine —
+// the CompactionParallelism ≤ 1 engine, and the fallback when the inputs
+// are too small to partition.
+func (db *DB) runCompactionSerial(job *compactionJob, all []*FileMeta, tr *metrics.Trace) ([]*FileMeta, error) {
+	target := job.level + 1
+	t0 := time.Now()
+	w := db.newCompactionWriter(tr)
+	err := mergeGroups(all, keyRange{}, func(g *keyGroup) error {
+		bottom := job.base.isBaseLevelForKey(target, g.key)
+		return resolveGroup(db.opts.Merge, bottom, g, w.add)
+	})
 	var outputs []*FileMeta
-	var curFile *os.File
-	var curBuilder *sstable.Builder
-	var curNum uint64
-
-	startOutput := func() error {
-		curNum = db.allocFileNum()
-		f, err := os.Create(tablePath(db.dir, curNum))
-		if err != nil {
-			return err
-		}
-		curFile = f
-		curBuilder = sstable.NewBuilder(f, db.opts.tableOptions(true))
-		return nil
+	if err == nil {
+		outputs, err = w.finish()
 	}
-	finishOutput := func() error {
-		if curBuilder == nil {
-			return nil
-		}
-		size, err := curBuilder.Finish()
-		if err != nil {
-			return err
-		}
-		if err := curFile.Sync(); err != nil {
-			return err
-		}
-		if err := curFile.Close(); err != nil {
-			return err
-		}
-		fm, err := db.openTable(fileRecord{Num: curNum, Size: size})
-		if err != nil {
-			return err
-		}
-		outputs = append(outputs, fm)
-		curFile, curBuilder = nil, nil
-		return nil
-	}
-	emit := func(ik, value []byte) error {
-		if curBuilder == nil {
-			if err := startOutput(); err != nil {
-				return err
-			}
-		}
-		var attrs []sstable.AttrValue
-		if db.opts.Extract != nil && ikey.KindOf(ik) == ikey.KindSet {
-			attrs = db.opts.Extract(ikey.UserKey(ik), value)
-		}
-		if err := curBuilder.Add(ik, value, attrs); err != nil {
-			return err
-		}
-		if curBuilder.EstimatedSize() >= maxTableBytes {
-			return finishOutput()
-		}
-		return nil
-	}
-
-	// Group consecutive entries sharing a user key; within a group entries
-	// arrive newest first (internal-key order).
-	var groupKey []byte
-	var groupIKeys [][]byte
-	var groupValues [][]byte
-	var groupKinds []ikey.Kind
-
-	flushGroup := func() error {
-		if groupKey == nil {
-			return nil
-		}
-		defer func() {
-			groupKey = nil
-			groupIKeys = groupIKeys[:0]
-			groupValues = groupValues[:0]
-			groupKinds = groupKinds[:0]
-		}()
-		bottom := job.base.isBaseLevelForKey(target, groupKey)
-
-		if db.opts.Merge != nil {
-			// Collect live values down to (not past) the newest tombstone.
-			var live [][]byte
-			tombstoneAt := -1
-			for i, k := range groupKinds {
-				if k == ikey.KindDelete {
-					tombstoneAt = i
-					break
-				}
-				live = append(live, groupValues[i])
-			}
-			if len(live) == 0 {
-				// Newest record is a tombstone.
-				if tombstoneAt >= 0 && !bottom {
-					return emit(groupIKeys[0], nil)
-				}
-				return nil
-			}
-			merged, keep := db.opts.Merge.Merge(groupKey, live, bottom && tombstoneAt < 0)
-			if keep {
-				if err := emit(groupIKeys[0], merged); err != nil {
-					return err
-				}
-			}
-			// A tombstone under the merged fragments must survive (unless
-			// this is the base level) — it still shadows older fragments
-			// in deeper levels.
-			if tombstoneAt >= 0 && !bottom {
-				return emit(groupIKeys[tombstoneAt], nil)
-			}
-			return nil
-		}
-
-		// Default: newest version wins.
-		if groupKinds[0] == ikey.KindDelete {
-			if bottom {
-				return nil // tombstone has nothing left to shadow
-			}
-			return emit(groupIKeys[0], nil)
-		}
-		return emit(groupIKeys[0], groupValues[0])
-	}
-
-	for h.Len() > 0 {
-		src := h[0]
-		ik, val := src.it.Key(), src.it.Value()
-		uk := ikey.UserKey(ik)
-		if groupKey == nil || !bytes.Equal(groupKey, uk) {
-			if err := flushGroup(); err != nil {
-				return nil, err
-			}
-			groupKey = append([]byte(nil), uk...)
-		}
-		groupIKeys = append(groupIKeys, append([]byte(nil), ik...))
-		groupValues = append(groupValues, append([]byte(nil), val...))
-		groupKinds = append(groupKinds, ikey.KindOf(ik))
-
-		if src.it.Next() {
-			heap.Fix(&h, 0)
-		} else {
-			if err := src.it.Err(); err != nil {
-				return nil, err
-			}
-			heap.Pop(&h)
-		}
-	}
-	if err := flushGroup(); err != nil {
+	if err != nil {
+		w.abort()
 		return nil, err
 	}
-	if err := finishOutput(); err != nil {
-		return nil, err
-	}
+	db.subcompactions.Add(1)
+	tr.Add(metrics.PhaseCompactWrite, time.Duration(w.writeNS))
+	tr.Add(metrics.PhaseCompactMerge, time.Since(t0)-time.Duration(w.writeNS))
 	return outputs, nil
 }
 
@@ -558,10 +472,11 @@ func (db *DB) CompactRange(lo, hi []byte) error {
 		return ErrClosed
 	}
 	if db.bg != nil {
-		// Wait out any in-flight flush; the compactor cannot start (we
-		// hold compactionMu), so after this loop we mutate levels alone.
+		// Wait out any in-flight flush and every running compaction job;
+		// the scheduler cannot start new ones (we hold compactionMu), so
+		// after this loop we mutate levels alone.
 		bg := db.bg
-		for db.imm != nil && bg.err == nil && !bg.closing && !db.closed {
+		for (db.imm != nil || bg.jobs > 0) && bg.err == nil && !bg.closing && !db.closed {
 			db.cond.Wait()
 		}
 		if bg.err != nil {

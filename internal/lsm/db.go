@@ -36,10 +36,19 @@ var ErrStalled = errors.New("lsm: write stall: level-0 at stop trigger")
 // own mutex is deliberately unordered against db.mu — the group-commit
 // protocol never holds one while taking the other.
 //
+// The sub-compaction run lock (compactionRun.mu) is a leaf below db.mu:
+// the inline-mode writer cancels a failed run while holding db.mu, and
+// partition workers take it bare — never the other way around. The
+// tracer's ring mutex is a leaf for the same reason: inline compactions
+// finish their OpCompact trace while still holding db.mu, and
+// Tracer.finish touches nothing but its own ring and aggregates.
+//
 //lsm:lockorder core.DB.writeMu < lsm.background.compactionMu < lsm.DB.mu < lsm.DB.logMu
 //lsm:lockorder lsm.DB.mu < cache.shard.mu
 //lsm:lockorder lsm.DB.mu < metrics.Histogram.mu
 //lsm:lockorder core.DB.writeMu < lsm.commitQueue.mu
+//lsm:lockorder lsm.DB.mu < lsm.compactionRun.mu
+//lsm:lockorder lsm.DB.mu < metrics.Tracer.mu
 
 // DB is a single-node LSM key-value store. Writes are serialized. By
 // default flushes and compactions run inline on the writing goroutine
@@ -57,19 +66,23 @@ type DB struct {
 	// group-commit leader appends and fsyncs without holding db.mu.
 	// Lock order: db.mu (either mode) before logMu, never the reverse;
 	// no goroutine acquires db.mu while holding logMu.
-	logMu       sync.Mutex
-	log         *wal.Writer // guarded by logMu
-	memWALs     []string    // guarded by mu; WAL files backing mem (active segment last)
-	immWALs     []string    // guarded by mu; WAL files backing imm; deleted after its flush
-	immSeq      uint64      // guarded by mu; highest seq in imm (manifest floor for its flush)
-	walSeq      uint64      // guarded by mu; next background WAL segment number
-	v           *version    // guarded by mu
-	lastSeq     uint64      // guarded by mu
-	flushedSeq  uint64      // guarded by mu; highest seq durable in SSTables (manifest LastSeq)
-	compactPtr  [][]byte    // guarded by mu; per-level round-robin compaction cursor (user key)
-	blockCache  *cache.Cache
-	ingestBytes int64 // guarded by mu; user key+value bytes accepted, for WAMF
-	closed      bool  // guarded by mu
+	logMu   sync.Mutex
+	log     *wal.Writer // guarded by logMu
+	memWALs []string    // guarded by mu; WAL files backing mem (active segment last)
+	immWALs []string    // guarded by mu; WAL files backing imm; deleted after its flush
+	immSeq  uint64      // guarded by mu; highest seq in imm (manifest floor for its flush)
+	walSeq  uint64      // guarded by mu; next background WAL segment number
+	v       *version    // guarded by mu
+	lastSeq uint64      // guarded by mu
+	// compactingLevels marks levels that are input or output of an
+	// in-flight background compaction job; the scheduler only picks jobs
+	// whose level pair is unmarked, so concurrent jobs never share files.
+	compactingLevels []bool   // guarded by mu
+	flushedSeq       uint64   // guarded by mu; highest seq durable in SSTables (manifest LastSeq)
+	compactPtr       [][]byte // guarded by mu; per-level round-robin compaction cursor (user key)
+	blockCache       *cache.Cache
+	ingestBytes      int64 // guarded by mu; user key+value bytes accepted, for WAMF
+	closed           bool  // guarded by mu
 
 	// commitsInFlight counts leader passes between sequence assignment
 	// (under mu) and MemTable insertion (back under mu). freeze/flush/
@@ -84,12 +97,26 @@ type DB struct {
 	// output numbers while rolling tables without holding db.mu.
 	nextFileNum atomic.Uint64
 
+	// Sub-compaction observability (DESIGN.md §5.9), atomic because
+	// partition workers update them off-lock: partitions merged,
+	// currently-busy workers, and cumulative writer stall time under the
+	// L0 stop trigger.
+	subcompactions atomic.Int64
+	workersBusy    atomic.Int64
+	stallNS        atomic.Int64
+
 	bg *background // non-nil iff Options.BackgroundCompaction
 
 	// testBlockFlush, when non-nil, is received from by the background
 	// flusher before it builds a table — lets crash tests freeze a DB with
 	// an unflushed immutable MemTable outstanding.
 	testBlockFlush chan struct{}
+
+	// testCompactRoll, when non-nil, runs after a compaction finishes each
+	// output table, while nothing references it yet — lets crash tests
+	// snapshot a directory with sub-compaction outputs that no version
+	// edit has installed. Set before the compaction starts.
+	testCompactRoll func()
 }
 
 // Open creates or recovers a DB in dir.
@@ -99,11 +126,12 @@ func Open(dir string, o *Options) (*DB, error) {
 		return nil, fmt.Errorf("lsm: create dir: %w", err)
 	}
 	db := &DB{
-		dir:        dir,
-		opts:       opts,
-		mem:        newMemTable(opts.SecondaryAttrs),
-		v:          newVersion(opts.MaxLevels),
-		compactPtr: make([][]byte, opts.MaxLevels),
+		dir:              dir,
+		opts:             opts,
+		mem:              newMemTable(opts.SecondaryAttrs),
+		v:                newVersion(opts.MaxLevels),
+		compactPtr:       make([][]byte, opts.MaxLevels),
+		compactingLevels: make([]bool, opts.MaxLevels),
 	}
 	db.cond = sync.NewCond(&db.mu)
 	db.nextFileNum.Store(1)

@@ -28,6 +28,19 @@ type Merger interface {
 	Merge(userKey []byte, values [][]byte, bottom bool) (merged []byte, keep bool)
 }
 
+// MergerForker is optionally implemented by Mergers that carry per-call
+// scratch state. When key-range sub-compactions run partitions
+// concurrently (Options.CompactionParallelism > 1) the engine calls
+// ForkMerger once per partition worker, giving each a private scratch. A
+// Merger that does not implement it is shared across workers and must be
+// safe for concurrent use.
+type MergerForker interface {
+	Merger
+	// ForkMerger returns a Merger with private mutable state; shared
+	// counters may be retained (they must be concurrency-safe).
+	ForkMerger() Merger
+}
+
 // WriteMerger combines an incoming value with the value already present in
 // the MemTable for the same key. The Lazy index uses it so that at most
 // one posting-list fragment per key exists per level, at zero disk-I/O
@@ -111,12 +124,25 @@ type Options struct {
 	// writers block until compaction brings L0 back under the limit.
 	// Default 12. Ignored in inline mode.
 	L0StopTrigger int
+	// CompactionParallelism bounds the worker pool of the key-range
+	// sub-compaction engine (DESIGN.md §5.9): each compaction's input span
+	// is partitioned into up to this many disjoint user-key ranges merged
+	// concurrently, and in background mode up to two compactions on
+	// disjoint level pairs run at once. 0 or 1 keeps the serial engine;
+	// results (output tables, manifests, write counters) are byte-identical
+	// at every setting — only CompactionReads may differ, because adjacent
+	// partitions re-read the boundary block they share.
+	CompactionParallelism int
 	// BlockCacheBytes enables an LRU block cache of the given capacity.
 	// 0 disables caching — the paper's configuration ("No block cache
 	// was used"), keeping measured block I/O purely algorithmic.
 	BlockCacheBytes int64
 	// Stats receives I/O accounting. If nil a private IOStats is used.
 	Stats *metrics.IOStats
+	// Tracer, when set, samples compactions into per-phase traces
+	// (OpCompact with compact_merge/compact_write) alongside the
+	// foreground ops traced by the layers above. Nil disables.
+	Tracer *metrics.Tracer
 	// Events, when set, receives structured lifecycle events (MemTable
 	// freezes, flush and compaction start/done, throttle transitions, WAL
 	// rotations — see metrics.EventType). Nil disables event emission.
@@ -180,6 +206,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if opts.Stats == nil {
 		opts.Stats = &metrics.IOStats{}
+	}
+	if opts.CompactionParallelism <= 0 {
+		opts.CompactionParallelism = 1
 	}
 	if opts.SyncMode == wal.SyncUnset {
 		if opts.SyncWAL {

@@ -29,6 +29,7 @@ const (
 	EventFlushDone       EventType = "flush_done"
 	EventCompactionStart EventType = "compaction_start"
 	EventCompactionDone  EventType = "compaction_done"
+	EventCompactionError EventType = "compaction_error"
 	EventSlowdownOn      EventType = "throttle_slowdown_engage"
 	EventSlowdownOff     EventType = "throttle_slowdown_release"
 	EventStopOn          EventType = "throttle_stop_engage"

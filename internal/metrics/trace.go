@@ -33,6 +33,7 @@ const (
 	OpLookup
 	OpRangeLookup
 	OpScan
+	OpCompact
 	NumOps
 )
 
@@ -52,6 +53,8 @@ func (o Op) String() string {
 		return "rangelookup"
 	case OpScan:
 		return "scan"
+	case OpCompact:
+		return "compact"
 	default:
 		return "unknown"
 	}
@@ -83,6 +86,11 @@ const (
 	PhaseIndexProbe   // stand-alone index table reads (Eager GET, Lazy fragments, Composite scan)
 	PhasePostingMerge // posting-list decode and merge
 	PhaseValidate     // candidate validation against the primary table
+
+	// Compaction top-level phases (the OpCompact trace, DESIGN.md §5.9):
+	// the sub-compaction pipeline's stage split, summed across workers.
+	PhaseCompactMerge // read/decode + k-way merge + group resolution (incl. posting merges)
+	PhaseCompactWrite // output encode (blocks, filters, compression) + file write + fsync
 
 	// Sub-phases (nested inside the above; not counted toward coverage).
 	PhaseBlockLoad      // data block fetched from disk
@@ -124,6 +132,10 @@ func (p Phase) String() string {
 		return "posting_merge"
 	case PhaseValidate:
 		return "validate"
+	case PhaseCompactMerge:
+		return "compact_merge"
+	case PhaseCompactWrite:
+		return "compact_write"
 	case PhaseBlockLoad:
 		return "block_load"
 	case PhaseCacheHit:
